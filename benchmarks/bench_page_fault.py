@@ -1,0 +1,207 @@
+"""E3 (§3.2): custom page tables — TLB refill cost.
+
+"Critically, the proximity of MRAM to the instruction fetch unit enables
+fast exception dispatching with costs similar to microcode
+implementations.  This greatly closes the performance gap between hardware
+and software managed TLBs."
+
+Identical two-phase touch workloads (cold pass with TLB misses, warm pass
+without) run over the same radix tables on:
+
+* the **Metal machine** — page fault delivered to the `pagefault`
+  mroutine in MRAM;
+* the **trap machine** — page fault traps to a memory-resident kernel
+  refill handler (MIPS-style software TLB);
+* an **idealized hardware walker** — analytic: two dependent memory reads
+  per miss, no pipeline disturbance (the x86-style bound).
+
+Per-miss refill cost = (cold pass − warm pass) / misses.
+"""
+
+from repro import (
+    Cause,
+    MachineConfig,
+    TimingModel,
+    build_metal_machine,
+    build_trap_machine,
+)
+from repro.bench.report import format_table
+from repro.mcode.pagetable import (
+    PTE_G,
+    PTE_R,
+    PTE_W,
+    PTE_X,
+    PageTableBuilder,
+    make_pagetable_routines,
+)
+from repro.osdemo.kernel import TRAP_PF_REFILL_ASM
+
+from common import emit, run_once
+
+PAGES = 24          # footprint fits the 32-entry TLB: the cold pass takes
+                    # one compulsory miss per page, the warm pass none
+TOUCHES = 240
+PT_POOL = 0x100000
+MAILBOX = 0x2F00
+KSAVE = 0x700
+KPTROOT = 0x780
+VA_BASE = 0x400000
+PA_BASE = 0x80000
+
+# Shared two-phase touch loop: the cold pass takes the compulsory misses,
+# the warm pass replays the identical sequence with a hot TLB.  Patterns:
+# 'seq' strides through the pages in order; 'lcg' picks pseudo-randomly.
+def touch_loop(pattern: str) -> str:
+    if pattern == "seq":
+        pick = f"""
+    li   t3, {PAGES}
+    remu t4, s3, t3          # page index = i % PAGES
+    addi s3, s3, 1
+"""
+    else:
+        pick = f"""
+    li   t4, 1103515245
+    mul  s3, s3, t4
+    li   t4, 12345
+    add  s3, s3, t4
+    srli t4, s3, 10
+    li   t3, {PAGES}
+    remu t4, t4, t3          # pseudo-random page index
+"""
+    return f"""
+    li   s4, TIMER_COUNT
+    li   s2, {VA_BASE:#x}
+    li   s3, 12345
+    lw   s6, 0(s4)           # t0: start of cold pass
+    li   s0, {TOUCHES}
+cold:
+{pick}
+    slli t4, t4, 12
+    add  t4, t4, s2
+    lw   t5, 0(t4)
+    addi s0, s0, -1
+    bnez s0, cold
+    lw   s7, 0(s4)           # t1: end of cold pass
+    li   s3, 12345           # replay the identical sequence
+    li   s0, {TOUCHES}
+warm:
+{pick}
+    slli t4, t4, 12
+    add  t4, t4, s2
+    lw   t5, 0(t4)
+    addi s0, s0, -1
+    bnez s0, warm
+    lw   s8, 0(s4)           # t2: end of warm pass
+    halt
+"""
+
+
+def _build_tables(machine):
+    pt = PageTableBuilder(machine.bus, pool_base=PT_POOL)
+    pt.map_range(0x0, 0x0, 0x10000, flags=PTE_R | PTE_W | PTE_X | PTE_G)
+    pt.map(0xF0001000, 0xF0001000, flags=PTE_R | PTE_W | PTE_G)  # timer
+    for i in range(PAGES):
+        pt.map(VA_BASE + i * 4096, PA_BASE + i * 4096,
+               flags=PTE_R | PTE_W | PTE_G)
+    return pt
+
+
+def _phases(machine):
+    cold = (machine.reg("s7") - machine.reg("s6")) & 0xFFFFFFFF
+    warm = (machine.reg("s8") - machine.reg("s7")) & 0xFFFFFFFF
+    return cold, warm
+
+
+def run_metal(pattern, tlb_entries=32):
+    cfg = MachineConfig(engine="pipeline", tlb_entries=tlb_entries)
+    m = build_metal_machine(make_pagetable_routines(MAILBOX, 0x1040),
+                            config=cfg)
+    m.route_page_faults()
+    _build_tables(m)
+    m.load_and_run(f"""
+_start:
+    li   a0, {PT_POOL:#x}
+    li   a1, 0
+    menter MR_PTROOT_SET
+    li   a0, 1
+    menter MR_PAGING_CTL
+{touch_loop(pattern)}
+""", max_instructions=10_000_000)
+    misses = sum(
+        m.core.metal.stats.deliveries.get(int(c), 0)
+        for c in (Cause.PAGE_FAULT_LOAD, Cause.PAGE_FAULT_STORE)
+    )
+    cold, warm = _phases(m)
+    return cold, warm, misses
+
+
+def run_trap(pattern, tlb_entries=32):
+    cfg = MachineConfig(engine="pipeline", tlb_entries=tlb_entries,
+                        extra_symbols={"KSAVE": KSAVE, "KPTROOT": KPTROOT})
+    m = build_trap_machine(config=cfg)
+    _build_tables(m)
+    m.write_word(KPTROOT, PT_POOL)
+    m.write_word(KPTROOT + 4, 0)
+    m.load_and_run(f"""
+_start:
+    li   t0, ktrap
+    csrrw zero, CSR_MTVEC, t0
+    # Wire the kernel-code and timer pages into the TLB before enabling
+    # paging — the refill handler must itself be reachable (the MIPS
+    # "wired entries" trick; Metal needs none of this, its walker fetches
+    # from MRAM).
+    li   t0, 0x1000
+    li   t1, 0x1000 + 7      # R|W|X
+    mtlbw t0, t1
+    li   t0, 0xF0001000
+    li   t1, 0xF0001000 + 3  # R|W
+    mtlbw t0, t1
+    li   t0, 1
+    mpgon t0                 # enable paging (machine mode op)
+{touch_loop(pattern)}
+ktrap:
+    mpst t0, KSAVE+0(zero)
+    mpst t1, KSAVE+4(zero)
+    csrrs t0, CSR_MCAUSE, zero
+{TRAP_PF_REFILL_ASM}
+kt_fatal:
+    halt
+""", max_instructions=10_000_000)
+    misses = m.core.tlb.misses
+    cold, warm = _phases(m)
+    return cold, warm, misses
+
+
+def run_experiment():
+    timing = TimingModel()
+    rows = []
+    for pattern in ("seq", "lcg"):
+        m_cold, m_warm, m_misses = run_metal(pattern)
+        t_cold, t_warm, t_misses = run_trap(pattern)
+        metal_cost = (m_cold - m_warm) / max(1, m_misses)
+        trap_cost = (t_cold - t_warm) / max(1, t_misses)
+        # Idealized hardware walker: two dependent table reads per miss.
+        hw_cost = 2 * timing.mem_latency
+        rows.append([pattern, m_misses, metal_cost, trap_cost, hw_cost,
+                     trap_cost / metal_cost])
+    return rows
+
+
+def test_page_fault_refill(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit("e3_page_fault", format_table(
+        f"E3: TLB refill cost over x86-style radix tables "
+        f"({PAGES} pages, {TOUCHES} touches, 32-entry TLB, pipeline engine)",
+        ["pattern", "misses", "Metal mroutine (cyc/miss)",
+         "trap refill (cyc/miss)", "ideal HW walker (cyc/miss)",
+         "trap/Metal"],
+        rows,
+        note="Paper §3.2: the mroutine walker 'greatly closes the gap' to "
+             "hardware walkers while keeping the data structure custom.",
+    ))
+    for pattern, misses, metal, trap, hw, ratio in rows:
+        assert misses > 0
+        assert metal < trap, f"{pattern}: Metal must beat the trap refill"
+        # 'greatly closes the gap': within ~2.5x of an ideal 2-access walker
+        assert metal / hw < 2.5, f"{pattern}: gap to hardware too large"
+        assert ratio > 1.2

@@ -1,0 +1,232 @@
+"""E9 (§2.3, Table 2 text): page keys accelerate batch permission changes.
+
+"Page keys provide an extra level of indirection for page permissions to
+accelerate batch permission changes."
+
+Revoke-then-restore write access to N pages, two ways:
+
+* **page keys** — all N pages carry one key; a single ``mpkr`` write flips
+  them all (one mroutine call each way);
+* **per-page PTEs** — rewrite each leaf PTE and invalidate its TLB entry,
+  then take a refill fault per page when access resumes (the conventional
+  mprotect path).
+
+Both validated for correctness: while revoked, a store must fault.
+"""
+
+from repro import Cause, build_metal_machine
+from repro.bench.report import format_series
+from repro.isa.metal_ops import pack_pkr
+from repro.mcode.pagetable import (
+    PTE_G,
+    PTE_R,
+    PTE_W,
+    PTE_X,
+    PageTableBuilder,
+    make_pagetable_routines,
+)
+from repro.metal.mroutine import MRoutine
+
+from common import emit, run_once
+
+PT_POOL = 0x100000
+VA_BASE = 0x400000
+PA_BASE = 0x80000
+KEY = 5
+
+PKR_SET = MRoutine(name="pkr_set", entry=40, source="""
+pkr_set:
+    rmr  t0, m0
+    bnez t0, pk_fail
+    mpkr a0
+    mexit
+pk_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+""", shared_mregs=(0,))
+
+
+def _machine(pages, extra=()):
+    m = build_metal_machine(
+        make_pagetable_routines(0x2F00, 0x1040) + [PKR_SET] + list(extra),
+        engine="pipeline",
+    )
+    m.route_page_faults()
+    pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+    pt.map_range(0x0, 0x0, 0x10000, flags=PTE_R | PTE_W | PTE_X | PTE_G)
+    pt.map(0xF0001000, 0xF0001000, flags=PTE_R | PTE_W | PTE_G)  # timer
+    for i in range(pages):
+        pt.map(VA_BASE + i * 4096, PA_BASE + i * 4096,
+               flags=PTE_R | PTE_W | PTE_G, key=KEY)
+    return m, pt
+
+
+BOOT = f"""
+_start:
+    li   a0, {PT_POOL:#x}
+    li   a1, 0
+    menter MR_PTROOT_SET
+    li   a0, 1
+    menter MR_PAGING_CTL
+"""
+
+
+def _touch_loop(pages, label):
+    return f"""
+    li   t0, {VA_BASE:#x}
+    li   t2, {pages}
+{label}:
+    sw   t2, 0(t0)
+    li   t3, 0x1000
+    add  t0, t0, t3
+    addi t2, t2, -1
+    bnez t2, {label}
+"""
+
+
+def _run_keys(pages):
+    """Flip with one PKR write each way."""
+    m, _ = _machine(pages)
+    locked = pack_pkr(write_disabled_keys=[KEY])
+    m.load_and_run(BOOT + _touch_loop(pages, "warm") + f"""
+    # --- measured region: revoke + restore write access -------------
+    li   s4, TIMER_COUNT
+    lw   s6, 0(s4)
+    li   a0, {locked:#x}
+    menter MR_PKR_SET          # revoke: one register write
+    li   a0, 0
+    menter MR_PKR_SET          # restore
+    lw   s7, 0(s4)
+""" + _touch_loop(pages, "after") + "    halt\n",
+                   max_instructions=10_000_000)
+    return (m.reg("s7") - m.reg("s6")) & 0xFFFFFFFF
+
+
+def _run_ptes(pages):
+    """Flip by rewriting each PTE + invalidating, then re-faulting."""
+    m, pt = _machine(pages, extra=[PTE_CLEARW, PTE_SETW])
+    m.load_and_run(BOOT + _touch_loop(pages, "warm") + f"""
+    li   s4, TIMER_COUNT
+    lw   s6, 0(s4)
+    # revoke: clear W in every leaf PTE and invalidate its TLB entry
+    li   s2, {VA_BASE:#x}
+    li   s3, {pages}
+revoke:
+    mv   a0, s2
+    menter MR_PTE_CLEARW
+    mv   a0, s2
+    menter MR_VM_INVAL
+    li   t3, 0x1000
+    add  s2, s2, t3
+    addi s3, s3, -1
+    bnez s3, revoke
+    # restore: set W again and invalidate (refaults on next touch)
+    li   s2, {VA_BASE:#x}
+    li   s3, {pages}
+restore:
+    mv   a0, s2
+    menter MR_PTE_SETW
+    mv   a0, s2
+    menter MR_VM_INVAL
+    li   t3, 0x1000
+    add  s2, s2, t3
+    addi s3, s3, -1
+    bnez s3, restore
+    lw   s7, 0(s4)
+""" + _touch_loop(pages, "after") + "    halt\n",
+                   max_instructions=10_000_000)
+    return (m.reg("s7") - m.reg("s6")) & 0xFFFFFFFF
+
+
+# PTE rewrite helpers (privileged mroutines: walk to the leaf, flip W).
+def _pte_flip_routine(name, entry, set_w):
+    op = ("    ori  t1, t1, PTE_W" if set_w
+          else "    li   t0, -1 - PTE_W\n    and  t1, t1, t0")
+    return MRoutine(name=name, entry=entry, source=f"""
+{name}:
+    rmr  t0, m0
+    bnez t0, {name}_fail
+    mld  t2, PTROOT_SET_DATA+0(zero)
+    srli t1, a0, 22
+    slli t1, t1, 2
+    add  t2, t2, t1
+    mpld t2, 0(t2)             # L1 PTE
+    li   t1, 0xFFFFF000
+    and  t2, t2, t1
+    srli t1, a0, 12
+    andi t1, t1, 0x3FF
+    slli t1, t1, 2
+    add  t2, t2, t1            # &leaf
+    mpld t1, 0(t2)
+{op}
+    mpst t1, 0(t2)
+    mexit
+{name}_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+""", shared_mregs=(0,), shared_data=("ptroot_set",))
+
+
+PTE_CLEARW = _pte_flip_routine("pte_clearw", 41, set_w=False)
+PTE_SETW = _pte_flip_routine("pte_setw", 42, set_w=True)
+
+
+def run_experiment():
+    points = []
+    for pages in (4, 16, 64):
+        keys = _run_keys(pages)
+        ptes = _run_ptes(pages)
+        points.append((pages, (keys, ptes, ptes / keys)))
+    return points
+
+
+def test_pagekey_batch_flip(benchmark):
+    points = run_once(benchmark, run_experiment)
+    emit("e9_pagekeys", format_series(
+        "E9: batch write-permission flip, revoke + restore "
+        "(cycles in the measured region, pipeline engine)",
+        "pages", ["page keys (mpkr)", "per-page PTE rewrite", "speedup"],
+        points,
+        note="Paper §2.3: page keys 'accelerate batch permission changes' — "
+             "one register write vs O(pages) PTE edits + invalidations.",
+    ))
+    for pages, (keys, ptes, speedup) in points:
+        assert keys < ptes
+    # the win grows with the batch size
+    speedups = [s for _, (_, _, s) in points]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 10
+
+
+def test_pagekey_correctness(benchmark):
+    """While revoked, a store must fault (checked outside the timing)."""
+    def check():
+        m = build_metal_machine(
+            make_pagetable_routines(0x2F00, 0x2000) + [PKR_SET],
+            with_caches=False,
+        )
+        m.route_page_faults()
+        pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+        pt.map_range(0x0, 0x0, 0x10000,
+                     flags=PTE_R | PTE_W | PTE_X | PTE_G)
+        pt.map(VA_BASE, PA_BASE, flags=PTE_R | PTE_W | PTE_G, key=KEY)
+        locked = pack_pkr(write_disabled_keys=[KEY])
+        m.load_and_run(BOOT + f"""
+    li   t0, {VA_BASE:#x}
+    li   t1, 1
+    sw   t1, 0(t0)            # fine: key unlocked
+    li   a0, {locked:#x}
+    menter MR_PKR_SET
+    li   t0, {VA_BASE:#x}
+    sw   t1, 0(t0)            # write-disabled -> key fault -> forwarded
+    halt
+.org 0x2000
+kfault:
+    li   s11, 1
+    halt
+""", base=0x1000, max_instructions=100_000)
+        return m
+
+    m = run_once(benchmark, check)
+    assert m.reg("s11") == 1
+    assert m.core.tlb.key_faults >= 1

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (or a
+quantified claim from the prose) and:
+
+* prints the paper-style table (visible with ``pytest -s``);
+* writes it to ``benchmarks/results/<name>.txt`` so the plain
+  ``pytest benchmarks/ --benchmark-only`` run leaves artifacts behind;
+* asserts the expected *shape* (who wins, roughly by how much), making the
+  suite a regression test for the reproduction;
+* feeds the heavy simulation into the ``benchmark`` fixture (one round) so
+  pytest-benchmark reports wall-clock cost per experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print *text* and persist it under benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark fixture and return its
+    result (the experiments are deterministic; repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

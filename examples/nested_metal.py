@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Nested Metal (paper §3.5): layered mroutines for VMM / OS / application.
+
+Three software layers each install their own interception rules:
+
+* the **app** intercepts word loads to emulate them (it sees them first —
+  "higher layers intercepting the instruction first");
+* when the app *replays* an instruction instead of emulating it, the
+  intercept "propagates downward through layers that intercept the same
+  instruction" — here, down to the VMM;
+* device interrupts go the other way: the **VMM** sees the timer first and
+  propagates it up to the OS with `mraise`.
+
+Context switching swaps a layer's tables wholesale, modelling per-process
+mroutine sets.
+
+Run:  python examples/nested_metal.py
+"""
+
+from repro import Cause, MRoutine, build_nested_metal_machine
+from repro.isa.metal_ops import pack_intercept_spec
+from repro.isa.opcodes import OP_LOAD
+from repro.metal.nested import MetalLayer
+
+ICEPT_LW = pack_intercept_spec(OP_LOAD, funct3=2)
+
+ROUTINES = [
+    MRoutine(name="app_tag", entry=0, source="""
+        # app layer: emulate the load as constant 0xAAA (skip semantics)
+        li   t4, 0xAAA
+        rmr  t0, m29
+        srli t0, t0, 7
+        andi t0, t0, 31
+        wmr  m26, t0
+        wmr  m27, t4
+        mexitm                # exit + commit the emulated result
+    """),
+    MRoutine(name="app_replay", entry=1, source="""
+        # app layer: observe, then REPLAY the load (falls through to vmm)
+        li   t4, 1
+        wmr  m9, t0
+        rmr  t0, m30
+        wmr  m31, t0
+        rmr  t0, m9
+        mexit
+    """, shared_mregs=(9,)),
+    MRoutine(name="vmm_tag", entry=2, source="""
+        # vmm layer: emulate the load as constant 0xBBB
+        li   t5, 0xBBB
+        rmr  t0, m29
+        srli t0, t0, 7
+        andi t0, t0, 31
+        wmr  m26, t0
+        wmr  m27, t5
+        mexitm                # exit + commit the emulated result
+    """),
+    MRoutine(name="vmm_irq", entry=3, source="""
+        li   s2, 1            # VMM saw the interrupt first
+        wmr  m11, t0
+        rmr  t0, m28
+        mraise t0             # propagate up to the OS layer
+    """, shared_mregs=(11,)),
+    MRoutine(name="os_irq", entry=4, source="""
+        li   s3, 1            # the OS decided it owns this interrupt
+        li   t0, TIMER_CTRL
+        mpst zero, 0(t0)
+        rmr  t0, m11
+        mexit
+    """, shared_mregs=(11,)),
+]
+
+
+def main():
+    machine = build_nested_metal_machine(ROUTINES,
+                                         layer_names=("vmm", "os", "app"))
+    unit = machine.core.metal
+
+    def layer(name):
+        return unit.layers[unit.layer_index(name)]
+
+    # Interception: app emulates; vmm would tag differently.
+    layer("app").intercept.enable(ICEPT_LW, unit.image.entry_of("app_tag"))
+    layer("vmm").intercept.enable(ICEPT_LW, unit.image.entry_of("vmm_tag"))
+    # Interrupts: vmm first, propagates to os.
+    layer("vmm").delivery.route(Cause.interrupt(0), unit.image.entry_of("vmm_irq"))
+    layer("os").delivery.route(Cause.interrupt(0), unit.image.entry_of("os_irq"))
+    unit.delivery.interrupts_enabled = True
+    machine.timer.compare = 2000
+    machine.timer.irq_enabled = True
+
+    machine.write_word(0x3000, 0x123)
+    machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)        # intercepted by the APP layer (top-down)
+    mv   s0, a0
+    li   t1, 3000
+spin:
+    addi t1, t1, -1
+    bnez t1, spin         # wait for the timer interrupt chain
+    halt
+""", max_instructions=100_000)
+
+    print("top-down interception:")
+    print(f"  load result seen by the program: {machine.reg('s0'):#x} "
+          "(0xAAA = emulated by the app layer)")
+    print("bottom-up interrupt delivery:")
+    print(f"  VMM handler ran: {bool(machine.reg('s2'))}; "
+          f"propagated to OS handler: {bool(machine.reg('s3'))}")
+
+    # Context switch: swap the app layer for a process with no intercepts.
+    fresh = MetalLayer("app")
+    unit.swap_layer("app", fresh)
+    machine.core.halted = False
+    machine.core.pc = 0x1000
+    machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)        # app layer empty now -> vmm layer intercepts
+    mv   s1, a0
+    halt
+""", max_instructions=100_000)
+    print("after swapping the app layer out (context switch):")
+    print(f"  load result: {machine.reg('s1'):#x} "
+          "(0xBBB = the VMM's intercept took over)")
+
+
+if __name__ == "__main__":
+    main()

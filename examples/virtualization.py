@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Virtualization by trap-and-emulate (paper §3.5).
+
+A deprivileged guest kernel manages "its" TLB with ordinary privileged
+instructions; each one traps into the `virt_emul` mroutine, which applies
+the hypervisor's guest-physical -> host-physical mapping (a partition the
+host assigned) and bounds-checks it, so the guest can never reach host
+memory outside its sandbox.
+
+Run:  python examples/virtualization.py
+"""
+
+from repro import build_metal_machine
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.virt import OFF_EMUL_COUNT, make_virt_routines
+
+FAULT_ENTRY = 0x1040
+PARTITION_BASE = 0x200000
+PARTITION_SIZE = 0x10000
+
+
+def main():
+    routines = (make_kernel_user_routines(0x2E00, FAULT_ENTRY)
+                + make_virt_routines(FAULT_ENTRY))
+    machine = build_metal_machine(routines)
+
+    machine.load_and_run(f"""
+_start:
+    j    host
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1              # a guest violation landed here
+    halt
+host:
+    # hypervisor: give the guest a {PARTITION_SIZE // 1024} KiB partition
+    li   a0, {PARTITION_BASE:#x}
+    li   a1, {PARTITION_SIZE:#x}
+    menter MR_VIRT_CREATE
+    li   ra, guest
+    menter MR_VIRT_ENTER     # drop into the guest kernel
+host_back:
+    li   s10, 1
+    halt
+
+guest:
+    # The guest thinks it owns the machine: it writes TLB entries with
+    # guest-physical addresses.  Each mtlbw below traps and is emulated.
+    li   t0, 0x400000
+    li   t1, 0x0000 + 3      # gVA 0x400000 -> gPA 0x0000, R|W
+    mtlbw t0, t1
+    li   t0, 0x401000
+    li   t1, 0x1000 + 3      # gVA 0x401000 -> gPA 0x1000, R|W
+    mtlbw t0, t1
+    # And one attempt to escape its sandbox:
+    li   t0, 0x402000
+    li   t1, {PARTITION_SIZE:#x} + 0x5000 + 3
+    mtlbw t0, t1             # gPA outside the partition -> refused
+    menter MR_VIRT_EXIT
+""", base=0x1000, max_instructions=200_000)
+
+    base = machine.metal_image.data_offset_of("virt_create")
+    emulated = machine.core.metal.mram.load_word(base + OFF_EMUL_COUNT)
+    print(f"privileged instructions emulated by the hypervisor: {emulated}")
+    for gva in (0x400000, 0x401000, 0x402000):
+        entry = machine.core.tlb.lookup(gva >> 12)
+        if entry is None:
+            print(f"  gVA {gva:#x}: NOT mapped (escape attempt refused)")
+        else:
+            hpa = entry.ppn << 12
+            print(f"  gVA {gva:#x}: shadow-mapped to host PA {hpa:#x} "
+                  f"(= partition + {hpa - PARTITION_BASE:#x})")
+    print(f"escape attempt forwarded to the host fault entry: "
+          f"{bool(machine.reg('s11'))}")
+
+
+if __name__ == "__main__":
+    main()

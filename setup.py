@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The execution environment has no `wheel` package and no network, so PEP 517
+editable installs (which build a wheel) fail; this classic setup.py lets
+``pip install -e .`` use the legacy develop path.  Metadata mirrors
+pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Metal: An Open Architecture for Developing "
+        "Processor Features' (HotOS 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

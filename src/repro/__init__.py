@@ -1,0 +1,79 @@
+"""Reproduction of "Metal: An Open Architecture for Developing Processor
+Features" (HotOS 2023).
+
+Top-level convenience surface::
+
+    from repro import build_metal_machine, MRoutine, assemble
+
+    nop = MRoutine(name="noop", entry=0, source="mexit\\n")
+    machine = build_metal_machine([nop])
+    machine.load_and_run('''
+    _start:
+        menter MR_NOOP
+        halt
+    ''')
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.asm import Assembler, Program, assemble
+from repro.cpu import (
+    Cause,
+    CpuCore,
+    FunctionalSimulator,
+    PipelineSimulator,
+    TimingModel,
+    TrapException,
+)
+from repro.machine import (
+    Machine,
+    MachineConfig,
+    build_metal_machine,
+    build_nested_metal_machine,
+    build_palcode_machine,
+    build_trap_machine,
+    palcode_timing,
+)
+from repro.metal import (
+    DeliveryTable,
+    InterceptTable,
+    MetalImage,
+    MetalUnit,
+    Mram,
+    MRegFile,
+    MRoutine,
+    load_mroutines,
+    verify_mroutine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "assemble",
+    "Cause",
+    "CpuCore",
+    "FunctionalSimulator",
+    "PipelineSimulator",
+    "TimingModel",
+    "TrapException",
+    "Machine",
+    "MachineConfig",
+    "build_metal_machine",
+    "build_nested_metal_machine",
+    "build_palcode_machine",
+    "build_trap_machine",
+    "palcode_timing",
+    "DeliveryTable",
+    "InterceptTable",
+    "MetalImage",
+    "MetalUnit",
+    "Mram",
+    "MRegFile",
+    "MRoutine",
+    "load_mroutines",
+    "verify_mroutine",
+    "__version__",
+]

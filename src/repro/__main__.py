@@ -1,0 +1,98 @@
+"""Command-line runner: assemble and execute a guest program.
+
+Usage::
+
+    python -m repro program.s                 # Metal machine, no mroutines
+    python -m repro program.s --machine trap  # trap baseline
+    python -m repro program.s --engine pipeline --trace --regs
+
+The program must define ``_start`` (or start at the load base).  The full
+machine symbol environment (device registers, cause codes, PTE bits) is
+available to the source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import build_metal_machine, build_trap_machine
+from repro.errors import ReproError
+from repro.isa.registers import ABI_NAMES
+from repro.machine.trace import Tracer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run an MRV32 assembly program on a simulated machine.",
+    )
+    parser.add_argument("program", help="assembly source file")
+    parser.add_argument("--machine", choices=("metal", "trap"),
+                        default="metal", help="machine flavour")
+    parser.add_argument("--engine", choices=("functional", "pipeline"),
+                        default="functional", help="execution engine")
+    parser.add_argument("--base", type=lambda v: int(v, 0), default=0x1000,
+                        help="load address (default 0x1000)")
+    parser.add_argument("--max-instructions", type=int, default=5_000_000)
+    parser.add_argument("--trace", action="store_true",
+                        help="print the retired-instruction trace")
+    parser.add_argument("--regs", action="store_true",
+                        help="dump registers on exit")
+    return parser
+
+
+def dump_regs(machine) -> str:
+    lines = []
+    for i in range(0, 32, 4):
+        cells = []
+        for j in range(i, i + 4):
+            cells.append(f"{ABI_NAMES[j]:>4} = {machine.core.regs[j]:08x}")
+        lines.append("   ".join(cells))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.program) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.machine == "metal":
+        machine = build_metal_machine([], engine=args.engine)
+    else:
+        machine = build_trap_machine(engine=args.engine)
+
+    tracer = Tracer(machine, limit=100_000) if args.trace else None
+    try:
+        if tracer is not None:
+            with tracer:
+                result = machine.load_and_run(
+                    source, base=args.base,
+                    max_instructions=args.max_instructions,
+                )
+        else:
+            result = machine.load_and_run(
+                source, base=args.base,
+                max_instructions=args.max_instructions,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if tracer is not None:
+        print(tracer.format())
+    if machine.output:
+        print(machine.output, end="" if machine.output.endswith("\n") else "\n")
+    print(f"[{result.stop_reason}] {result.instructions} instructions, "
+          f"{result.cycles} cycles (cpi {result.cpi:.2f})")
+    if args.regs:
+        print(dump_regs(machine))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Two-pass assembler for MRV32 (including the Metal extension).
+
+The assembler is what makes mcode in this reproduction "native assembly plus
+a few Metal specific instructions" (paper §2): every mroutine, the MetalOS
+kernel and every guest workload in the benchmarks is written in this
+assembly dialect and assembled to the same encodings the decoder consumes.
+
+Quick use::
+
+    from repro.asm import assemble
+
+    prog = assemble('''
+        start:
+            li   a0, 42
+            menter 3          # enter mroutine 3
+            halt
+    ''', base=0x1000)
+    prog.words()      # encoded instruction words
+    prog.symbols      # {'start': 0x1000}
+"""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.program import Program
+
+__all__ = ["Assembler", "assemble", "Program"]

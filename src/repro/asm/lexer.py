@@ -1,0 +1,84 @@
+"""Tokenizer for assembly operand expressions.
+
+The assembler parses source line-by-line; this lexer handles the operand
+field, producing a flat token stream of punctuation, numbers, identifiers,
+strings and the ``%hi``/``%lo`` relocation operators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AsmSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<bin>0[bB][01]+)
+  | (?P<dec>\d+)
+  | (?P<reloc>%(?:hi|lo))
+  | (?P<ident>[A-Za-z_.$][A-Za-z0-9_.$]*)
+  | (?P<punct>[(),:+\-*/])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is num/ident/punct/string/reloc."""
+
+    kind: str
+    value: object
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text: str, line: int = 0, source: str = "<asm>"):
+    """Tokenize an operand string into a list of :class:`Token`."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise AsmSyntaxError(f"bad character {text[pos]!r}", line, source)
+        pos = m.end()
+        kind = m.lastgroup
+        raw = m.group()
+        if kind == "ws":
+            continue
+        if kind == "hex":
+            tokens.append(Token("num", int(raw, 16)))
+        elif kind == "bin":
+            tokens.append(Token("num", int(raw, 2)))
+        elif kind == "dec":
+            tokens.append(Token("num", int(raw, 10)))
+        elif kind == "char":
+            tokens.append(Token("num", ord(_unescape(raw[1:-1]))))
+        elif kind == "string":
+            tokens.append(Token("string", _unescape(raw[1:-1])))
+        elif kind == "reloc":
+            tokens.append(Token("reloc", raw))
+        elif kind == "ident":
+            tokens.append(Token("ident", raw))
+        else:
+            tokens.append(Token("punct", raw))
+    return tokens

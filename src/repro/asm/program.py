@@ -1,0 +1,61 @@
+"""Assembled program image."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Program:
+    """The output of one assembler run: a contiguous byte image.
+
+    Attributes:
+        base: load address of the first byte.
+        data: the raw image bytes.
+        symbols: label -> absolute address.
+        listing: per-instruction ``(addr, word, source_line)`` triples for
+            diagnostics and for regenerating paper-style listings.
+    """
+
+    base: int = 0
+    data: bytearray = field(default_factory=bytearray)
+    symbols: dict = field(default_factory=dict)
+    listing: list = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Image size in bytes."""
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """First address past the image."""
+        return self.base + len(self.data)
+
+    def words(self):
+        """Return the image as a list of little-endian 32-bit words.
+
+        The image is zero-padded to a word boundary first.
+        """
+        padded = bytes(self.data) + b"\x00" * (-len(self.data) % 4)
+        return list(struct.unpack(f"<{len(padded) // 4}I", padded))
+
+    def word_at(self, addr: int) -> int:
+        """Fetch the 32-bit word at absolute address *addr*."""
+        off = addr - self.base
+        return struct.unpack_from("<I", self.data, off)[0]
+
+    def symbol(self, name: str) -> int:
+        """Absolute address of label *name*."""
+        return self.symbols[name]
+
+    def load_into(self, memory, addr: int = None) -> None:
+        """Copy the image into *memory* (anything with ``write_bytes``)."""
+        memory.write_bytes(self.base if addr is None else addr, bytes(self.data))
+
+    def disassembly(self) -> str:
+        """Address-annotated disassembly of the whole image."""
+        from repro.isa.disasm import disassemble_block
+
+        return disassemble_block(self.words(), base_addr=self.base)

@@ -1,0 +1,23 @@
+"""Benchmark harness utilities: workload generators, measurement helpers
+and table formatting shared by the scripts in ``benchmarks/``."""
+
+from repro.bench.workloads import (
+    poisson_arrivals,
+    uniform_arrivals,
+    page_touch_sequence,
+    lcg_stream,
+)
+from repro.bench.runner import measure, per_op_cycles, MeasureResult
+from repro.bench.report import format_table, format_series
+
+__all__ = [
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "page_touch_sequence",
+    "lcg_stream",
+    "measure",
+    "per_op_cycles",
+    "MeasureResult",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,42 @@
+"""ASCII table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers, rows, note: str = "") -> str:
+    """Render a fixed-width table.
+
+    *rows* are sequences; floats are rendered with 2 decimals, everything
+    else via ``str``.
+    """
+    def render(value):
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        if isinstance(value, int):
+            return f"{value:,}"
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [title, line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def format_series(title: str, x_label: str, y_labels, points,
+                  note: str = "") -> str:
+    """Render an x -> (y1, y2, ...) series as a table (one figure series
+    per column, the way the paper's figures would tabulate)."""
+    headers = [x_label] + list(y_labels)
+    rows = [[x] + list(ys) for x, ys in points]
+    return format_table(title, headers, rows, note=note)

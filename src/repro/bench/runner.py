@@ -1,0 +1,43 @@
+"""Measurement helpers for the benchmark scripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MeasureResult:
+    """Cycle/instruction deltas for one measured region."""
+
+    cycles: int
+    instructions: int
+    label: str = ""
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def measure(machine, max_instructions: int = 10_000_000,
+            label: str = "") -> MeasureResult:
+    """Run *machine* to halt and return the cycle/instruction deltas."""
+    start_cycles = machine.cycles
+    start_instret = machine.instret
+    machine.run(max_instructions=max_instructions)
+    return MeasureResult(
+        cycles=machine.cycles - start_cycles,
+        instructions=machine.instret - start_instret,
+        label=label,
+    )
+
+
+def per_op_cycles(total: MeasureResult, baseline: MeasureResult,
+                  ops: int) -> float:
+    """Per-operation cost: (loop with op − empty loop) / ops.
+
+    The standard subtract-the-harness idiom: both measurements run the
+    same loop skeleton, one with the operation under test inlined.
+    """
+    if ops <= 0:
+        raise ValueError("ops must be positive")
+    return (total.cycles - baseline.cycles) / ops

@@ -1,0 +1,67 @@
+"""Deterministic workload generators.
+
+Everything is seeded so benchmark output is reproducible run to run; the
+generators use an explicit LCG rather than global random state.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lcg_stream(seed: int = 0x2545F491):
+    """Infinite stream of 31-bit pseudo-random integers (deterministic)."""
+    state = seed & 0x7FFFFFFF or 1
+    while True:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def uniform_arrivals(count: int, interval_cycles: int, start: int = 1000):
+    """*count* arrival times spaced exactly *interval_cycles* apart."""
+    return [start + i * interval_cycles for i in range(count)]
+
+
+def poisson_arrivals(count: int, mean_interval_cycles: float,
+                     start: int = 1000, seed: int = 7):
+    """*count* arrival times with exponential inter-arrival gaps.
+
+    This is the packet-arrival process for the §3.4 NIC experiments.
+    """
+    rng = lcg_stream(seed)
+    times = []
+    t = float(start)
+    for _ in range(count):
+        u = (next(rng) + 1) / (0x7FFFFFFF + 2)   # (0, 1)
+        t += -mean_interval_cycles * math.log(u)
+        times.append(int(t))
+    return times
+
+
+def page_touch_sequence(num_pages: int, touches: int, pattern: str = "random",
+                        base_va: int = 0x40_0000, seed: int = 13):
+    """Virtual addresses touching *num_pages* pages *touches* times.
+
+    Patterns: ``random`` (uniform page picks — TLB-hostile), ``sequential``
+    (striding through pages in order), ``zipf`` (a hot subset, TLB-friendly
+    tail).  This drives the §3.2 custom-page-table experiments.
+    """
+    rng = lcg_stream(seed)
+    addrs = []
+    if pattern == "sequential":
+        for i in range(touches):
+            page = i % num_pages
+            addrs.append(base_va + page * 4096)
+    elif pattern == "random":
+        for _ in range(touches):
+            page = next(rng) % num_pages
+            addrs.append(base_va + page * 4096)
+    elif pattern == "zipf":
+        # Approximate Zipf by biasing toward low page numbers.
+        for _ in range(touches):
+            u = (next(rng) + 1) / (0x7FFFFFFF + 2)
+            page = int(num_pages * (u ** 3))   # cubic bias to the head
+            addrs.append(base_va + min(page, num_pages - 1) * 4096)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return addrs

@@ -1,0 +1,30 @@
+"""CPU: shared execution semantics and the two execution engines.
+
+* :class:`~repro.cpu.core.CpuCore` — architectural state plus the
+  memory-access and trap plumbing shared by both engines.
+* :class:`~repro.cpu.functional.FunctionalSimulator` — instruction-at-a-
+  time reference engine with an analytic cycle model (fast; used by tests,
+  examples and throughput benchmarks).
+* :class:`~repro.cpu.pipeline.PipelineSimulator` — cycle-accurate 5-stage
+  in-order pipeline (IF/ID/EX/MEM/WB) with forwarding, load-use interlock,
+  predict-not-taken branches, and the paper's decode-stage
+  ``menter``/``mexit`` replacement (§2.2).
+
+Differential tests in ``tests/test_engines_differential.py`` check that
+both engines retire identical architectural state.
+"""
+
+from repro.cpu.exceptions import Cause, TrapException
+from repro.cpu.timing import TimingModel
+from repro.cpu.core import CpuCore
+from repro.cpu.functional import FunctionalSimulator
+from repro.cpu.pipeline import PipelineSimulator
+
+__all__ = [
+    "Cause",
+    "TrapException",
+    "TimingModel",
+    "CpuCore",
+    "FunctionalSimulator",
+    "PipelineSimulator",
+]

@@ -1,0 +1,122 @@
+"""32-bit ALU semantics (two's complement, RV32IM rules)."""
+
+from __future__ import annotations
+
+from repro.isa.fields import to_signed32, u32
+
+_INT_MIN = -(1 << 31)
+
+
+def add(a: int, b: int) -> int:
+    return u32(a + b)
+
+
+def sub(a: int, b: int) -> int:
+    return u32(a - b)
+
+
+def sll(a: int, shamt: int) -> int:
+    return u32(a << (shamt & 0x1F))
+
+
+def srl(a: int, shamt: int) -> int:
+    return u32(a) >> (shamt & 0x1F)
+
+
+def sra(a: int, shamt: int) -> int:
+    return u32(to_signed32(a) >> (shamt & 0x1F))
+
+
+def slt(a: int, b: int) -> int:
+    return int(to_signed32(a) < to_signed32(b))
+
+
+def sltu(a: int, b: int) -> int:
+    return int(u32(a) < u32(b))
+
+
+def xor(a: int, b: int) -> int:
+    return u32(a ^ b)
+
+
+def or_(a: int, b: int) -> int:
+    return u32(a | b)
+
+
+def and_(a: int, b: int) -> int:
+    return u32(a & b)
+
+
+# --- M extension ------------------------------------------------------------
+
+def mul(a: int, b: int) -> int:
+    return u32(to_signed32(a) * to_signed32(b))
+
+
+def mulh(a: int, b: int) -> int:
+    return u32((to_signed32(a) * to_signed32(b)) >> 32)
+
+
+def mulhsu(a: int, b: int) -> int:
+    return u32((to_signed32(a) * u32(b)) >> 32)
+
+
+def mulhu(a: int, b: int) -> int:
+    return u32((u32(a) * u32(b)) >> 32)
+
+
+def div(a: int, b: int) -> int:
+    sa, sb = to_signed32(a), to_signed32(b)
+    if sb == 0:
+        return 0xFFFFFFFF                     # RV32M: division by zero -> -1
+    if sa == _INT_MIN and sb == -1:
+        return u32(_INT_MIN)                  # overflow wraps
+    q = abs(sa) // abs(sb)
+    return u32(q if (sa < 0) == (sb < 0) else -q)
+
+
+def divu(a: int, b: int) -> int:
+    ua, ub = u32(a), u32(b)
+    if ub == 0:
+        return 0xFFFFFFFF
+    return ua // ub
+
+
+def rem(a: int, b: int) -> int:
+    sa, sb = to_signed32(a), to_signed32(b)
+    if sb == 0:
+        return u32(sa)                        # remainder of /0 is the dividend
+    if sa == _INT_MIN and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return u32(r if sa >= 0 else -r)
+
+
+def remu(a: int, b: int) -> int:
+    ua, ub = u32(a), u32(b)
+    if ub == 0:
+        return ua
+    return ua % ub
+
+
+#: Dispatch tables keyed by mnemonic (shared by both engines).
+REG_OPS = {
+    "add": add, "sub": sub, "sll": sll, "slt": slt, "sltu": sltu,
+    "xor": xor, "srl": srl, "sra": sra, "or": or_, "and": and_,
+    "mul": mul, "mulh": mulh, "mulhsu": mulhsu, "mulhu": mulhu,
+    "div": div, "divu": divu, "rem": rem, "remu": remu,
+}
+
+IMM_OPS = {
+    "addi": add, "slti": slt, "sltiu": sltu, "xori": xor,
+    "ori": or_, "andi": and_, "slli": sll, "srli": srl, "srai": sra,
+}
+
+BRANCH_OPS = {
+    "beq": lambda a, b: u32(a) == u32(b),
+    "bne": lambda a, b: u32(a) != u32(b),
+    "blt": lambda a, b: to_signed32(a) < to_signed32(b),
+    "bge": lambda a, b: to_signed32(a) >= to_signed32(b),
+    "bltu": lambda a, b: u32(a) < u32(b),
+    "bgeu": lambda a, b: u32(a) >= u32(b),
+}

@@ -1,0 +1,130 @@
+"""Control and status registers for the *trap-architecture baseline*.
+
+The paper's comparison point is a conventional processor where privileged
+transitions go through traps: a syscall is ``ecall`` -> ``mtvec`` handler
+-> ``mret``, and a TLB miss traps to the OS refill handler.  This CSR file
+implements the minimal M-mode-style machinery for that baseline:
+``mstatus`` (interrupt enable + previous-privilege bit), ``mtvec``,
+``mepc``, ``mcause``, ``mtval``, ``mscratch``, plus read-only ``cycle`` /
+``instret`` counters.
+
+The Metal machine does not use CSRs at all — delegation replaces them —
+and the mroutine verifier rejects CSR instructions in mcode.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import Cause, TrapException
+
+# CSR numbers (RISC-V standard where one exists).
+CSR_MSTATUS = 0x300
+CSR_MTVEC = 0x305
+CSR_MSCRATCH = 0x340
+CSR_MEPC = 0x341
+CSR_MCAUSE = 0x342
+CSR_MTVAL = 0x343
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+
+#: mstatus bits (a simplified M/U-mode subset).
+MSTATUS_MIE = 1 << 3    # machine interrupt enable
+MSTATUS_MPIE = 1 << 7   # previous MIE
+MSTATUS_MPP_U = 0       # previous privilege = user
+MSTATUS_MPP_M = 1 << 11  # previous privilege = machine (bit 11 only)
+
+#: ``.equ`` symbols for guest assembly.
+CSR_SYMBOLS = {
+    "CSR_MSTATUS": CSR_MSTATUS,
+    "CSR_MTVEC": CSR_MTVEC,
+    "CSR_MSCRATCH": CSR_MSCRATCH,
+    "CSR_MEPC": CSR_MEPC,
+    "CSR_MCAUSE": CSR_MCAUSE,
+    "CSR_MTVAL": CSR_MTVAL,
+    "CSR_CYCLE": CSR_CYCLE,
+    "CSR_INSTRET": CSR_INSTRET,
+    "MSTATUS_MIE": MSTATUS_MIE,
+    "MSTATUS_MPIE": MSTATUS_MPIE,
+    "MSTATUS_MPP_M": MSTATUS_MPP_M,
+}
+
+
+class CsrFile:
+    """Baseline-machine CSR state."""
+
+    def __init__(self):
+        self.mstatus = MSTATUS_MPP_M  # boot in machine mode, interrupts off
+        self.mtvec = 0
+        self.mscratch = 0
+        self.mepc = 0
+        self.mcause = 0
+        self.mtval = 0
+
+    # -- interrupt-enable helpers -------------------------------------------
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.mstatus & MSTATUS_MIE)
+
+    # -- trap entry/exit ------------------------------------------------------
+    def trap_enter(self, pc: int, cause: int, info: int, in_user: bool) -> int:
+        """Latch trap state; returns the handler address (mtvec)."""
+        self.mepc = pc & 0xFFFFFFFF
+        self.mcause = cause & 0xFFFFFFFF
+        self.mtval = info & 0xFFFFFFFF
+        # Save and clear MIE; record previous privilege.
+        mie = self.mstatus & MSTATUS_MIE
+        self.mstatus &= ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_M)
+        if mie:
+            self.mstatus |= MSTATUS_MPIE
+        if not in_user:
+            self.mstatus |= MSTATUS_MPP_M
+        return self.mtvec
+
+    def trap_return(self):
+        """``mret``: returns ``(pc, to_user_mode)`` and restores MIE."""
+        to_user = not (self.mstatus & MSTATUS_MPP_M)
+        if self.mstatus & MSTATUS_MPIE:
+            self.mstatus |= MSTATUS_MIE
+        else:
+            self.mstatus &= ~MSTATUS_MIE
+        self.mstatus &= ~MSTATUS_MPIE
+        self.mstatus |= MSTATUS_MPP_M  # MPP resets to machine
+        return self.mepc, to_user
+
+    # -- generic access (csrrw/csrrs/csrrc) -----------------------------------
+    def read(self, csr: int, cycles: int = 0, instret: int = 0) -> int:
+        if csr == CSR_MSTATUS:
+            return self.mstatus
+        if csr == CSR_MTVEC:
+            return self.mtvec
+        if csr == CSR_MSCRATCH:
+            return self.mscratch
+        if csr == CSR_MEPC:
+            return self.mepc
+        if csr == CSR_MCAUSE:
+            return self.mcause
+        if csr == CSR_MTVAL:
+            return self.mtval
+        if csr == CSR_CYCLE:
+            return cycles & 0xFFFFFFFF
+        if csr == CSR_INSTRET:
+            return instret & 0xFFFFFFFF
+        raise TrapException(Cause.ILLEGAL_INSTRUCTION, csr)
+
+    def write(self, csr: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if csr == CSR_MSTATUS:
+            self.mstatus = value
+        elif csr == CSR_MTVEC:
+            self.mtvec = value & ~0x3
+        elif csr == CSR_MSCRATCH:
+            self.mscratch = value
+        elif csr == CSR_MEPC:
+            self.mepc = value & ~0x1
+        elif csr == CSR_MCAUSE:
+            self.mcause = value
+        elif csr == CSR_MTVAL:
+            self.mtval = value
+        elif csr in (CSR_CYCLE, CSR_INSTRET):
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, csr)
+        else:
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, csr)

@@ -1,0 +1,81 @@
+"""Exception causes and the in-simulator trap signal.
+
+Cause codes are architectural: mcode reads them from Metal register m28
+(Metal machine) or the ``mcause`` CSR (trap-baseline machine), so the
+numeric values below are part of the simulated ISA contract and appear in
+assembly sources as ``.equ`` constants (see :data:`CAUSE_SYMBOLS`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cause(enum.IntEnum):
+    """Architectural cause codes."""
+
+    MISALIGNED_FETCH = 0
+    ILLEGAL_INSTRUCTION = 1
+    BREAKPOINT = 2
+    MISALIGNED_LOAD = 3
+    MISALIGNED_STORE = 4
+    ECALL = 5
+    BUS_ERROR = 6
+    PAGE_FAULT_FETCH = 8
+    PAGE_FAULT_LOAD = 9
+    PAGE_FAULT_STORE = 10
+    #: Software-defined privilege violation, raised by mcode via ``mraise``
+    #: (paper §3.1: privilege checks "trigger an exception if violated").
+    PRIVILEGE = 11
+    #: Instruction interception (paper §2.3); never routed via ``mivec`` —
+    #: the handler comes from the interception table.
+    INTERCEPT = 12
+    #: Page-key denial (§2.3 "Page Keys"): distinct from page faults, so a
+    #: refill handler never retries what only a PKR change can fix.
+    KEY_FAULT = 13
+    #: Interrupts: cause = INTERRUPT_BASE + controller line number.
+    INTERRUPT_BASE = 16
+
+    @classmethod
+    def interrupt(cls, line: int) -> int:
+        return int(cls.INTERRUPT_BASE) + line
+
+
+def is_interrupt(cause: int) -> bool:
+    """True if *cause* encodes an interrupt line."""
+    return cause >= int(Cause.INTERRUPT_BASE)
+
+
+def interrupt_line(cause: int) -> int:
+    """Controller line number of an interrupt cause."""
+    return cause - int(Cause.INTERRUPT_BASE)
+
+
+#: ``.equ`` symbols injected into every assembly environment so guest code
+#: and mroutines can name causes.
+CAUSE_SYMBOLS = {
+    f"CAUSE_{cause.name}": int(cause) for cause in Cause
+}
+CAUSE_SYMBOLS["CAUSE_INTERRUPT_TIMER"] = Cause.interrupt(0)
+CAUSE_SYMBOLS["CAUSE_INTERRUPT_NIC"] = Cause.interrupt(1)
+CAUSE_SYMBOLS["CAUSE_INTERRUPT_BLOCK"] = Cause.interrupt(2)
+CAUSE_SYMBOLS["CAUSE_INTERRUPT_CONSOLE"] = Cause.interrupt(3)
+
+
+class TrapException(Exception):
+    """Internal signal: an instruction raised an architectural exception.
+
+    Engines catch this and dispatch it — to an mroutine (Metal machine) or
+    to ``mtvec`` (trap baseline).  ``info`` carries the faulting virtual
+    address or instruction word, matching what hardware latches into
+    m29/``mtval``.
+    """
+
+    def __init__(self, cause: int, info: int = 0):
+        self.cause = int(cause)
+        self.info = info & 0xFFFFFFFF
+        super().__init__(f"trap cause={self.cause} info={self.info:#010x}")
+
+    @property
+    def is_interrupt(self) -> bool:
+        return is_interrupt(self.cause)

@@ -1,0 +1,297 @@
+"""Instruction semantics shared by both execution engines.
+
+:func:`execute` applies one decoded instruction to a :class:`CpuCore` and
+returns a :class:`StepInfo` describing what happened — including everything
+a timing model needs (memory latency consumed, control-flow kind, register
+read/write sets).  It raises :class:`TrapException` for architectural
+exceptions; engines own dispatch.
+
+Control kinds reported in ``StepInfo.control``:
+
+========== ==========================================================
+``None``    sequential
+``branch``  taken conditional branch (resolved in EX)
+``jal``     direct jump (target known in ID)
+``jalr``    indirect jump (needs rs1, resolved in EX)
+``menter``  Metal entry (decode-stage replacement, §2.2)
+``mexit``   Metal exit (decode-stage replacement, §2.2)
+``mraise``  mroutine tail-dispatch to another handler
+``mret``    baseline trap return
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetalModeError, MramError, MroutineLoadError
+from repro.cpu import alu
+from repro.cpu.exceptions import Cause, TrapException
+from repro.cpu.opfuncs import METAL_ARCH_OPS
+from repro.isa.fields import sign_extend, u32
+from repro.isa.instruction import InstrClass
+from repro.isa.opcodes import (
+    F12_EBREAK,
+    F12_ECALL,
+    F12_HALT,
+    F12_MRET,
+    F12_WFI,
+)
+
+
+#: Architectural-feature instructions also legal in the trap baseline's
+#: machine mode (software-managed-TLB architecture, MIPS-style).
+_BASELINE_PRIV_OPS = frozenset(
+    ("mtlbw", "mtlbi", "mtlbf", "masid", "mpkr", "mpgon", "mpld", "mpst")
+)
+
+
+@dataclass
+class StepInfo:
+    """Outcome of one executed instruction (input to timing models)."""
+
+    pc: int
+    next_pc: int
+    mnemonic: str
+    cls: InstrClass
+    fetch_latency: int = 1
+    mem_latency: int = 0
+    is_load: bool = False
+    is_store: bool = False
+    rd: int = 0              # 0 = no GPR written
+    reads: tuple = ()
+    control: str = None
+
+
+def _mem_width(mnemonic: str) -> int:
+    if mnemonic in ("lb", "lbu", "sb"):
+        return 1
+    if mnemonic in ("lh", "lhu", "sh"):
+        return 2
+    return 4
+
+
+def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
+    """Execute *instr* (decoded, fetched at *pc*) against *core*."""
+    spec = instr.spec
+    cls = spec.cls
+    m = instr.mnemonic
+    regs = core.regs
+    info = StepInfo(
+        pc=pc, next_pc=u32(pc + 4), mnemonic=m, cls=cls,
+        fetch_latency=fetch_latency,
+    )
+
+    # Metal-mode gating.  On the trap-baseline machine (no MetalUnit) a
+    # MIPS-style privileged subset of the architectural-feature
+    # instructions is legal in machine mode: the software-managed TLB
+    # interface and unmapped (KSEG0-style) physical access.  Everything
+    # else from the Metal extension is illegal there.
+    if core.metal is None:
+        if cls is InstrClass.METAL:
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+        if cls is InstrClass.METAL_ARCH:
+            if m not in _BASELINE_PRIV_OPS or core.user_mode:
+                raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+    elif spec.metal_only and not core.in_metal:
+        raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+
+    if cls is InstrClass.ALU_IMM:
+        op = alu.IMM_OPS[m]
+        core.rset(instr.rd, op(regs[instr.rs1], instr.imm))
+        info.rd = instr.rd
+        info.reads = (instr.rs1,)
+        return info
+
+    if cls in (InstrClass.ALU_REG, InstrClass.MULDIV):
+        op = alu.REG_OPS[m]
+        core.rset(instr.rd, op(regs[instr.rs1], regs[instr.rs2]))
+        info.rd = instr.rd
+        info.reads = (instr.rs1, instr.rs2)
+        return info
+
+    if cls is InstrClass.LOAD:
+        addr = u32(regs[instr.rs1] + instr.imm)
+        width = _mem_width(m)
+        value, lat = core.read_mem(addr, width)
+        if m == "lb":
+            value = u32(sign_extend(value, 8))
+        elif m == "lh":
+            value = u32(sign_extend(value, 16))
+        core.rset(instr.rd, value)
+        info.rd = instr.rd
+        info.reads = (instr.rs1,)
+        info.mem_latency = lat
+        info.is_load = True
+        return info
+
+    if cls is InstrClass.STORE:
+        addr = u32(regs[instr.rs1] + instr.imm)
+        width = _mem_width(m)
+        lat = core.write_mem(addr, width, regs[instr.rs2])
+        info.reads = (instr.rs1, instr.rs2)
+        info.mem_latency = lat
+        info.is_store = True
+        return info
+
+    if cls is InstrClass.BRANCH:
+        taken = alu.BRANCH_OPS[m](regs[instr.rs1], regs[instr.rs2])
+        info.reads = (instr.rs1, instr.rs2)
+        if taken:
+            info.next_pc = u32(pc + instr.imm)
+            info.control = "branch"
+        return info
+
+    if cls is InstrClass.JAL:
+        core.rset(instr.rd, pc + 4)
+        info.rd = instr.rd
+        info.next_pc = u32(pc + instr.imm)
+        info.control = "jal"
+        return info
+
+    if cls is InstrClass.JALR:
+        target = u32(regs[instr.rs1] + instr.imm) & ~1
+        core.rset(instr.rd, pc + 4)
+        info.rd = instr.rd
+        info.reads = (instr.rs1,)
+        info.next_pc = target
+        info.control = "jalr"
+        return info
+
+    if cls is InstrClass.LUI:
+        core.rset(instr.rd, instr.imm)
+        info.rd = instr.rd
+        return info
+
+    if cls is InstrClass.AUIPC:
+        core.rset(instr.rd, u32(pc + instr.imm))
+        info.rd = instr.rd
+        return info
+
+    if cls is InstrClass.FENCE:
+        return info
+
+    if cls is InstrClass.CSR:
+        return _execute_csr(core, instr, info)
+
+    if cls is InstrClass.SYSTEM:
+        return _execute_system(core, instr, info)
+
+    if cls is InstrClass.METAL:
+        return _execute_metal(core, instr, pc, info)
+
+    if cls is InstrClass.METAL_ARCH:
+        handler = METAL_ARCH_OPS[m]
+        handler(core, instr, info)
+        return info
+
+    raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)  # pragma: no cover
+
+
+def _execute_csr(core, instr, info: StepInfo) -> StepInfo:
+    if core.metal is not None:
+        # The Metal machine has no CSR architecture (delegation replaces it).
+        raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+    if core.user_mode:
+        raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+    m = instr.mnemonic
+    csr = instr.csr
+    cycles = getattr(core, "_timer_cycles", 0)
+    old = core.csrs.read(csr, cycles=cycles, instret=core.instret)
+    if m in ("csrrw", "csrrs", "csrrc"):
+        operand = core.regs[instr.rs1]
+        info.reads = (instr.rs1,)
+    else:
+        operand = instr.rs1  # zimm lives in the rs1 field
+    if m in ("csrrw", "csrrwi"):
+        core.csrs.write(csr, operand)
+    elif m in ("csrrs", "csrrsi"):
+        if operand:
+            core.csrs.write(csr, old | operand)
+    else:
+        if operand:
+            core.csrs.write(csr, old & ~operand)
+    core.rset(instr.rd, old)
+    info.rd = instr.rd
+    return info
+
+
+def _execute_system(core, instr, info: StepInfo) -> StepInfo:
+    f12 = instr.spec.funct12
+    if f12 == F12_ECALL:
+        raise TrapException(Cause.ECALL, 0)
+    if f12 == F12_EBREAK:
+        raise TrapException(Cause.BREAKPOINT, info.pc)
+    if f12 == F12_HALT:
+        core.halted = True
+        return info
+    if f12 == F12_WFI:
+        if core.in_metal:
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+        core.waiting = True
+        return info
+    if f12 == F12_MRET:
+        if core.metal is not None or core.user_mode:
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+        pc, to_user = core.csrs.trap_return()
+        core.user_mode = to_user
+        info.next_pc = pc
+        info.control = "mret"
+        return info
+    raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+
+
+def _execute_metal(core, instr, pc: int, info: StepInfo) -> StepInfo:
+    metal = core.metal
+    m = instr.mnemonic
+    if m == "menter":
+        try:
+            info.next_pc = metal.enter(instr.imm, pc + 4)
+        except (MetalModeError, MroutineLoadError):
+            # nested menter, or an entry number with no mroutine loaded:
+            # architecturally an illegal instruction, not a simulator error
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0) from None
+        info.control = "menter"
+        return info
+    if m == "mexit":
+        info.next_pc = metal.exit_metal()
+        info.control = "mexit"
+        return info
+    if m == "mexitm":
+        # Exit + commit GPR[m26 & 31] := m27 during the exit slot.
+        info.next_pc = metal.exit_metal()
+        rd = metal.mregs.read(26) & 31
+        core.rset(rd, metal.mregs.read(27))
+        info.rd = rd
+        info.control = "mexit"
+        return info
+    if m == "rmr":
+        core.rset(instr.rd, metal.mregs.read(instr.rs1))
+        info.rd = instr.rd
+        return info
+    if m == "wmr":
+        metal.mregs.write(instr.rd, core.regs[instr.rs1])
+        info.reads = (instr.rs1,)
+        return info
+    if m == "mld":
+        offset = u32(core.regs[instr.rs1] + instr.imm)
+        try:
+            core.rset(instr.rd, metal.mram.load_word(offset))
+        except MramError:
+            raise TrapException(Cause.BUS_ERROR, offset) from None
+        info.rd = instr.rd
+        info.reads = (instr.rs1,)
+        info.is_load = True
+        info.mem_latency = core.timing.mram_fetch
+        return info
+    if m == "mst":
+        offset = u32(core.regs[instr.rs1] + instr.imm)
+        try:
+            metal.mram.store_word(offset, core.regs[instr.rs2])
+        except MramError:
+            raise TrapException(Cause.BUS_ERROR, offset) from None
+        info.reads = (instr.rs1, instr.rs2)
+        info.is_store = True
+        info.mem_latency = core.timing.mram_fetch
+        return info
+    raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)  # pragma: no cover

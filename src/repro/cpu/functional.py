@@ -1,0 +1,304 @@
+"""The functional execution engine.
+
+Instruction-at-a-time interpretation with an analytic cycle model
+(:class:`SimpleTimer`).  This is the reference engine: the pipeline engine
+reuses the same executor and differs only in how cycles are accounted.
+
+The engine owns the *inter-instruction* architecture: interrupt sampling
+(never inside Metal mode, paper §2.1), instruction interception (paper
+§2.3), trap dispatch (to mroutines on a Metal machine, to ``mtvec`` on the
+baseline), and WFI sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    DecodeError,
+    ExecutionLimitExceeded,
+    GuestPanic,
+    HaltedError,
+)
+from repro.cpu.exceptions import Cause, TrapException
+from repro.cpu.executor import StepInfo, execute
+from repro.cpu.timing import TimingModel
+from repro.isa.decoder import decode
+from repro.isa.instruction import InstrClass
+
+
+class SimpleTimer:
+    """Analytic per-instruction cycle model.
+
+    Approximates a 5-stage pipeline: one cycle per instruction, plus fetch
+    latency beyond one cycle, plus data-memory latency beyond the one
+    cycle the MEM stage hides, plus class/control penalties.
+    """
+
+    def __init__(self, timing: TimingModel):
+        self.timing = timing
+        self.cycles = 0
+
+    def note(self, step: StepInfo) -> None:
+        timing = self.timing
+        cost = max(1, step.fetch_latency)
+        if step.mem_latency > 1:
+            cost += step.mem_latency - 1
+        if step.cls is InstrClass.MULDIV:
+            cost += (
+                timing.div_extra
+                if step.mnemonic.startswith(("div", "rem"))
+                else timing.mul_extra
+            )
+        control = step.control
+        if control == "branch":
+            cost += timing.branch_taken_penalty
+        elif control == "jal":
+            cost += timing.jump_penalty
+        elif control == "jalr":
+            cost += timing.branch_taken_penalty
+        elif control == "mret":
+            cost += timing.mret_penalty
+        elif control == "menter":
+            cost += timing.menter_cost
+        elif control == "mexit":
+            cost += timing.mexit_cost
+        elif control == "mraise":
+            cost += timing.jump_penalty
+        self.cycles += cost
+
+    def note_event(self, cycles: int) -> None:
+        """Charge raw cycles (trap dispatch, redirects, idle waits)."""
+        self.cycles += cycles
+
+    def note_trap(self, metal: bool) -> None:
+        if metal:
+            self.note_event(self.timing.delivery_redirect)
+        else:
+            self.note_event(self.timing.trap_flush)
+
+    def note_intercept(self) -> None:
+        self.note_event(self.timing.intercept_redirect)
+
+
+@dataclass
+class RunResult:
+    """Summary of one :meth:`FunctionalSimulator.run` call."""
+
+    instructions: int
+    cycles: int
+    halted: bool
+    stop_reason: str
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class FunctionalSimulator:
+    """Reference engine: functional semantics + analytic timing."""
+
+    #: Safety valve for WFI with no event source.
+    MAX_WFI_CYCLES = 50_000_000
+
+    def __init__(self, core, timer=None):
+        self.core = core
+        self.timer = timer or SimpleTimer(core.timing)
+        self._ticked = 0
+        #: Optional per-step hook: fn(StepInfo) (tracing/debugging).
+        self.trace_fn = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.timer.cycles
+
+    def _sync_devices(self) -> None:
+        delta = self.timer.cycles - self._ticked
+        if delta > 0:
+            self.core.bus.tick(delta)
+            self._ticked = self.timer.cycles
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction (or take one interrupt/trap)."""
+        core = self.core
+        if core.halted:
+            raise HaltedError("machine is halted")
+        # expose cycle counter for rdcycle-style CSR reads
+        core._timer_cycles = self.timer.cycles
+
+        if core.waiting:
+            self._wait_for_interrupt()
+            if core.halted:
+                return
+
+        if self._maybe_take_interrupt():
+            self._sync_devices()
+            return
+
+        pc = core.pc
+        try:
+            word, fetch_latency = core.fetch(pc)
+        except TrapException as trap:
+            self._dispatch_trap(trap, pc)
+            self._sync_devices()
+            return
+
+        # Instruction interception (normal mode only, paper §2.3).
+        metal = core.metal
+        if metal is not None and not metal.in_metal and not metal.intercept.empty:
+            metal.note_fetch(pc)
+            entry = metal.intercept.match(word)
+            if entry is not None:
+                self.timer.note_event(fetch_latency)
+                self.timer.note_intercept()
+                # The decode stage had already read the instruction's
+                # operands; hardware latches them for the handler.
+                rs1_val = core.regs[(word >> 15) & 31]
+                rs2_val = core.regs[(word >> 20) & 31]
+                core.pc = metal.deliver(
+                    Cause.INTERCEPT, pc, word, entry=entry,
+                    operands=(rs1_val, rs2_val),
+                )
+                self._sync_devices()
+                return
+
+        try:
+            instr = decode(word)
+        except DecodeError:
+            self._dispatch_trap(TrapException(Cause.ILLEGAL_INSTRUCTION, word), pc)
+            self._sync_devices()
+            return
+
+        try:
+            step = execute(core, instr, pc, fetch_latency=fetch_latency)
+        except TrapException as trap:
+            self._dispatch_trap(trap, pc)
+            self._sync_devices()
+            return
+
+        core.pc = step.next_pc
+        core.instret += 1
+        self.timer.note(step)
+        if self.trace_fn is not None:
+            self.trace_fn(step)
+        self._sync_devices()
+
+    # ------------------------------------------------------------------
+    def _dispatch_trap(self, trap: TrapException, pc: int) -> None:
+        core = self.core
+        metal = core.metal
+        if metal is not None:
+            if metal.in_metal:
+                routine = metal.current_routine(pc)
+                name = routine.name if routine else "?"
+                raise GuestPanic(
+                    f"double fault in mroutine {name!r} at MRAM+{pc:#x}: "
+                    f"cause={trap.cause} info={trap.info:#x}"
+                ) from trap
+            # For illegal instructions, decode had already read the operand
+            # registers; latch them (m25/m24) like an intercept so emulation
+            # handlers (e.g. §3.5 trap-and-emulate virtualization) can see
+            # the values without racing their own GPR spills.
+            operands = None
+            if trap.cause == Cause.ILLEGAL_INSTRUCTION:
+                word = trap.info
+                operands = (
+                    core.regs[(word >> 15) & 31],
+                    core.regs[(word >> 20) & 31],
+                )
+            core.pc = metal.deliver(trap.cause, epc=pc, info=trap.info,
+                                    operands=operands)
+            self.timer.note_trap(metal=True)
+            return
+        handler = core.csrs.trap_enter(pc, trap.cause, trap.info, core.user_mode)
+        if handler == 0:
+            raise GuestPanic(
+                f"trap with mtvec unset: cause={trap.cause} "
+                f"info={trap.info:#x} pc={pc:#010x}"
+            ) from trap
+        core.user_mode = False
+        core.pc = handler
+        self.timer.note_trap(metal=False)
+
+    def _maybe_take_interrupt(self) -> bool:
+        core = self.core
+        irq = core.irq
+        if irq is None:
+            return False
+        metal = core.metal
+        if metal is not None:
+            if metal.in_metal or not metal.delivery.interrupts_enabled:
+                return False
+            line = irq.highest_pending()
+            if line is None:
+                return False
+            cause = Cause.interrupt(line)
+            if metal.delivery.handler_for(cause) is None:
+                return False  # unrouted lines stay pending (level-triggered)
+            core.pc = metal.deliver(cause, epc=core.pc, info=line)
+            self.timer.note_trap(metal=True)
+            return True
+        if not core.csrs.interrupts_enabled:
+            return False
+        line = irq.highest_pending()
+        if line is None:
+            return False
+        trap = TrapException(Cause.interrupt(line), line)
+        handler = core.csrs.trap_enter(core.pc, trap.cause, line, core.user_mode)
+        if handler == 0:
+            raise GuestPanic("interrupt with mtvec unset")
+        core.user_mode = False
+        core.pc = handler
+        self.timer.note_trap(metal=False)
+        return True
+
+    def _wait_for_interrupt(self) -> None:
+        core = self.core
+        irq = core.irq
+        if irq is None:
+            raise GuestPanic("wfi with no interrupt controller")
+        stride = core.timing.wfi_stride
+        waited = 0
+        while True:
+            if irq.pending_bitmap():
+                core.waiting = False
+                return
+            self.timer.note_event(stride)
+            self._sync_devices()
+            waited += stride
+            if waited > self.MAX_WFI_CYCLES:
+                raise GuestPanic("wfi never woke (no pending event source)")
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 5_000_000, stop_pc: int = None,
+            raise_on_limit: bool = True) -> RunResult:
+        """Run until halt, *stop_pc* (normal mode), or the budget."""
+        core = self.core
+        start_instret = core.instret
+        start_cycles = self.timer.cycles
+        reason = "limit"
+        while core.instret - start_instret < max_instructions:
+            if core.halted:
+                reason = "halt"
+                break
+            if (
+                stop_pc is not None
+                and core.pc == stop_pc
+                and not core.in_metal
+            ):
+                reason = "stop_pc"
+                break
+            self.step()
+        else:
+            if raise_on_limit:
+                raise ExecutionLimitExceeded(max_instructions)
+        if core.halted:
+            reason = "halt"
+        return RunResult(
+            instructions=core.instret - start_instret,
+            cycles=self.timer.cycles - start_cycles,
+            halted=core.halted,
+            stop_reason=reason,
+        )

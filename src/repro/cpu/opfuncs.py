@@ -1,0 +1,161 @@
+"""Semantics of the §2.3 architectural-feature instructions.
+
+Each handler takes ``(core, instr, info)`` and mutates the machine.  The
+instructions are only reachable in Metal mode (the executor enforces
+``metal_only`` before dispatching here), which is exactly the paper's
+model: "The processor exposes these features to Metal through instructions
+and memory mapped registers only available in Metal mode."
+"""
+
+from __future__ import annotations
+
+from repro.isa.fields import u32
+from repro.isa.metal_ops import (
+    unpack_tlb_pa,
+    unpack_tlb_va,
+)
+from repro.mmu.types import TlbEntry
+from repro.isa.metal_ops import PERM_G
+
+
+def _op_mtlbw(core, instr, info):
+    """Write a TLB entry from packed (rs1, rs2) operands."""
+    vpn, asid = unpack_tlb_va(core.regs[instr.rs1])
+    ppn, perms, key = unpack_tlb_pa(core.regs[instr.rs2])
+    core.tlb.insert(TlbEntry(
+        vpn=vpn, ppn=ppn, asid=asid, perms=perms, key=key,
+        global_=bool(perms & PERM_G),
+    ))
+    info.reads = (instr.rs1, instr.rs2)
+
+
+def _op_mtlbi(core, instr, info):
+    """Invalidate the TLB entry matching the packed rs1 operand."""
+    vpn, asid = unpack_tlb_va(core.regs[instr.rs1])
+    core.tlb.invalidate(vpn, asid)
+    info.reads = (instr.rs1,)
+
+
+def _op_mtlbf(core, instr, info):
+    core.tlb.flush()
+
+
+def _op_masid(core, instr, info):
+    core.tlb.current_asid = core.regs[instr.rs1] & 0xFF
+    info.reads = (instr.rs1,)
+
+
+def _op_mpkr(core, instr, info):
+    core.tlb.pkr = u32(core.regs[instr.rs1])
+    info.reads = (instr.rs1,)
+
+
+def _op_mpgon(core, instr, info):
+    """bit0 = paging enable; bit1 = translate normal mode as user.
+
+    On the trap baseline (no MetalUnit) only bit0 applies — user
+    translation there follows the hardware privilege mode.
+    """
+    value = core.regs[instr.rs1]
+    core.tlb.enabled = bool(value & 1)
+    if core.metal is not None:
+        core.metal.paging_enabled = bool(value & 1)
+        core.metal.user_translation = bool(value & 2)
+    info.reads = (instr.rs1,)
+
+
+def _op_mpld(core, instr, info):
+    """Direct physical load, bypassing translation (paper §2.3)."""
+    addr = u32(core.regs[instr.rs1] + instr.imm)
+    value, lat = core.read_mem(addr, 4, physical=True)
+    core.rset(instr.rd, value)
+    info.rd = instr.rd
+    info.reads = (instr.rs1,)
+    info.is_load = True
+    info.mem_latency = lat
+
+
+def _op_mpst(core, instr, info):
+    """Direct physical store, bypassing translation."""
+    addr = u32(core.regs[instr.rs1] + instr.imm)
+    lat = core.write_mem(addr, 4, core.regs[instr.rs2], physical=True)
+    info.reads = (instr.rs1, instr.rs2)
+    info.is_store = True
+    info.mem_latency = lat
+
+
+def _op_micept(core, instr, info):
+    core.metal.intercept.enable(core.regs[instr.rs1], core.regs[instr.rs2])
+    info.reads = (instr.rs1, instr.rs2)
+
+
+def _op_miceptd(core, instr, info):
+    core.metal.intercept.disable(core.regs[instr.rs1])
+    info.reads = (instr.rs1,)
+
+
+def _op_mivec(core, instr, info):
+    core.metal.delivery.route(core.regs[instr.rs1], core.regs[instr.rs2])
+    info.reads = (instr.rs1, instr.rs2)
+
+
+def _op_mintc(core, instr, info):
+    core.metal.delivery.interrupts_enabled = bool(core.regs[instr.rs1] & 1)
+    info.reads = (instr.rs1,)
+
+
+def _op_mipend(core, instr, info):
+    bitmap = core.irq.pending_bitmap() if core.irq is not None else 0
+    core.rset(instr.rd, bitmap)
+    info.rd = instr.rd
+
+
+def _op_miack(core, instr, info):
+    if core.irq is not None:
+        core.irq.acknowledge(core.regs[instr.rs1] & 0x1F)
+    info.reads = (instr.rs1,)
+
+
+def _op_mgprr(core, instr, info):
+    """Indirect GPR read: rd := GPR[GPR[rs1] & 31]."""
+    index = core.regs[instr.rs1] & 31
+    core.rset(instr.rd, core.regs[index])
+    info.rd = instr.rd
+    info.reads = (instr.rs1, index)
+
+
+def _op_mgprw(core, instr, info):
+    """Indirect GPR write: GPR[GPR[rs1] & 31] := GPR[rs2]."""
+    index = core.regs[instr.rs1] & 31
+    core.rset(index, core.regs[instr.rs2])
+    info.rd = index
+    info.reads = (instr.rs1, instr.rs2)
+
+
+def _op_mraise(core, instr, info):
+    """Tail-dispatch to the handler for the cause in rs1 (paper §3.1)."""
+    cause = core.regs[instr.rs1]
+    info.next_pc = core.metal.redispatch(cause)
+    info.reads = (instr.rs1,)
+    info.control = "mraise"
+
+
+METAL_ARCH_OPS = {
+    "mtlbw": _op_mtlbw,
+    "mtlbi": _op_mtlbi,
+    "mtlbf": _op_mtlbf,
+    "masid": _op_masid,
+    "mpkr": _op_mpkr,
+    "mpgon": _op_mpgon,
+    "mpld": _op_mpld,
+    "mpst": _op_mpst,
+    "micept": _op_micept,
+    "miceptd": _op_miceptd,
+    "mivec": _op_mivec,
+    "mintc": _op_mintc,
+    "mipend": _op_mipend,
+    "miack": _op_miack,
+    "mraise": _op_mraise,
+    "mgprr": _op_mgprr,
+    "mgprw": _op_mgprw,
+}

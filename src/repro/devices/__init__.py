@@ -1,0 +1,20 @@
+"""Synthetic devices.
+
+The user-level interrupt application (paper §3.4) motivates DPDK/SPDK-style
+kernel-bypass IO: we provide a synthetic NIC with a programmable packet
+arrival process and a block device with fixed completion latency, plus the
+UART console and timer every machine gets, and a small interrupt controller
+that aggregates device lines for the CPU/Metal delivery path.
+
+These are simulation substitutes for real hardware (documented in
+DESIGN.md): what matters for the paper's claims is interrupt *delivery*,
+which these devices exercise end to end.
+"""
+
+from repro.devices.console import Console
+from repro.devices.timer import Timer
+from repro.devices.plic import InterruptController
+from repro.devices.nic import Nic
+from repro.devices.blockdev import BlockDevice
+
+__all__ = ["Console", "Timer", "InterruptController", "Nic", "BlockDevice"]

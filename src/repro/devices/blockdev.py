@@ -1,0 +1,115 @@
+"""Synthetic block storage device with fixed completion latency.
+
+Substitute for the NVMe devices behind SPDK (paper §3.4): the guest issues
+a read/write for one 512-byte sector, the device completes it after
+``latency_cycles``, then asserts its interrupt line until the completion is
+acknowledged.  As with the NIC, polling and interrupt-driven guests share
+the same register interface.
+
+Register map (word offsets):
+
+====== ========================================================
+0x00   SECTOR: target sector number
+0x04   DMA_ADDR: physical buffer address
+0x08   CMD: 1 = read sector -> DMA_ADDR, 2 = write DMA_ADDR -> sector
+0x0C   STATUS: 0 idle, 1 busy, 2 complete (read clears to 0... no:
+       write 0 to acknowledge completion)
+0x10   IRQ_CTRL: bit0 enables the completion interrupt
+0x14   COMPLETED: total completed requests (read-only)
+====== ========================================================
+"""
+
+from __future__ import annotations
+
+from repro.mem.mmio import MmioDevice
+
+REG_SECTOR = 0x00
+REG_DMA_ADDR = 0x04
+REG_CMD = 0x08
+REG_STATUS = 0x0C
+REG_IRQ_CTRL = 0x10
+REG_COMPLETED = 0x14
+
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+STATUS_COMPLETE = 2
+
+CMD_READ = 1
+CMD_WRITE = 2
+
+SECTOR_SIZE = 512
+
+
+class BlockDevice(MmioDevice):
+    """Single-request-at-a-time block device."""
+
+    def __init__(self, base: int = 0xF000_3000, latency_cycles: int = 800):
+        super().__init__(base, 0x18, name="blockdev")
+        self.bus = None
+        self.latency_cycles = latency_cycles
+        self.sectors = {}        # sector number -> bytes
+        self.sector_reg = 0
+        self.dma_addr = 0
+        self.status = STATUS_IDLE
+        self.irq_enabled = False
+        self.completed = 0
+        self._pending_cmd = 0
+        self._countdown = 0
+
+    # -- host-side API -----------------------------------------------------
+    def preload(self, sector: int, payload: bytes) -> None:
+        """Store *payload* (padded/truncated to one sector) at *sector*."""
+        data = bytes(payload[:SECTOR_SIZE])
+        self.sectors[sector] = data + b"\x00" * (SECTOR_SIZE - len(data))
+
+    # -- simulation ----------------------------------------------------------
+    def tick(self, cycles: int) -> None:
+        if self.status != STATUS_BUSY:
+            return
+        self._countdown -= cycles
+        if self._countdown > 0:
+            return
+        if self._pending_cmd == CMD_READ:
+            payload = self.sectors.get(self.sector_reg, b"\x00" * SECTOR_SIZE)
+            if self.bus is not None:
+                self.bus.write_bytes(self.dma_addr, payload)
+        elif self._pending_cmd == CMD_WRITE:
+            if self.bus is not None:
+                self.sectors[self.sector_reg] = bytes(
+                    self.bus.read_bytes(self.dma_addr, SECTOR_SIZE)
+                )
+        self.status = STATUS_COMPLETE
+        self.completed += 1
+
+    def irq_pending(self) -> bool:
+        return self.irq_enabled and self.status == STATUS_COMPLETE
+
+    # -- register interface -----------------------------------------------------
+    def read_reg(self, offset: int) -> int:
+        if offset == REG_SECTOR:
+            return self.sector_reg
+        if offset == REG_DMA_ADDR:
+            return self.dma_addr
+        if offset == REG_STATUS:
+            return self.status
+        if offset == REG_IRQ_CTRL:
+            return int(self.irq_enabled)
+        if offset == REG_COMPLETED:
+            return self.completed
+        return 0
+
+    def write_reg(self, offset: int, value: int) -> None:
+        if offset == REG_SECTOR:
+            self.sector_reg = value
+        elif offset == REG_DMA_ADDR:
+            self.dma_addr = value
+        elif offset == REG_CMD:
+            if self.status != STATUS_BUSY and value in (CMD_READ, CMD_WRITE):
+                self._pending_cmd = value
+                self.status = STATUS_BUSY
+                self._countdown = self.latency_cycles
+        elif offset == REG_STATUS:
+            if value == 0 and self.status == STATUS_COMPLETE:
+                self.status = STATUS_IDLE
+        elif offset == REG_IRQ_CTRL:
+            self.irq_enabled = bool(value & 1)

@@ -1,0 +1,64 @@
+"""UART-style console device.
+
+Register map (word offsets from base):
+
+====== =====================================================
+0x00   TX: write low byte to output
+0x04   RX data: pops and returns one input byte (0 if empty)
+0x08   RX status: number of buffered input bytes
+0x0C   IRQ control: bit0 enables the RX interrupt
+====== =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.mem.mmio import MmioDevice
+
+REG_TX = 0x00
+REG_RX_DATA = 0x04
+REG_RX_STATUS = 0x08
+REG_IRQ_CTRL = 0x0C
+
+
+class Console(MmioDevice):
+    """Captures guest output and feeds guest input."""
+
+    def __init__(self, base: int = 0xF000_0000):
+        super().__init__(base, 0x10, name="console")
+        self.output = bytearray()
+        self._input = deque()
+        self.irq_enabled = False
+
+    # -- host-side API -----------------------------------------------------
+    def feed(self, data: bytes) -> None:
+        """Queue *data* as guest input."""
+        self._input.extend(data)
+
+    @property
+    def text(self) -> str:
+        """Guest output decoded as latin-1 (never fails)."""
+        return self.output.decode("latin-1")
+
+    def clear_output(self) -> None:
+        self.output.clear()
+
+    # -- register interface --------------------------------------------------
+    def read_reg(self, offset: int) -> int:
+        if offset == REG_RX_DATA:
+            return self._input.popleft() if self._input else 0
+        if offset == REG_RX_STATUS:
+            return len(self._input)
+        if offset == REG_IRQ_CTRL:
+            return int(self.irq_enabled)
+        return 0
+
+    def write_reg(self, offset: int, value: int) -> None:
+        if offset == REG_TX:
+            self.output.append(value & 0xFF)
+        elif offset == REG_IRQ_CTRL:
+            self.irq_enabled = bool(value & 1)
+
+    def irq_pending(self) -> bool:
+        return self.irq_enabled and bool(self._input)

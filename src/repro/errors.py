@@ -1,0 +1,145 @@
+"""Exception hierarchy for the Metal reproduction library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-hierarchies mirror the
+subsystems: ISA encoding/decoding, the assembler, the memory system, the MMU,
+the Metal extension, and the simulators.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# ISA errors
+# --------------------------------------------------------------------------
+
+
+class IsaError(ReproError):
+    """Base class for instruction-set level errors."""
+
+
+class DecodeError(IsaError):
+    """A 32-bit word does not decode to a valid MRV32 instruction."""
+
+    def __init__(self, word: int, reason: str = "unknown encoding"):
+        self.word = word & 0xFFFFFFFF
+        self.reason = reason
+        super().__init__(f"cannot decode 0x{self.word:08x}: {reason}")
+
+
+class EncodeError(IsaError):
+    """An instruction cannot be encoded (bad operand, out-of-range imm)."""
+
+
+# --------------------------------------------------------------------------
+# Assembler errors
+# --------------------------------------------------------------------------
+
+
+class AsmError(ReproError):
+    """Base class for assembler errors; carries source position info."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<asm>"):
+        self.line = line
+        self.source = source
+        super().__init__(f"{source}:{line}: {message}")
+
+
+class AsmSyntaxError(AsmError):
+    """Malformed assembly source."""
+
+
+class AsmSymbolError(AsmError):
+    """Undefined or redefined label/symbol."""
+
+
+class AsmRangeError(AsmError):
+    """Immediate/offset does not fit in its encoding field."""
+
+
+# --------------------------------------------------------------------------
+# Memory system errors
+# --------------------------------------------------------------------------
+
+
+class MemoryError_(ReproError):
+    """Base class for physical memory / bus errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class BusError(MemoryError_):
+    """Access to an unmapped physical address."""
+
+    def __init__(self, addr: int, kind: str = "access"):
+        self.addr = addr & 0xFFFFFFFF
+        self.kind = kind
+        super().__init__(f"bus error: {kind} at unmapped 0x{self.addr:08x}")
+
+
+class AlignmentError(MemoryError_):
+    """Misaligned access rejected by a device or strict memory region."""
+
+
+# --------------------------------------------------------------------------
+# Metal errors
+# --------------------------------------------------------------------------
+
+
+class MetalError(ReproError):
+    """Base class for Metal extension errors."""
+
+
+class MramError(MetalError):
+    """MRAM capacity/layout violation (code or data segment)."""
+
+
+class MroutineLoadError(MetalError):
+    """The boot-time loader rejected an mroutine image."""
+
+
+class MroutineVerifyError(MroutineLoadError):
+    """Static verification failed (resource budget, illegal instruction)."""
+
+
+class MetalModeError(MetalError):
+    """A Metal-only operation was attempted in normal mode (or vice versa)."""
+
+
+class InterceptError(MetalError):
+    """Invalid interception configuration."""
+
+
+class NestedMetalError(MetalError):
+    """Layered-Metal composition violation."""
+
+
+# --------------------------------------------------------------------------
+# Simulator errors
+# --------------------------------------------------------------------------
+
+
+class SimulatorError(ReproError):
+    """Base class for CPU/machine simulation errors."""
+
+
+class HaltedError(SimulatorError):
+    """An operation was attempted on a halted machine."""
+
+
+class ExecutionLimitExceeded(SimulatorError):
+    """The instruction or cycle budget given to run() was exhausted."""
+
+    def __init__(self, limit: int, unit: str = "instructions"):
+        self.limit = limit
+        self.unit = unit
+        super().__init__(f"execution limit exceeded: {limit} {unit}")
+
+
+class GuestPanic(SimulatorError):
+    """Guest software signalled a fatal error (e.g. unhandled trap loop)."""

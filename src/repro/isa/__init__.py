@@ -1,0 +1,52 @@
+"""MRV32: the 32-bit RISC instruction set used by the Metal reproduction.
+
+MRV32 follows the RV32IM encoding conventions (LUI/AUIPC/JAL/JALR, the
+standard ALU and memory instructions, MUL/DIV, SYSTEM/CSR) and adds the
+Metal extension in the *custom-0* opcode space (0x0B), exactly as the paper
+describes: a handful of new instructions layered on an otherwise ordinary
+RISC ISA.
+
+Public API:
+
+* :mod:`repro.isa.registers` — GPR numbering and ABI names.
+* :class:`repro.isa.instruction.Instruction` — decoded instruction record.
+* :func:`repro.isa.decoder.decode` / :func:`repro.isa.encoder.encode`.
+* :mod:`repro.isa.metal_ops` — Metal instruction definitions (paper Table 1
+  plus the architectural-feature instructions of §2.3).
+* :func:`repro.isa.disasm.disassemble` — textual disassembly.
+"""
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    REG_BY_NAME,
+    MREG_COUNT,
+    MREG_CAUSE,
+    MREG_INFO,
+    MREG_EPC,
+    MREG_RETURN,
+    reg_name,
+    reg_num,
+)
+from repro.isa.instruction import Instruction, InstrClass
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.disasm import disassemble
+from repro.isa import metal_ops
+
+__all__ = [
+    "ABI_NAMES",
+    "REG_BY_NAME",
+    "MREG_COUNT",
+    "MREG_CAUSE",
+    "MREG_INFO",
+    "MREG_EPC",
+    "MREG_RETURN",
+    "reg_name",
+    "reg_num",
+    "Instruction",
+    "InstrClass",
+    "decode",
+    "encode",
+    "disassemble",
+    "metal_ops",
+]

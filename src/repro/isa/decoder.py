@@ -1,0 +1,142 @@
+"""32-bit word -> Instruction decoder.
+
+The decoder is table-driven from :data:`repro.isa.opcodes.SPECS`.  At import
+time it builds an index keyed by ``(opcode, funct3)``; within a bucket,
+candidates are discriminated by ``funct7`` (R-format and immediate shifts)
+or ``funct12`` (SYSTEM instructions with ``funct3 == 0``).
+
+Decoding is on the hot path of both simulators, so decoded instructions are
+memoised per raw word in a bounded cache.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.isa.fields import bits, sign_extend
+from repro.isa.instruction import Format, InstrClass, Instruction
+from repro.isa.opcodes import OP_SYSTEM, SPECS
+
+
+def _build_index():
+    index = {}
+    for spec in SPECS.values():
+        index.setdefault((spec.opcode, spec.funct3), []).append(spec)
+    return index
+
+
+_INDEX = _build_index()
+
+#: Decode cache: raw word -> Instruction.  Decoded instructions are treated
+#: as immutable by the simulators, so sharing them is safe.
+_CACHE = {}
+_CACHE_LIMIT = 1 << 16
+
+
+def decode(word: int) -> Instruction:
+    """Decode *word* into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for unknown encodings.
+    """
+    word &= 0xFFFFFFFF
+    cached = _CACHE.get(word)
+    if cached is not None:
+        return cached
+    instr = _decode_uncached(word)
+    if len(_CACHE) < _CACHE_LIMIT:
+        _CACHE[word] = instr
+    return instr
+
+
+def _decode_uncached(word: int) -> Instruction:
+    opcode = word & 0x7F
+    funct3 = bits(word, 14, 12)
+    rd = bits(word, 11, 7)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+
+    candidates = _INDEX.get((opcode, funct3))
+    if not candidates:
+        # U and J formats have no funct3; try funct3-independent buckets.
+        candidates = []
+        for f3 in range(8):
+            for spec in _INDEX.get((opcode, f3), ()):  # pragma: no cover
+                candidates.append(spec)
+        candidates = [
+            s for s in _INDEX.get((opcode, 0), [])
+            if s.fmt in (Format.U, Format.J)
+        ]
+    # U/J-format instructions live in the (opcode, 0) bucket but match any
+    # funct3 bits (those bits belong to the immediate).
+    uj = [s for s in _INDEX.get((opcode, 0), []) if s.fmt in (Format.U, Format.J)]
+    if uj:
+        candidates = uj
+
+    spec = None
+    for cand in candidates or ():
+        if cand.fmt is Format.R:
+            if cand.funct7 == funct7:
+                spec = cand
+                break
+        elif cand.operands == "rd,rs1,shamt":
+            if cand.funct7 == funct7:
+                spec = cand
+                break
+        elif opcode == OP_SYSTEM and cand.funct3 == 0 and cand.funct12 is not None:
+            if cand.funct12 == bits(word, 31, 20):
+                spec = cand
+                break
+        else:
+            spec = cand
+            break
+    if spec is None:
+        raise DecodeError(word, f"no spec for opcode={opcode:#04x} funct3={funct3}")
+
+    fmt = spec.fmt
+    if fmt is Format.R:
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2, spec=spec, raw=word)
+    if fmt is Format.I:
+        if spec.operands == "rd,rs1,shamt":
+            imm = rs2  # shamt occupies the rs2 field bits
+        elif spec.cls is InstrClass.CSR:
+            imm = bits(word, 31, 20)
+            return Instruction(
+                spec.mnemonic, rd=rd, rs1=rs1, imm=imm, csr=imm, spec=spec, raw=word
+            )
+        elif spec.mnemonic == "menter":
+            imm = bits(word, 31, 20)  # entry numbers are unsigned
+        elif spec.funct12 is not None:
+            imm = bits(word, 31, 20)
+        else:
+            imm = sign_extend(bits(word, 31, 20), 12)
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=imm, spec=spec, raw=word)
+    if fmt is Format.S:
+        imm = sign_extend((funct7 << 5) | rd, 12)
+        return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=imm, spec=spec, raw=word)
+    if fmt is Format.B:
+        imm = (
+            (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1)
+        )
+        imm = sign_extend(imm, 13)
+        return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=imm, spec=spec, raw=word)
+    if fmt is Format.U:
+        imm = word & 0xFFFFF000
+        return Instruction(spec.mnemonic, rd=rd, imm=imm, spec=spec, raw=word)
+    if fmt is Format.J:
+        imm = (
+            (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1)
+        )
+        imm = sign_extend(imm, 21)
+        return Instruction(spec.mnemonic, rd=rd, imm=imm, spec=spec, raw=word)
+    raise DecodeError(word, f"unsupported format {fmt}")  # pragma: no cover
+
+
+def clear_cache() -> None:
+    """Drop the decode memoisation cache (useful for tests)."""
+    _CACHE.clear()

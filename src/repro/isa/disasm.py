@@ -1,0 +1,75 @@
+"""Textual disassembly of MRV32 instructions.
+
+The output is accepted verbatim by the assembler, so encode -> disassemble
+-> assemble round-trips (property-tested in ``tests/test_isa_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from repro.isa.decoder import decode
+from repro.isa.instruction import Instruction
+from repro.isa.registers import mreg_name, reg_name
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render *instr* as assembly text."""
+    spec = instr.spec
+    pattern = spec.operands
+    m = spec.mnemonic
+    if pattern == "":
+        return m
+    if pattern == "rd,rs1,rs2":
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    if pattern == "rd,rs1,imm":
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+    if pattern == "rd,rs1,shamt":
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+    if pattern == "rd,imm(rs1)":
+        return f"{m} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+    if pattern == "rs2,imm(rs1)":
+        return f"{m} {reg_name(instr.rs2)}, {instr.imm}({reg_name(instr.rs1)})"
+    if pattern == "rs1,rs2,btarget":
+        return f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, {instr.imm}"
+    if pattern == "rd,jtarget":
+        return f"{m} {reg_name(instr.rd)}, {instr.imm}"
+    if pattern == "rd,uimm":
+        return f"{m} {reg_name(instr.rd)}, {instr.imm >> 12:#x}"
+    if pattern == "rd,csr,rs1":
+        return f"{m} {reg_name(instr.rd)}, {instr.csr:#x}, {reg_name(instr.rs1)}"
+    if pattern == "rd,csr,zimm":
+        return f"{m} {reg_name(instr.rd)}, {instr.csr:#x}, {instr.rs1}"
+    if pattern == "entry":
+        return f"{m} {instr.imm}"
+    if pattern == "rd,mreg":
+        return f"{m} {reg_name(instr.rd)}, {mreg_name(instr.rs1)}"
+    if pattern == "mreg,rs1":
+        return f"{m} {mreg_name(instr.rd)}, {reg_name(instr.rs1)}"
+    if pattern == "rd,rs1":
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}"
+    if pattern == "rs1,rs2":
+        return f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    if pattern == "rs1":
+        return f"{m} {reg_name(instr.rs1)}"
+    if pattern == "rd":
+        return f"{m} {reg_name(instr.rd)}"
+    raise AssertionError(f"unhandled operand pattern {pattern!r}")  # pragma: no cover
+
+
+def disassemble(word: int) -> str:
+    """Decode and render a raw 32-bit instruction word."""
+    return format_instruction(decode(word))
+
+
+def disassemble_block(words, base_addr: int = 0) -> str:
+    """Disassemble a sequence of words into an address-annotated listing."""
+    from repro.errors import DecodeError
+
+    lines = []
+    for i, word in enumerate(words):
+        addr = base_addr + 4 * i
+        try:
+            text = disassemble(word)
+        except DecodeError:
+            text = f".word {word:#010x}"
+        lines.append(f"{addr:08x}:  {word:08x}  {text}")
+    return "\n".join(lines)

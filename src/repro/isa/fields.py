@@ -1,0 +1,40 @@
+"""Bit-level helpers shared by the encoder and decoder."""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """Truncate *value* to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* of *value* to a Python int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_signed32(value: int) -> int:
+    """Reinterpret an unsigned 32-bit value as signed."""
+    return sign_extend(value, 32)
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract bits ``[hi:lo]`` (inclusive) of *word*."""
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def fits_signed(value: int, nbits: int) -> bool:
+    """True if *value* fits in an *nbits*-bit two's-complement field."""
+    lo = -(1 << (nbits - 1))
+    hi = (1 << (nbits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, nbits: int) -> bool:
+    """True if *value* fits in an *nbits*-bit unsigned field."""
+    return 0 <= value < (1 << nbits)

@@ -1,0 +1,145 @@
+"""Operand packings for the Metal architectural-feature instructions.
+
+The §2.3 instructions (``mtlbw``, ``micept``, ``mivec``, ...) pass structured
+operands in GPRs.  This module defines those bit layouts in one place so the
+execution engines, the mcode generators and the tests all agree.
+
+Layouts
+-------
+
+``mtlbw rs1, rs2`` — write a TLB entry:
+
+* ``rs1`` = virtual address of the page (low 12 bits ignored) OR'd with the
+  8-bit ASID in bits [7:0].
+* ``rs2`` = physical address of the page (low 12 bits ignored) OR'd with
+  permission bits R/W/X/U/G in bits [4:0] and a 4-bit page key in bits [9:6].
+
+``mtlbi rs1`` — invalidate the entry matching ``rs1`` (same packing as the
+``mtlbw`` rs1 operand).
+
+``masid rs1`` — set the current ASID (bits [7:0]).
+
+``mpkr rs1`` — load the page-key rights register: 16 keys x 2 bits,
+bit ``2k`` = access-disable, bit ``2k+1`` = write-disable (PKRU-style).
+
+``micept rs1, rs2`` — enable interception: ``rs1`` is a match spec built by
+:func:`pack_intercept_spec`; ``rs2`` is the handler mroutine entry number.
+
+``mivec rs1, rs2`` — route exception/interrupt cause ``rs1`` to mroutine
+entry ``rs2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Maximum number of mroutines an MRAM holds (paper §2: "up to 64").
+MAX_MROUTINES = 64
+
+#: Page size used by the MMU (4 KiB, as in the paper's x86-style tables).
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = 0xFFFFFFFF ^ (PAGE_SIZE - 1)
+
+#: Number of distinct page keys (4-bit field).
+PAGE_KEY_COUNT = 16
+#: Number of distinct ASIDs (8-bit field).
+ASID_COUNT = 256
+
+# Permission bits in the mtlbw rs2 operand (and in TLB entries).
+PERM_R = 1 << 0
+PERM_W = 1 << 1
+PERM_X = 1 << 2
+PERM_U = 1 << 3
+PERM_G = 1 << 4
+_KEY_SHIFT = 6
+_KEY_MASK = 0xF
+
+
+def pack_tlb_va(va: int, asid: int) -> int:
+    """Pack the rs1 operand of ``mtlbw``/``mtlbi``."""
+    return (va & PAGE_MASK) | (asid & 0xFF)
+
+
+def unpack_tlb_va(rs1: int):
+    """Return ``(vpn, asid)`` from a packed rs1 operand."""
+    return (rs1 & PAGE_MASK) >> PAGE_SHIFT, rs1 & 0xFF
+
+
+def pack_tlb_pa(pa: int, perms: int, key: int = 0) -> int:
+    """Pack the rs2 operand of ``mtlbw``."""
+    return (pa & PAGE_MASK) | (perms & 0x1F) | ((key & _KEY_MASK) << _KEY_SHIFT)
+
+
+def unpack_tlb_pa(rs2: int):
+    """Return ``(ppn, perms, key)`` from a packed rs2 operand."""
+    return (
+        (rs2 & PAGE_MASK) >> PAGE_SHIFT,
+        rs2 & 0x1F,
+        (rs2 >> _KEY_SHIFT) & _KEY_MASK,
+    )
+
+
+def pkr_rights(pkr: int, key: int):
+    """Return ``(access_disabled, write_disabled)`` for *key* under *pkr*."""
+    pair = (pkr >> (2 * (key & _KEY_MASK))) & 0b11
+    return bool(pair & 0b01), bool(pair & 0b10)
+
+
+def pack_pkr(disabled_keys=(), write_disabled_keys=()) -> int:
+    """Build a page-key rights register value."""
+    pkr = 0
+    for key in disabled_keys:
+        pkr |= 0b01 << (2 * (key & _KEY_MASK))
+    for key in write_disabled_keys:
+        pkr |= 0b10 << (2 * (key & _KEY_MASK))
+    return pkr
+
+
+# --------------------------------------------------------------------------
+# Interception match specs
+# --------------------------------------------------------------------------
+
+_ICEPT_F3_VALID = 1 << 10
+
+
+@dataclass(frozen=True)
+class InterceptSpec:
+    """Decoded interception match specification."""
+
+    opcode: int
+    funct3: int = 0
+    match_funct3: bool = False
+
+    def matches(self, word: int) -> bool:
+        """True if the raw instruction *word* matches this spec."""
+        if (word & 0x7F) != self.opcode:
+            return False
+        if self.match_funct3 and ((word >> 12) & 0x7) != self.funct3:
+            return False
+        return True
+
+    @property
+    def key(self):
+        """Hashable identity used by the interception table."""
+        return (self.opcode, self.funct3 if self.match_funct3 else None)
+
+
+def pack_intercept_spec(opcode: int, funct3: int = None) -> int:
+    """Pack an interception match spec into the ``micept`` rs1 operand.
+
+    *funct3* of ``None`` matches every funct3 under *opcode* (e.g. all loads).
+    """
+    value = opcode & 0x7F
+    if funct3 is not None:
+        value |= ((funct3 & 0x7) << 7) | _ICEPT_F3_VALID
+    return value
+
+
+def unpack_intercept_spec(rs1: int) -> InterceptSpec:
+    """Decode a ``micept``/``miceptd`` rs1 operand."""
+    return InterceptSpec(
+        opcode=rs1 & 0x7F,
+        funct3=(rs1 >> 7) & 0x7,
+        match_funct3=bool(rs1 & _ICEPT_F3_VALID),
+    )

@@ -1,0 +1,185 @@
+"""ISA reference generation.
+
+Renders the complete MRV32 + Metal instruction manual from the live tables
+(:data:`repro.isa.opcodes.SPECS` + the semantics strings below), so the
+shipped documentation can never drift from the implementation.  Used by
+``docs/ISA.md`` (regenerate with ``python -m repro.isa.reference``) and
+pinned by ``tests/test_isa_reference.py``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Format, InstrClass
+from repro.isa.opcodes import SPECS
+
+#: One-line semantics for every mnemonic in the ISA.
+SEMANTICS = {
+    # upper immediates / jumps
+    "lui": "rd := imm20 << 12",
+    "auipc": "rd := pc + (imm20 << 12)",
+    "jal": "rd := pc + 4; pc := pc + offset",
+    "jalr": "rd := pc + 4; pc := (rs1 + offset) & ~1",
+    # branches
+    "beq": "if rs1 == rs2: pc += offset",
+    "bne": "if rs1 != rs2: pc += offset",
+    "blt": "if signed(rs1) < signed(rs2): pc += offset",
+    "bge": "if signed(rs1) >= signed(rs2): pc += offset",
+    "bltu": "if rs1 < rs2 (unsigned): pc += offset",
+    "bgeu": "if rs1 >= rs2 (unsigned): pc += offset",
+    # loads/stores
+    "lb": "rd := sign_extend(mem8[rs1 + offset])",
+    "lh": "rd := sign_extend(mem16[rs1 + offset])",
+    "lw": "rd := mem32[rs1 + offset]",
+    "lbu": "rd := zero_extend(mem8[rs1 + offset])",
+    "lhu": "rd := zero_extend(mem16[rs1 + offset])",
+    "sb": "mem8[rs1 + offset] := rs2[7:0]",
+    "sh": "mem16[rs1 + offset] := rs2[15:0]",
+    "sw": "mem32[rs1 + offset] := rs2",
+    # ALU immediate
+    "addi": "rd := rs1 + imm",
+    "slti": "rd := signed(rs1) < imm",
+    "sltiu": "rd := rs1 < imm (unsigned)",
+    "xori": "rd := rs1 ^ imm",
+    "ori": "rd := rs1 | imm",
+    "andi": "rd := rs1 & imm",
+    "slli": "rd := rs1 << shamt",
+    "srli": "rd := rs1 >> shamt (logical)",
+    "srai": "rd := rs1 >> shamt (arithmetic)",
+    # ALU register
+    "add": "rd := rs1 + rs2",
+    "sub": "rd := rs1 - rs2",
+    "sll": "rd := rs1 << rs2[4:0]",
+    "slt": "rd := signed(rs1) < signed(rs2)",
+    "sltu": "rd := rs1 < rs2 (unsigned)",
+    "xor": "rd := rs1 ^ rs2",
+    "srl": "rd := rs1 >> rs2[4:0] (logical)",
+    "sra": "rd := rs1 >> rs2[4:0] (arithmetic)",
+    "or": "rd := rs1 | rs2",
+    "and": "rd := rs1 & rs2",
+    # M extension
+    "mul": "rd := (rs1 * rs2)[31:0]",
+    "mulh": "rd := (signed(rs1) * signed(rs2))[63:32]",
+    "mulhsu": "rd := (signed(rs1) * unsigned(rs2))[63:32]",
+    "mulhu": "rd := (rs1 * rs2)[63:32] (unsigned)",
+    "div": "rd := signed(rs1) / signed(rs2); /0 -> -1, overflow wraps",
+    "divu": "rd := rs1 / rs2 (unsigned); /0 -> 0xFFFFFFFF",
+    "rem": "rd := signed remainder; rem(x, 0) -> x",
+    "remu": "rd := unsigned remainder; rem(x, 0) -> x",
+    # fence / system
+    "fence": "memory ordering (no-op in this in-order model)",
+    "ecall": "environment call: trap with cause ECALL",
+    "ebreak": "breakpoint trap",
+    "mret": "return from trap: pc := mepc, restore MIE/privilege "
+            "(trap-baseline machine only)",
+    "wfi": "wait for interrupt (sleep until a line is pending)",
+    "halt": "stop the simulated machine (simulation control)",
+    "csrrw": "rd := csr; csr := rs1 (trap-baseline machine only)",
+    "csrrs": "rd := csr; csr |= rs1",
+    "csrrc": "rd := csr; csr &= ~rs1",
+    "csrrwi": "rd := csr; csr := zimm",
+    "csrrsi": "rd := csr; csr |= zimm",
+    "csrrci": "rd := csr; csr &= ~zimm",
+    # Metal Table 1
+    "menter": "enter Metal mode at mroutine <entry>; m31 := pc + 4",
+    "mexit": "leave Metal mode; pc := m31",
+    "mexitm": "leave Metal mode; pc := m31; GPR[m26 & 31] := m27 "
+              "(emulation result commit)",
+    "rmr": "rd := mN",
+    "wmr": "mN := rs1",
+    "mld": "rd := MRAM.data[rs1 + offset]",
+    "mst": "MRAM.data[rs1 + offset] := rs2",
+    # Metal architectural features (§2.3)
+    "mtlbw": "TLB insert: rs1 = va|asid, rs2 = pa|perms|key",
+    "mtlbi": "TLB invalidate the entry matching rs1 = va|asid",
+    "mtlbf": "TLB flush all entries",
+    "masid": "current ASID := rs1[7:0]",
+    "mpkr": "page-key rights register := rs1 (16 keys x 2 bits)",
+    "mpgon": "paging enable := rs1[0]; user translation := rs1[1]",
+    "mpld": "rd := physical mem32[rs1 + offset] (bypasses the MMU)",
+    "mpst": "physical mem32[rs1 + offset] := rs2 (bypasses the MMU)",
+    "micept": "enable interception: rs1 = match spec, rs2 = handler entry",
+    "miceptd": "disable interception for match spec rs1",
+    "mivec": "route cause rs1 to mroutine entry rs2",
+    "mintc": "normal-mode interrupt delivery enable := rs1[0]",
+    "mipend": "rd := pending interrupt bitmap",
+    "miack": "acknowledge (clear the latch of) interrupt line rs1",
+    "mraise": "raise exception with cause rs1 (tail-dispatch to handler)",
+    "mgprr": "rd := GPR[GPR[rs1] & 31] (indirect register-file read)",
+    "mgprw": "GPR[GPR[rs1] & 31] := GPR[rs2] (indirect write)",
+}
+
+_GROUPS = [
+    ("Upper immediates and jumps", ("lui", "auipc", "jal", "jalr")),
+    ("Conditional branches", ("beq", "bne", "blt", "bge", "bltu", "bgeu")),
+    ("Loads and stores", ("lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw")),
+    ("Integer register-immediate", ("addi", "slti", "sltiu", "xori", "ori",
+                                    "andi", "slli", "srli", "srai")),
+    ("Integer register-register", ("add", "sub", "sll", "slt", "sltu",
+                                   "xor", "srl", "sra", "or", "and")),
+    ("Multiply / divide (M extension)", ("mul", "mulh", "mulhsu", "mulhu",
+                                         "div", "divu", "rem", "remu")),
+    ("System (trap-baseline machine)", ("fence", "ecall", "ebreak", "mret",
+                                        "wfi", "halt", "csrrw", "csrrs",
+                                        "csrrc", "csrrwi", "csrrsi",
+                                        "csrrci")),
+    ("Metal extension (paper Table 1)", ("menter", "mexit", "mexitm", "rmr",
+                                         "wmr", "mld", "mst")),
+    ("Metal architectural features (paper §2.3)",
+     ("mtlbw", "mtlbi", "mtlbf", "masid", "mpkr", "mpgon", "mpld", "mpst",
+      "micept", "miceptd", "mivec", "mintc", "mipend", "miack", "mraise",
+      "mgprr", "mgprw")),
+]
+
+
+def _encoding_cell(spec) -> str:
+    parts = [f"op={spec.opcode:#04x}"]
+    if spec.fmt in (Format.R, Format.I, Format.S, Format.B):
+        parts.append(f"f3={spec.funct3}")
+    if spec.fmt is Format.R or spec.operands == "rd,rs1,shamt":
+        parts.append(f"f7={spec.funct7:#04x}")
+    if spec.funct12 is not None:
+        parts.append(f"f12={spec.funct12:#05x}")
+    return " ".join(parts)
+
+
+def render_markdown() -> str:
+    """Render the full ISA manual as Markdown."""
+    lines = [
+        "# MRV32 + Metal instruction set reference",
+        "",
+        "Generated from `repro.isa` — regenerate with",
+        "`python -m repro.isa.reference > docs/ISA.md`.",
+        "",
+        "Formats follow RV32 conventions (R/I/S/B/U/J).  `Metal` in the",
+        "mode column means the instruction is only legal in Metal mode",
+        "(paper Table 1: \"The rest are only available in Metal mode\").",
+        "",
+    ]
+    for title, mnemonics in _GROUPS:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| instruction | fmt | encoding | mode | semantics |")
+        lines.append("|---|---|---|---|---|")
+        for m in mnemonics:
+            spec = SPECS[m]
+            operands = spec.operands.replace("|", "\\|") or "-"
+            mode = "Metal" if spec.metal_only else "any"
+            lines.append(
+                f"| `{m} {operands}` | {spec.fmt.value} "
+                f"| {_encoding_cell(spec)} | {mode} | {SEMANTICS[m]} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def coverage_check():
+    """Return (missing_semantics, missing_from_groups) — both empty when
+    the reference is complete."""
+    grouped = {m for _, ms in _GROUPS for m in ms}
+    missing_semantics = sorted(set(SPECS) - set(SEMANTICS))
+    missing_groups = sorted(set(SPECS) - grouped)
+    return missing_semantics, missing_groups
+
+
+if __name__ == "__main__":
+    print(render_markdown())

@@ -1,0 +1,97 @@
+"""General-purpose and Metal register naming.
+
+MRV32 has 32 GPRs with the RISC-V ABI names.  ``x0`` is hard-wired to zero.
+The Metal extension adds 32 Metal-exclusive registers ``m0``–``m31``
+(paper §2: "a Metal register file (MReg.) containing 32 Metal exclusive
+registers m0-m31 to store Metal's internal state").
+
+Hardware-written MReg conventions used throughout this reproduction (the
+paper fixes only ``m31``; the others follow the same style):
+
+* ``m31`` — return address stored by ``menter`` / consumed by ``mexit``.
+* ``m30`` — EPC: PC of the instruction that faulted / was intercepted.
+* ``m29`` — trap info: faulting virtual address or intercepted instruction
+  word, depending on the cause.
+* ``m28`` — cause code (:class:`repro.cpu.exceptions.Cause`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+
+#: Number of general-purpose registers.
+GPR_COUNT = 32
+
+#: Number of Metal registers (paper §2).
+MREG_COUNT = 32
+
+#: MReg written by hardware on Metal entry: caller return address.
+MREG_RETURN = 31
+#: MReg written by hardware on exception/intercept entry: faulting PC.
+MREG_EPC = 30
+#: MReg written by hardware on exception/intercept entry: fault VA or
+#: intercepted instruction word.
+MREG_INFO = 29
+#: MReg written by hardware on exception/intercept entry: cause code.
+MREG_CAUSE = 28
+#: MRegs consumed by ``mexitm`` (exit-with-result-commit): the destination
+#: GPR index and the value to commit.
+MREG_EMUL_RD = 26
+MREG_EMUL_VAL = 27
+#: MRegs written by hardware on *intercept* entry: the intercepted
+#: instruction's rs1/rs2 operand values, latched from the decode stage
+#: before the handler can clobber any GPR.
+MREG_ICEPT_RS1 = 25
+MREG_ICEPT_RS2 = 24
+
+#: ABI names indexed by register number (RISC-V convention).
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+#: Map from every accepted register spelling to its number.
+REG_BY_NAME = {}
+for _i, _name in enumerate(ABI_NAMES):
+    REG_BY_NAME[_name] = _i
+for _i in range(GPR_COUNT):
+    REG_BY_NAME[f"x{_i}"] = _i
+# s0 is also fp.
+REG_BY_NAME["fp"] = 8
+
+#: Map from Metal register spelling ("m0".."m31") to its number.
+MREG_BY_NAME = {f"m{_i}": _i for _i in range(MREG_COUNT)}
+
+
+def reg_name(num: int) -> str:
+    """Return the ABI name for GPR number *num*."""
+    if not 0 <= num < GPR_COUNT:
+        raise IsaError(f"no such GPR: {num}")
+    return ABI_NAMES[num]
+
+
+def reg_num(name: str) -> int:
+    """Return the GPR number for *name* (ABI or xN spelling)."""
+    try:
+        return REG_BY_NAME[name]
+    except KeyError:
+        raise IsaError(f"no such GPR: {name!r}") from None
+
+
+def mreg_name(num: int) -> str:
+    """Return the canonical name for Metal register *num*."""
+    if not 0 <= num < MREG_COUNT:
+        raise IsaError(f"no such Metal register: {num}")
+    return f"m{num}"
+
+
+def mreg_num(name: str) -> int:
+    """Return the Metal register number for *name* ("m0".."m31")."""
+    try:
+        return MREG_BY_NAME[name]
+    except KeyError:
+        raise IsaError(f"no such Metal register: {name!r}") from None

@@ -1,0 +1,40 @@
+"""Machine composition: CPU + bus + devices (+ Metal).
+
+:func:`~repro.machine.builder.build_metal_machine` builds the paper's
+processor; :func:`~repro.machine.builder.build_trap_machine` builds the
+conventional trap-architecture baseline; and
+:func:`~repro.machine.builder.build_palcode_machine` builds the
+PALcode-style comparison point (routines behind main-memory latency, no
+decode-stage replacement, calibrated to the Alpha's ~18-cycle no-op call).
+"""
+
+from repro.machine.machine import Machine
+from repro.machine.trace import Tracer, TraceRecord
+from repro.machine.snapshot import (
+    MachineSnapshot,
+    restore_snapshot,
+    take_snapshot,
+)
+from repro.machine.builder import (
+    build_metal_machine,
+    build_nested_metal_machine,
+    build_trap_machine,
+    build_palcode_machine,
+    palcode_timing,
+    MachineConfig,
+)
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "Tracer",
+    "TraceRecord",
+    "MachineSnapshot",
+    "take_snapshot",
+    "restore_snapshot",
+    "build_metal_machine",
+    "build_nested_metal_machine",
+    "build_trap_machine",
+    "build_palcode_machine",
+    "palcode_timing",
+]

@@ -1,0 +1,159 @@
+"""The Machine: one simulated computer."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.cpu.core import CpuCore
+from repro.isa.registers import reg_num
+
+
+class Machine:
+    """A composed machine: core, engine, bus, devices, symbol environment.
+
+    Construct via :mod:`repro.machine.builder`; this class provides the
+    conveniences examples/tests/benchmarks use: assembling guest programs
+    against the machine's symbol environment, loading images, reading and
+    writing registers by ABI name, and running.
+    """
+
+    def __init__(self, core: CpuCore, simulator, bus, ram, symbols=None,
+                 console=None, timer=None, nic=None, blockdev=None,
+                 irq=None, metal_image=None, name: str = "machine"):
+        self.core = core
+        self.sim = simulator
+        self.bus = bus
+        self.ram = ram
+        self.symbols = dict(symbols or {})
+        self.console = console
+        self.timer = timer
+        self.nic = nic
+        self.blockdev = blockdev
+        self.irq = irq
+        self.metal_image = metal_image
+        self.name = name
+
+    # -- program loading ------------------------------------------------
+    def assemble(self, source: str, base: int = 0x1000, extra_symbols=None):
+        """Assemble *source* against this machine's symbol environment."""
+        symbols = dict(self.symbols)
+        if extra_symbols:
+            symbols.update(extra_symbols)
+        return assemble(source, base=base, symbols=symbols)
+
+    def load(self, program) -> None:
+        """Load an assembled :class:`~repro.asm.program.Program`."""
+        program.load_into(self.bus)
+
+    def load_and_run(self, source: str, base: int = 0x1000,
+                     max_instructions: int = 5_000_000,
+                     extra_symbols=None):
+        """Assemble, load, jump to *base* and run until halt."""
+        program = self.assemble(source, base=base, extra_symbols=extra_symbols)
+        self.load(program)
+        self.core.pc = program.symbols.get("_start", base)
+        return self.sim.run(max_instructions=max_instructions)
+
+    def run(self, **kwargs):
+        """Run the engine (see :meth:`FunctionalSimulator.run`)."""
+        return self.sim.run(**kwargs)
+
+    # -- boot-firmware configuration (Metal machines) --------------------
+    def route_cause(self, cause: int, routine_name: str) -> None:
+        """Boot-time ``mivec``: route *cause* to the named mroutine.
+
+        Equivalent to what a boot mroutine would do with ``mivec``; exposed
+        host-side because delivery routing is part of machine bring-up
+        (paper §2: "At boot time, Metal loads ... mroutines").
+        """
+        entry = self.metal_image.entry_of(routine_name)
+        self.core.metal.delivery.route(int(cause), entry)
+
+    def route_page_faults(self, routine_name: str = "pagefault") -> None:
+        """Route the page-fault causes (and key faults, which the walker
+        forwards straight to the OS) to the walker."""
+        from repro.cpu.exceptions import Cause
+
+        for cause in (Cause.PAGE_FAULT_FETCH, Cause.PAGE_FAULT_LOAD,
+                      Cause.PAGE_FAULT_STORE, Cause.KEY_FAULT):
+            self.route_cause(cause, routine_name)
+
+    # -- register access by name ------------------------------------------
+    def reg(self, name: str) -> int:
+        """Read a GPR by ABI name."""
+        return self.core.regs[reg_num(name)]
+
+    def set_reg(self, name: str, value: int) -> None:
+        self.core.rset(reg_num(name), value)
+
+    def mreg(self, index: int) -> int:
+        """Read Metal register *index* (Metal machines only)."""
+        return self.core.metal.mregs.read(index)
+
+    # -- memory helpers ------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        return self.bus.read_u32(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.bus.write_u32(addr, value)
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        self.bus.write_bytes(addr, payload)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return self.bus.read_bytes(addr, length)
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self, pc: int = 0) -> None:
+        """Architectural reset: registers, PC, modes, TLB and Metal state.
+
+        Memory and MRAM contents persist (as across a real reset); devices
+        keep their host-side configuration.  The cycle counter is the
+        engine's and keeps running.
+        """
+        self.core.reset(pc)
+        self.core.tlb.flush()
+        self.core.tlb.enabled = False
+        self.core.tlb.current_asid = 0
+        self.core.tlb.pkr = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.sim.timer.cycles
+
+    @property
+    def instret(self) -> int:
+        return self.core.instret
+
+    @property
+    def output(self) -> str:
+        """Console output so far."""
+        return self.console.text if self.console is not None else ""
+
+    def inventory(self) -> dict:
+        """Structural summary (used by the Figure 1 workflow bench)."""
+        info = {
+            "name": self.name,
+            "engine": type(self.sim).__name__,
+            "ram_bytes": self.ram.size,
+            "devices": [d.name for d in self.bus.devices],
+            "tlb_entries": self.core.tlb.capacity,
+        }
+        if self.core.metal is not None:
+            image = self.metal_image
+            info.update({
+                "mram_code_bytes": image.mram.code_bytes,
+                "mram_data_bytes": image.mram.data_bytes,
+                "mram_code_used": image.code_used_bytes,
+                "mram_data_used": image.data_used_bytes,
+                "mroutines": {
+                    r.name: {
+                        "entry": r.entry,
+                        "words": len(r.code_words),
+                        "data_words": r.data_words,
+                    }
+                    for r in image.routines.values()
+                },
+                "mreg_count": 32,
+            })
+        return info

@@ -1,0 +1,90 @@
+"""Whole-machine snapshot / restore.
+
+Captures the architectural state a context-switching host would need:
+GPRs, PC, modes, CSRs, TLB, MRegs, MRAM data segment, and RAM contents.
+Device-internal state (queues, countdowns) is deliberately *not*
+captured — snapshots model checkpointing the processor, not the world.
+
+Used by tests for A/B experiments (run, snapshot, perturb, restore) and a
+building block for nested-Metal context switching demos.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MachineSnapshot:
+    """Opaque state capsule; create via :func:`take_snapshot`."""
+
+    regs: list
+    pc: int
+    user_mode: bool
+    halted: bool
+    waiting: bool
+    instret: int
+    csrs: dict
+    tlb_entries: list
+    tlb_state: tuple            # (enabled, asid, pkr, replace_ptr)
+    ram: bytes
+    metal: dict = field(default_factory=dict)
+
+
+def take_snapshot(machine) -> MachineSnapshot:
+    """Capture *machine*'s architectural state."""
+    core = machine.core
+    csrs = {
+        name: getattr(core.csrs, name)
+        for name in ("mstatus", "mtvec", "mscratch", "mepc", "mcause", "mtval")
+    }
+    snap = MachineSnapshot(
+        regs=list(core.regs),
+        pc=core.pc,
+        user_mode=core.user_mode,
+        halted=core.halted,
+        waiting=core.waiting,
+        instret=core.instret,
+        csrs=csrs,
+        tlb_entries=copy.deepcopy(core.tlb.entries),
+        tlb_state=(core.tlb.enabled, core.tlb.current_asid, core.tlb.pkr,
+                   core.tlb._replace_ptr),
+        ram=bytes(machine.ram.data),
+    )
+    if core.metal is not None:
+        snap.metal = {
+            "in_metal": core.metal.in_metal,
+            "mregs": core.metal.mregs.snapshot(),
+            "mram_data": bytes(core.metal.mram.data),
+            "paging_enabled": core.metal.paging_enabled,
+            "user_translation": core.metal.user_translation,
+            "interrupts_enabled": core.metal.delivery.interrupts_enabled,
+        }
+    return snap
+
+
+def restore_snapshot(machine, snap: MachineSnapshot) -> None:
+    """Restore *machine* to *snap* (taken from the same configuration)."""
+    core = machine.core
+    core.regs = list(snap.regs)
+    core.pc = snap.pc
+    core.user_mode = snap.user_mode
+    core.halted = snap.halted
+    core.waiting = snap.waiting
+    core.instret = snap.instret
+    for name, value in snap.csrs.items():
+        setattr(core.csrs, name, value)
+    core.tlb.entries = copy.deepcopy(snap.tlb_entries)
+    (core.tlb.enabled, core.tlb.current_asid, core.tlb.pkr,
+     core.tlb._replace_ptr) = snap.tlb_state
+    machine.ram.data[:] = snap.ram
+    if core.metal is not None and snap.metal:
+        core.metal.in_metal = snap.metal["in_metal"]
+        core.metal.mregs.restore(snap.metal["mregs"])
+        core.metal.mram.data[:] = snap.metal["mram_data"]
+        core.metal.paging_enabled = snap.metal["paging_enabled"]
+        core.metal.user_translation = snap.metal["user_translation"]
+        core.metal.delivery.interrupts_enabled = (
+            snap.metal["interrupts_enabled"]
+        )

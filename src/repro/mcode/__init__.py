@@ -1,0 +1,31 @@
+"""The mcode library: the paper's architectural extensions as mroutines.
+
+Every module here generates :class:`~repro.metal.mroutine.MRoutine` sets —
+assembly written against the Metal programming interface — implementing the
+applications of paper §3:
+
+* :mod:`repro.mcode.privilege` — user-defined privilege levels: the
+  traditional kernel/user model (kenter/kexit, Figure 2) and in-process
+  isolation domains (§3.1).
+* :mod:`repro.mcode.pagetable` — custom (x86-style radix) page tables with
+  an mroutine page-fault walker refilling the software TLB (§3.2).
+* :mod:`repro.mcode.stm` — TL2-style software transactional memory driven
+  by load/store interception (§3.3).
+* :mod:`repro.mcode.uli` — user-level interrupts (§3.4).
+* :mod:`repro.mcode.shadowstack`, :mod:`repro.mcode.capability`,
+  :mod:`repro.mcode.enclave` — the §3.5 extension sketches, made concrete.
+"""
+
+from repro.mcode.runtime import (
+    PRIV_KERNEL,
+    PRIV_USER,
+    save_scratch,
+    restore_scratch,
+)
+
+__all__ = [
+    "PRIV_KERNEL",
+    "PRIV_USER",
+    "save_scratch",
+    "restore_scratch",
+]

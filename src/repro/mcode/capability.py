@@ -1,0 +1,151 @@
+"""Hardware capabilities (paper §3.5).
+
+"The IBM System/38 and Intel iAPX 432 processors implement capabilities in
+hardware using microcode. ... Similar to prior systems, Metal can support
+capabilities by writing mroutines to create and manipulate domains and
+capabilities."
+
+A capability here is an unforgeable (base, length, permissions) triple
+stored in the MRAM data segment — normal-mode code can only *use* an index
+into the table, never mint or alter an entry:
+
+* ``cap_create`` (kernel only): a0 = base, a1 = length, a2 = perms
+  (bit0 = read, bit1 = write); returns the capability index in a0.
+* ``cap_load``: a0 = index, a1 = offset -> a0 = word at base+offset, after
+  bounds and permission checks.
+* ``cap_store``: a0 = index, a1 = offset, a2 = value.
+* ``cap_revoke`` (kernel only): a0 = index; clears the permissions.
+
+All checks fail by raising a privilege violation — the capability cannot
+be bypassed because only mroutines ever touch the backing memory (they use
+direct physical access, so no page-table aliasing can forge access
+either).
+"""
+
+from __future__ import annotations
+
+from repro.metal.mroutine import MRoutine
+
+ENTRY_CAP_CREATE = 42
+ENTRY_CAP_LOAD = 43
+ENTRY_CAP_STORE = 44
+ENTRY_CAP_REVOKE = 45
+
+#: Maximum live capabilities.
+CAP_MAX = 16
+
+#: CAP_CREATE_DATA layout: +0 count, then CAP_MAX entries of
+#: (base, length, perms) = 12 bytes each.
+_DATA_WORDS = 1 + 3 * CAP_MAX
+
+CAP_PERM_R = 1
+CAP_PERM_W = 2
+
+
+def _entry_pointer() -> str:
+    """a0 = index -> t1 = &table[index] (12-byte stride); clobbers t1, t2."""
+    return """\
+    slli t1, a0, 3
+    slli t2, a0, 2
+    add  t1, t1, t2
+    li   t2, CAP_CREATE_DATA+4
+    add  t1, t1, t2
+"""
+
+
+def make_capability_routines():
+    """Build the §3.5 capability routine set."""
+    cap_create = f"""
+cap_create:
+    rmr  t0, m0                 # minting requires kernel privilege
+    bnez t0, capc_fail
+    mld  t0, CAP_CREATE_DATA+0(zero)
+    li   t1, {CAP_MAX}
+    bgeu t0, t1, capc_fail      # table full
+    slli t1, t0, 3
+    slli t2, t0, 2
+    add  t1, t1, t2
+    li   t2, CAP_CREATE_DATA+4
+    add  t1, t1, t2
+    mst  a0, 0(t1)              # base
+    mst  a1, 4(t1)              # length
+    mst  a2, 8(t1)              # perms
+    addi t2, t0, 1
+    mst  t2, CAP_CREATE_DATA+0(zero)
+    mv   a0, t0                 # return the new capability index
+    mexit
+capc_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    cap_load = f"""
+cap_load:
+    mld  t0, CAP_CREATE_DATA+0(zero)
+    bgeu a0, t0, capl_fail      # index out of range
+{_entry_pointer()}
+    mld  t2, 8(t1)              # perms
+    andi t2, t2, {CAP_PERM_R}
+    beqz t2, capl_fail          # not readable
+    mld  t2, 4(t1)              # length
+    bgeu a1, t2, capl_fail      # offset beyond the object
+    sub  t2, t2, a1
+    sltiu t2, t2, 4
+    bnez t2, capl_fail          # fewer than 4 bytes left
+    mld  t1, 0(t1)              # base
+    add  t1, t1, a1
+    mpld a0, 0(t1)              # the only path to the memory
+    mexit
+capl_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    cap_store = f"""
+cap_store:
+    mld  t0, CAP_CREATE_DATA+0(zero)
+    bgeu a0, t0, caps_fail
+{_entry_pointer()}
+    mld  t2, 8(t1)
+    andi t2, t2, {CAP_PERM_W}
+    beqz t2, caps_fail          # not writable
+    mld  t2, 4(t1)
+    bgeu a1, t2, caps_fail
+    sub  t2, t2, a1
+    sltiu t2, t2, 4
+    bnez t2, caps_fail
+    mld  t1, 0(t1)
+    add  t1, t1, a1
+    mpst a2, 0(t1)
+    mexit
+caps_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    cap_revoke = """
+cap_revoke:
+    rmr  t0, m0                 # revocation requires kernel privilege
+    bnez t0, capr_fail
+    mld  t0, CAP_CREATE_DATA+0(zero)
+    bgeu a0, t0, capr_fail
+    slli t1, a0, 3
+    slli t2, a0, 2
+    add  t1, t1, t2
+    li   t2, CAP_CREATE_DATA+4
+    add  t1, t1, t2
+    mst  zero, 8(t1)            # perms := 0
+    mexit
+capr_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    shared = ("cap_create",)
+    return [
+        MRoutine(name="cap_create", entry=ENTRY_CAP_CREATE,
+                 source=cap_create, data_words=_DATA_WORDS,
+                 shared_mregs=(0,)),
+        MRoutine(name="cap_load", entry=ENTRY_CAP_LOAD, source=cap_load,
+                 shared_data=shared),
+        MRoutine(name="cap_store", entry=ENTRY_CAP_STORE, source=cap_store,
+                 shared_data=shared),
+        MRoutine(name="cap_revoke", entry=ENTRY_CAP_REVOKE,
+                 source=cap_revoke, shared_data=shared, shared_mregs=(0,)),
+    ]

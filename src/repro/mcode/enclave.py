@@ -1,0 +1,132 @@
+"""Security enclaves (paper §3.5).
+
+"Metal's flexibility in defining privilege levels enables developers to
+implement enclave extensions.  Developers create a trusted execution layer
+that runs at a higher privilege level than the host OS.  After Metal loads
+and verifies an enclave, the enclave runs in the trusted execution layer
+which the host OS cannot access."
+
+Model: enclave memory pages carry a dedicated page key that is
+access-disabled at every privilege level except the enclave's own
+(ENCLAVE_LEVEL).  The routines:
+
+* ``ecreate`` (kernel only): a0 = enclave entry address, a1 = pages base
+  (physical), a2 = page count, a3 = page key.  Records the enclave and
+  computes a simple additive **measurement** over its pages (the
+  load-and-verify step), locking the key afterwards.
+* ``eenter``: callable from user level; parks the caller's resume address,
+  raises the level to ENCLAVE_LEVEL, unlocks the enclave key and enters at
+  the fixed entry point.  The host OS never sees enclave memory: even
+  kernel-mode accesses fault on the page key.
+* ``eexit``: drops back to user level, relocks the key, resumes the
+  caller.
+* ``ereport``: a0 := the measurement (attestation stub).
+"""
+
+from __future__ import annotations
+
+from repro.metal.mroutine import MRoutine
+from repro.mcode.runtime import PRIV_USER
+
+ENTRY_ECREATE = 48
+ENTRY_EENTER = 49
+ENTRY_EEXIT = 50
+ENTRY_EREPORT = 51
+
+#: The trusted execution layer's software privilege level.
+ENCLAVE_LEVEL = 3
+
+#: ECREATE_DATA layout: +0 entry, +4 measurement, +8 key, +12 locked-PKR,
+#: +16 unlocked-PKR.
+OFF_ENTRY = 0
+OFF_MEASUREMENT = 4
+OFF_KEY = 8
+OFF_PKR_LOCKED = 12
+OFF_PKR_UNLOCKED = 16
+
+
+def make_enclave_routines():
+    """Build the §3.5 enclave routine set."""
+    ecreate = f"""
+ecreate:
+    # a0 = entry, a1 = pages base, a2 = page count, a3 = page key
+    rmr  t0, m0                 # only the kernel loads enclaves
+    bnez t0, ec_fail
+    mst  a0, ECREATE_DATA+{OFF_ENTRY}(zero)
+    mst  a3, ECREATE_DATA+{OFF_KEY}(zero)
+    # locked PKR = access-disable bit for the key: 1 << (2*key)
+    slli t0, a3, 1
+    li   t1, 1
+    sll  t1, t1, t0
+    mst  t1, ECREATE_DATA+{OFF_PKR_LOCKED}(zero)
+    mst  zero, ECREATE_DATA+{OFF_PKR_UNLOCKED}(zero)
+    # measurement = sum of all enclave words (load-and-verify, §3.5)
+    mv   t0, a1                 # cursor
+    slli t1, a2, 12
+    add  t1, a1, t1             # end
+    li   t2, 0                  # accumulator
+ec_loop:
+    bgeu t0, t1, ec_done
+    mpld t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 4
+    j    ec_loop
+ec_done:
+    mst  t2, ECREATE_DATA+{OFF_MEASUREMENT}(zero)
+    mld  t0, ECREATE_DATA+{OFF_PKR_LOCKED}(zero)
+    mpkr t0                     # lock the enclave key immediately
+    mexit
+ec_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    eenter = f"""
+eenter:
+    rmr  t0, m0
+    addi t0, t0, -{PRIV_USER}
+    bnez t0, ee_fail            # only user level enters the enclave
+    rmr  t0, m31
+    wmr  m5, t0                 # park the caller's resume address
+    li   t0, {ENCLAVE_LEVEL}
+    wmr  m0, t0                 # enter the trusted execution layer
+    mld  t0, ECREATE_DATA+{OFF_PKR_UNLOCKED}(zero)
+    mpkr t0                     # unlock enclave pages
+    mld  t0, ECREATE_DATA+{OFF_ENTRY}(zero)
+    wmr  m31, t0
+    mexit                       # enter at the fixed enclave entry point
+ee_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    eexit = f"""
+eexit:
+    rmr  t0, m0
+    addi t0, t0, -{ENCLAVE_LEVEL}
+    bnez t0, ex_fail            # only the enclave exits the enclave
+    li   t0, {PRIV_USER}
+    wmr  m0, t0
+    mld  t0, ECREATE_DATA+{OFF_PKR_LOCKED}(zero)
+    mpkr t0                     # relock enclave pages
+    rmr  t0, m5
+    wmr  m31, t0                # resume the caller
+    mexit
+ex_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    ereport = f"""
+ereport:
+    mld  a0, ECREATE_DATA+{OFF_MEASUREMENT}(zero)   # attestation stub
+    mexit
+"""
+    shared = ("ecreate",)
+    return [
+        MRoutine(name="ecreate", entry=ENTRY_ECREATE, source=ecreate,
+                 data_words=5, shared_mregs=(0,)),
+        MRoutine(name="eenter", entry=ENTRY_EENTER, source=eenter,
+                 shared_mregs=(0, 5), shared_data=shared),
+        MRoutine(name="eexit", entry=ENTRY_EEXIT, source=eexit,
+                 shared_mregs=(0, 5), shared_data=shared),
+        MRoutine(name="ereport", entry=ENTRY_EREPORT, source=ereport,
+                 shared_data=shared),
+    ]

@@ -1,0 +1,276 @@
+"""Custom page tables (paper §3.2).
+
+"We implement a radix tree based page table using direct physical memory
+access and exception handling provided by the processor.  In a few lines of
+assembly, we walk an x86-style radix tree on page fault.  We populate the
+processor's TLB mappings from the page table.  If the page is not present
+or the access violates the page protection, we deliver the exception to
+the OS."
+
+This module provides exactly that:
+
+* a PTE format and :class:`PageTableBuilder` (host/firmware-side helper
+  that OS code in the examples uses to build 2-level x86-style tables in
+  guest physical memory);
+* :func:`make_pagetable_routines` — the ``pagefault`` walker mroutine
+  (routed for all three page-fault causes with ``mivec``), plus the
+  privileged management routines ``ptroot_set`` (install a table root +
+  ASID), ``paging_ctl`` and ``vm_inval``.
+
+Layout: 32-bit VA = 10-bit L1 index | 10-bit L2 index | 12-bit offset.
+
+PTE bits: ``V=1<<0 R=1<<1 W=1<<2 X=1<<3 U=1<<4 G=1<<5``, page key in
+bits [9:6], frame number in bits [31:12] — chosen so a PTE converts to an
+``mtlbw`` rs2 operand with two masks and a shift (see the walker).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.metal.mroutine import MRoutine
+
+# PTE flag bits.
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_G = 1 << 5
+PTE_KEY_SHIFT = 6
+
+#: Default entry numbers.
+ENTRY_PAGEFAULT = 16
+ENTRY_PTROOT_SET = 17
+ENTRY_PAGING_CTL = 18
+ENTRY_VM_INVAL = 19
+
+#: Symbols for guest assembly.
+PTE_SYMBOLS = {
+    "PTE_V": PTE_V, "PTE_R": PTE_R, "PTE_W": PTE_W, "PTE_X": PTE_X,
+    "PTE_U": PTE_U, "PTE_G": PTE_G,
+}
+
+
+class PageTableBuilder:
+    """Builds 2-level x86-style radix page tables in guest physical memory.
+
+    This is the *data structure* side of §3.2 — what the OS would do in C.
+    Tables are allocated from ``[pool_base, pool_base + pool_bytes)`` with
+    a bump allocator; the root table is the first allocation.
+    """
+
+    def __init__(self, bus, pool_base: int, pool_bytes: int = 64 * 1024):
+        if pool_base % 4096:
+            raise ReproError("page-table pool must be page aligned")
+        self.bus = bus
+        self.pool_base = pool_base
+        self.pool_end = pool_base + pool_bytes
+        self._next = pool_base
+        self.root = self._alloc_table()
+        #: number of L2 tables allocated (stat for benches)
+        self.l2_tables = 0
+
+    def _alloc_table(self) -> int:
+        addr = self._next
+        if addr + 4096 > self.pool_end:
+            raise ReproError("page-table pool exhausted")
+        self._next += 4096
+        self.bus.write_bytes(addr, b"\x00" * 4096)
+        return addr
+
+    # ------------------------------------------------------------------
+    def map(self, va: int, pa: int, flags: int = PTE_R | PTE_W,
+            key: int = 0) -> None:
+        """Map one 4 KiB page: *va* -> *pa* with PTE *flags* and *key*."""
+        l1_index = (va >> 22) & 0x3FF
+        l2_index = (va >> 12) & 0x3FF
+        l1_addr = self.root + 4 * l1_index
+        l1_pte = self.bus.read_u32(l1_addr)
+        if not l1_pte & PTE_V:
+            l2_base = self._alloc_table()
+            self.l2_tables += 1
+            self.bus.write_u32(l1_addr, (l2_base & 0xFFFFF000) | PTE_V)
+        else:
+            l2_base = l1_pte & 0xFFFFF000
+        leaf = (pa & 0xFFFFF000) | (flags & 0x3F) | ((key & 0xF) << PTE_KEY_SHIFT) | PTE_V
+        self.bus.write_u32(l2_base + 4 * l2_index, leaf)
+
+    def map_range(self, va: int, pa: int, length: int,
+                  flags: int = PTE_R | PTE_W, key: int = 0) -> int:
+        """Map a whole range (page-aligned); returns pages mapped."""
+        pages = (length + 4095) // 4096
+        for i in range(pages):
+            self.map(va + 4096 * i, pa + 4096 * i, flags=flags, key=key)
+        return pages
+
+    def unmap(self, va: int) -> None:
+        """Clear the leaf PTE for *va* (no-op if the L2 table is absent)."""
+        l1_pte = self.bus.read_u32(self.root + 4 * ((va >> 22) & 0x3FF))
+        if not l1_pte & PTE_V:
+            return
+        l2_base = l1_pte & 0xFFFFF000
+        self.bus.write_u32(l2_base + 4 * ((va >> 12) & 0x3FF), 0)
+
+    def protect(self, va: int, flags: int, key: int = None) -> None:
+        """Rewrite the leaf PTE flags (and optionally key) for *va*."""
+        l1_pte = self.bus.read_u32(self.root + 4 * ((va >> 22) & 0x3FF))
+        if not l1_pte & PTE_V:
+            raise ReproError(f"protect of unmapped va {va:#x}")
+        l2_base = l1_pte & 0xFFFFF000
+        leaf_addr = l2_base + 4 * ((va >> 12) & 0x3FF)
+        leaf = self.bus.read_u32(leaf_addr)
+        if not leaf & PTE_V:
+            raise ReproError(f"protect of unmapped va {va:#x}")
+        leaf = (leaf & 0xFFFFF000) | (flags & 0x3F) | PTE_V
+        if key is not None:
+            leaf |= (key & 0xF) << PTE_KEY_SHIFT
+        else:
+            pass
+        self.bus.write_u32(leaf_addr, leaf)
+
+
+def pagefault_walker_source(mailbox: int, os_fault_entry: int) -> str:
+    """The §3.2 page-fault walker: walk the radix tree, refill the TLB, or
+    forward to the OS.  Hardware hands us: m28 = cause, m29 = faulting VA,
+    m30 = EPC (m31 = EPC too, so a plain mexit retries the access)."""
+    return f"""
+pagefault:
+    wmr  m20, t0              # transparent handler: spill temporaries
+    wmr  m21, t1
+    wmr  m22, t2
+    wmr  m23, t3
+    rmr  t0, m28              # key faults are OS policy, not refills
+    addi t0, t0, -CAUSE_KEY_FAULT
+    beqz t0, pf_forward
+    rmr  t0, m29              # faulting VA
+    mld  t1, PTROOT_SET_DATA+0(zero)  # page-table root (physical)
+    srli t2, t0, 22           # L1 index
+    slli t2, t2, 2
+    add  t1, t1, t2
+    mpld t1, 0(t1)            # L1 PTE (direct physical access, §2.3)
+    andi t2, t1, 1            # valid?
+    beqz t2, pf_forward
+    li   t2, 0xFFFFF000
+    and  t1, t1, t2           # L2 table base
+    srli t2, t0, 12
+    andi t2, t2, 0x3FF        # L2 index
+    slli t2, t2, 2
+    add  t1, t1, t2
+    mpld t1, 0(t1)            # leaf PTE
+    andi t2, t1, 1
+    beqz t2, pf_forward
+    rmr  t0, m28              # permission check by cause
+    addi t0, t0, -CAUSE_PAGE_FAULT_FETCH
+    beqz t0, pf_need_x
+    addi t0, t0, -1
+    beqz t0, pf_need_r
+    andi t2, t1, PTE_W        # store fault needs W
+    beqz t2, pf_forward
+    j    pf_fill
+pf_need_x:
+    andi t2, t1, PTE_X
+    beqz t2, pf_forward
+    j    pf_fill
+pf_need_r:
+    andi t2, t1, PTE_R
+    beqz t2, pf_forward
+pf_fill:
+    li   t2, 0xFFFFF000
+    and  t3, t1, t2           # frame
+    srli t0, t1, 1
+    andi t0, t0, 0x1F         # perms R/W/X/U/G
+    or   t3, t3, t0
+    andi t0, t1, 0x3C0        # page key (PTE[9:6] == operand[9:6])
+    or   t3, t3, t0           # mtlbw rs2 operand
+    rmr  t0, m29
+    and  t0, t0, t2           # VA page
+    mld  t2, PTROOT_SET_DATA+4(zero)  # current ASID
+    or   t0, t0, t2           # mtlbw rs1 operand
+    mtlbw t0, t3              # refill the TLB
+    rmr  t3, m23              # restore temporaries
+    rmr  t2, m22
+    rmr  t1, m21
+    rmr  t0, m20
+    mexit                     # m31 = EPC: retry the faulting access
+pf_forward:
+    li   t0, {mailbox:#x}     # deliver the exception to the OS (§3.2)
+    rmr  t1, m29
+    mpst t1, 0(t0)            # mailbox: faulting VA
+    rmr  t1, m30
+    mpst t1, 4(t0)            # mailbox: EPC
+    rmr  t1, m28
+    mpst t1, 8(t0)            # mailbox: cause
+    wmr  m0, zero             # escalate to kernel privilege
+    li   t1, 1
+    mpgon t1                  # translate as supervisor
+    li   t0, {os_fault_entry:#x}
+    wmr  m31, t0
+    rmr  t3, m23
+    rmr  t2, m22
+    rmr  t1, m21
+    rmr  t0, m20
+    mexit
+"""
+
+
+def make_pagetable_routines(mailbox: int, os_fault_entry: int):
+    """Build the §3.2 routine set.
+
+    Args:
+        mailbox: physical address of a 3-word OS mailbox receiving
+            (faulting VA, EPC, cause) for forwarded faults.
+        os_fault_entry: kernel entry point for forwarded faults.
+    """
+    ptroot_set = """
+ptroot_set:
+    rmr  t0, m0               # privileged: kernel only
+    bnez t0, ptr_fail
+    mst  a0, PTROOT_SET_DATA+0(zero)
+    mst  a1, PTROOT_SET_DATA+4(zero)
+    masid a1                  # switch address space
+    mexit
+ptr_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    paging_ctl = """
+paging_ctl:
+    rmr  t0, m0               # privileged: kernel only
+    bnez t0, pg_fail
+    mpgon a0                  # bit0 = paging, bit1 = user translation
+    mexit
+pg_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    vm_inval = """
+vm_inval:
+    rmr  t0, m0               # privileged: kernel only
+    bnez t0, vi_fail
+    mtlbi a0, zero            # a0 = packed va|asid
+    mexit
+vi_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    walker = MRoutine(
+        name="pagefault", entry=ENTRY_PAGEFAULT,
+        source=pagefault_walker_source(mailbox, os_fault_entry),
+        data_words=0, mregs=(20, 21, 22, 23), shared_mregs=(0,),
+        shared_data=("ptroot_set",),
+    )
+    return [
+        walker,
+        MRoutine(
+            name="ptroot_set", entry=ENTRY_PTROOT_SET, source=ptroot_set,
+            data_words=2, shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="paging_ctl", entry=ENTRY_PAGING_CTL, source=paging_ctl,
+            shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="vm_inval", entry=ENTRY_VM_INVAL, source=vm_inval,
+            shared_mregs=(0,),
+        ),
+    ]

@@ -1,0 +1,182 @@
+"""User-defined privilege levels (paper §3.1, Figure 2).
+
+Two routine sets:
+
+* :func:`make_kernel_user_routines` — the traditional kernel/user model
+  the paper demonstrates first: ``kenter`` (syscall entry: updates the
+  privilege level in m0, computes the syscall entry point, jumps into the
+  kernel) and ``kexit`` (returns to userspace), plus the privilege-fault
+  handler and a level-query helper.  The kenter/kexit assembly regenerated
+  by ``benchmarks/bench_fig2_kenter_listing.py`` comes from here.
+* :func:`make_isolation_routines` — in-process isolation: a third,
+  software-defined privilege level ("vault") guarding sensitive data with
+  page keys; ``denter``/``dexit`` are the encapsulated transition gates
+  that the paper argues need no CFI when written as mroutines.
+
+ABI (mirroring the paper's listing): ``kenter`` takes the syscall entry
+number in ``a0`` and clobbers ``t0``/``t1``; the userspace return address
+is handed to the kernel in ``ra``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.metal_ops import pack_pkr
+from repro.metal.mroutine import MRoutine
+from repro.mcode.runtime import PRIV_USER
+
+#: Default entry-number assignments for the kernel/user model.
+ENTRY_KENTER = 1
+ENTRY_KEXIT = 2
+ENTRY_PRIV_FAULT = 3
+ENTRY_PRIV_GET = 4
+
+#: Default entries for the isolation (vault) model.
+ENTRY_DENTER = 8
+ENTRY_DEXIT = 9
+
+#: The vault's software privilege level.
+VAULT_LEVEL = 2
+
+
+def kenter_source(syscall_table: int, paging: bool = False) -> str:
+    """The kenter mroutine (paper Figure 2, system-call entry)."""
+    paging_switch = "    li   t1, 1\n    mpgon t1\n" if paging else ""
+    return (
+        "kenter:\n"
+        "    rmr  ra, m31          # userspace return address -> ra (ABI)\n"
+        "    wmr  m0, zero         # current privilege := kernel\n"
+        f"{paging_switch}"
+        "    slli t0, a0, 2        # index the syscall table\n"
+        f"    li   t1, {syscall_table:#x}\n"
+        "    add  t0, t0, t1\n"
+        "    mpld t0, 0(t0)        # load the handler entry point\n"
+        "    wmr  m31, t0\n"
+        "    mexit                 # jump into the kernel\n"
+    )
+
+
+def kexit_source(paging: bool = False) -> str:
+    """The kexit mroutine (paper Figure 2, system-call exit)."""
+    paging_switch = "    li   t1, 3\n    mpgon t1\n" if paging else ""
+    return (
+        "kexit:\n"
+        "    rmr  t0, m0           # privilege check: kernel only\n"
+        "    bnez t0, kexit_fail\n"
+        f"    li   t0, {PRIV_USER}\n"
+        "    wmr  m0, t0           # current privilege := user\n"
+        f"{paging_switch}"
+        "    wmr  m31, ra          # kernel passes the user resume address in ra\n"
+        "    mexit                 # return to userspace\n"
+        "kexit_fail:\n"
+        "    li   t0, CAUSE_PRIVILEGE\n"
+        "    mraise t0\n"
+    )
+
+
+def make_kernel_user_routines(syscall_table: int, fault_entry: int,
+                              paging: bool = False):
+    """Build the kernel/user privilege model.
+
+    Args:
+        syscall_table: physical address of the kernel's table of syscall
+            handler entry points (one word per syscall).
+        fault_entry: kernel entry point that receives privilege faults.
+        paging: also flip the hardware user-translation bit on transitions
+            (required when the machine runs with paging enabled).
+    """
+    paging_switch_sup = "    li   t0, 1\n    mpgon t0\n" if paging else ""
+    priv_fault = (
+        "priv_fault:\n"
+        "    wmr  m0, zero         # escalate to kernel\n"
+        f"{paging_switch_sup}"
+        f"    li   t0, {fault_entry:#x}\n"
+        "    wmr  m31, t0\n"
+        "    mexit\n"
+    )
+    priv_get = (
+        "priv_get:\n"
+        "    rmr  a0, m0           # a0 := current privilege level\n"
+        "    mexit\n"
+    )
+    return [
+        MRoutine(
+            name="kenter", entry=ENTRY_KENTER,
+            source=kenter_source(syscall_table, paging),
+            shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="kexit", entry=ENTRY_KEXIT,
+            source=kexit_source(paging),
+            shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="priv_fault", entry=ENTRY_PRIV_FAULT, source=priv_fault,
+            shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="priv_get", entry=ENTRY_PRIV_GET, source=priv_get,
+            shared_mregs=(0,),
+        ),
+    ]
+
+
+def make_isolation_routines(vault_entry: int, vault_key: int,
+                            from_level: int = PRIV_USER,
+                            vault_level: int = VAULT_LEVEL):
+    """Build the in-process isolation (vault) model of §3.1.
+
+    Pages holding sensitive data carry page key *vault_key*; outside the
+    vault that key is access-disabled, so even same-address-space code
+    cannot touch the secrets.  ``denter`` is the only way in: it checks the
+    caller's level, unlocks the key, and transfers control to the fixed
+    *vault_entry* — an encapsulated transition needing no CFI.
+
+    The caller's resume address is parked in m2 (claimed) and restored by
+    ``dexit``, so the vault cannot be tricked into returning elsewhere.
+    """
+    pkr_locked = pack_pkr(disabled_keys=[vault_key])
+    pkr_unlocked = pack_pkr()
+    denter = (
+        "denter:\n"
+        "    rmr  t0, m0\n"
+        f"    addi t0, t0, -{from_level}\n"
+        "    bnez t0, denter_fail   # only the sanctioned level may enter\n"
+        "    rmr  t0, m31\n"
+        "    wmr  m2, t0            # park the caller's resume address\n"
+        f"    li   t0, {vault_level}\n"
+        "    wmr  m0, t0\n"
+        f"    li   t0, {pkr_unlocked:#x}\n"
+        "    mpkr t0                # unlock the vault's page key\n"
+        f"    li   t0, {vault_entry:#x}\n"
+        "    wmr  m31, t0\n"
+        "    mexit                  # enter the vault at its fixed entry\n"
+        "denter_fail:\n"
+        "    li   t0, CAUSE_PRIVILEGE\n"
+        "    mraise t0\n"
+    )
+    dexit = (
+        "dexit:\n"
+        "    rmr  t0, m0\n"
+        f"    addi t0, t0, -{vault_level}\n"
+        "    bnez t0, dexit_fail    # only the vault may exit the vault\n"
+        f"    li   t0, {from_level}\n"
+        "    wmr  m0, t0\n"
+        f"    li   t0, {pkr_locked:#x}\n"
+        "    mpkr t0                # relock the vault's page key\n"
+        "    rmr  t0, m2\n"
+        "    wmr  m31, t0           # resume at the parked caller address\n"
+        "    mexit\n"
+        "dexit_fail:\n"
+        "    li   t0, CAUSE_PRIVILEGE\n"
+        "    mraise t0\n"
+    )
+    return [
+        MRoutine(
+            name="denter", entry=ENTRY_DENTER, source=denter,
+            shared_mregs=(0, 2),
+        ),
+        MRoutine(
+            name="dexit", entry=ENTRY_DEXIT, source=dexit,
+            shared_mregs=(0, 2),
+        ),
+    ]

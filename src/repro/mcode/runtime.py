@@ -1,0 +1,65 @@
+"""Shared conventions and assembly helpers for mcode.
+
+Conventions used by the routines in this package (all software-defined, as
+the paper intends — "Developers can freely define custom privilege levels
+that suit their use cases"):
+
+* ``m0`` — current privilege level: 0 = kernel, 1 = user, >=2 = custom
+  domains (vault/enclave levels).  Reserved by the privilege routines.
+* ``m1``–``m27`` — allocated per routine via the loader's ownership check.
+* ``m28``–``m31`` — hardware (cause/info/epc/return).
+
+Transparent mroutines (fault handlers, intercept handlers) must not
+clobber GPRs; :func:`save_scratch`/:func:`restore_scratch` generate the
+spill/fill of temporaries into a routine's claimed MRegs — the mcode
+idiom for "microcode scratch registers".
+"""
+
+from __future__ import annotations
+
+#: Software privilege levels (the kernel/user model of §3.1).
+PRIV_KERNEL = 0
+PRIV_USER = 1
+
+#: Symbols injected wherever privilege-aware mcode is assembled.
+PRIV_SYMBOLS = {
+    "PRIV_KERNEL": PRIV_KERNEL,
+    "PRIV_USER": PRIV_USER,
+}
+
+
+def save_scratch(mapping) -> str:
+    """Generate spills of GPRs into MRegs.
+
+    *mapping* is a sequence of ``(gpr_name, mreg_index)`` pairs.
+    """
+    return "\n".join(f"    wmr  m{mreg}, {gpr}" for gpr, mreg in mapping)
+
+
+def restore_scratch(mapping) -> str:
+    """Generate fills of GPRs from MRegs (reverse of :func:`save_scratch`)."""
+    return "\n".join(
+        f"    rmr  {gpr}, m{mreg}" for gpr, mreg in reversed(list(mapping))
+    )
+
+
+def privilege_check(required_level: int, fail_label: str = "1f") -> str:
+    """Generate the §3.1 privilege check: branch to *fail_label* unless the
+    current level (m0) equals *required_level*.
+
+    Clobbers t0 — callers either own t0 (syscall-path ABI) or must spill it
+    first.
+    """
+    return (
+        f"    rmr  t0, m0\n"
+        f"    addi t0, t0, -{required_level}\n"
+        f"    bnez t0, {fail_label}"
+    )
+
+
+def raise_privilege_violation() -> str:
+    """Generate an ``mraise CAUSE_PRIVILEGE`` sequence (clobbers t0)."""
+    return (
+        "    li   t0, CAUSE_PRIVILEGE\n"
+        "    mraise t0"
+    )

@@ -1,0 +1,115 @@
+"""Control-flow protection (paper §3.5).
+
+"Metal can offer similar application control flow protection as existing
+techniques such as shadow stacks and control flow integrity.  Metal
+eliminates the compiler dependency for protecting key materials from
+existing CFI systems such as cryptographic control flow integrity.
+Instead, applications can store cryptographic keys inside Metal registers
+or MRAM."
+
+Two mechanisms:
+
+* **Shadow stack** — ``sspush`` at function entry records ``ra`` in MRAM
+  (inaccessible to normal-mode code); ``sscheck`` before return pops and
+  compares.  A corrupted return address raises a privilege violation.
+* **Keyed return MACs** (CCFI-flavoured) — ``cfikey_set`` (kernel only)
+  installs a secret in Metal register m3, where normal-mode code *cannot*
+  read it (the point of keeping keys in MReg); ``cfi_sign`` returns
+  ``ra ^ key`` in t0 and ``cfi_check`` verifies it.  The xor-MAC is a
+  stand-in for a real MAC — what matters architecturally is the key's
+  location, not the cipher.
+"""
+
+from __future__ import annotations
+
+from repro.metal.mroutine import MRoutine
+
+ENTRY_SSPUSH = 36
+ENTRY_SSCHECK = 37
+ENTRY_CFIKEY_SET = 38
+ENTRY_CFI_SIGN = 39
+ENTRY_CFI_CHECK = 40
+
+#: Shadow-stack capacity (frames).
+SS_MAX = 64
+
+#: SSPUSH_DATA layout: +0 depth, +4.. entries.
+_DATA_WORDS = 1 + SS_MAX
+
+
+def make_shadowstack_routines():
+    """Build the shadow-stack and keyed-CFI routine set."""
+    sspush = f"""
+sspush:
+    # function prologue hook; clobbers t0-t2 (explicit-call ABI)
+    mld  t0, SSPUSH_DATA+0(zero)      # depth
+    li   t1, {SS_MAX}
+    bgeu t0, t1, ssp_fail             # overflow
+    slli t1, t0, 2
+    li   t2, SSPUSH_DATA+4
+    add  t1, t1, t2
+    mst  ra, 0(t1)                    # record the return address in MRAM
+    addi t0, t0, 1
+    mst  t0, SSPUSH_DATA+0(zero)
+    mexit
+ssp_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    sscheck = f"""
+sscheck:
+    # function epilogue hook; clobbers t0-t2
+    mld  t0, SSPUSH_DATA+0(zero)
+    beqz t0, ssc_fail                 # underflow
+    addi t0, t0, -1
+    mst  t0, SSPUSH_DATA+0(zero)
+    slli t1, t0, 2
+    li   t2, SSPUSH_DATA+4
+    add  t1, t1, t2
+    mld  t1, 0(t1)
+    bne  t1, ra, ssc_fail             # return address was corrupted
+    mexit
+ssc_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    cfikey_set = """
+cfikey_set:
+    rmr  t0, m0                # kernel only installs the key
+    bnez t0, ck_fail
+    wmr  m3, a0                # the secret lives in a Metal register
+    mexit
+ck_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    cfi_sign = """
+cfi_sign:
+    # t0 := ra ^ key (the MAC); clobbers t0
+    rmr  t0, m3
+    xor  t0, t0, ra
+    mexit
+"""
+    cfi_check = """
+cfi_check:
+    # a0 = presented MAC; verifies against ra; clobbers t0
+    rmr  t0, m3
+    xor  t0, t0, ra
+    bne  t0, a0, cfc_fail
+    mexit
+cfc_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    return [
+        MRoutine(name="sspush", entry=ENTRY_SSPUSH, source=sspush,
+                 data_words=_DATA_WORDS),
+        MRoutine(name="sscheck", entry=ENTRY_SSCHECK, source=sscheck,
+                 shared_data=("sspush",)),
+        MRoutine(name="cfikey_set", entry=ENTRY_CFIKEY_SET,
+                 source=cfikey_set, shared_mregs=(0, 3)),
+        MRoutine(name="cfi_sign", entry=ENTRY_CFI_SIGN, source=cfi_sign,
+                 shared_mregs=(3,)),
+        MRoutine(name="cfi_check", entry=ENTRY_CFI_CHECK, source=cfi_check,
+                 shared_mregs=(3,)),
+    ]

@@ -1,0 +1,179 @@
+"""User-level interrupts (paper §3.4).
+
+"Metal supports user level interrupt by handling the processor's interrupt
+delivery.  When an interrupt occurs, Metal invokes specific mroutines to
+optionally redirect the interrupt to processes running at lower privilege
+levels. ... Developers control whether a specific privilege level is
+allowed to process interrupts."
+
+Routines:
+
+* ``uli_register`` (kernel only) — a0 = user handler address, a1 = the
+  privilege level allowed to take the interrupt directly, a2 = controller
+  line.  Routes the line's cause to ``uli_dispatch`` and enables
+  interrupts.
+* ``uli_dispatch`` — the delivery mroutine: if the interrupted privilege
+  level matches the sanctioned one, transfer directly to the user handler
+  *without changing privilege level* (the §3.4 headline); otherwise
+  forward to the kernel's interrupt entry.  Further interrupts are
+  deferred until the handler finishes.
+* ``uli_ret`` — return from the user handler to the interrupted code and
+  re-enable interrupts.
+
+The benchmark compares this path against DPDK-style userspace polling and
+against a kernel-mediated delivery on the trap machine.
+"""
+
+from __future__ import annotations
+
+from repro.metal.mroutine import MRoutine
+
+ENTRY_ULI_REGISTER = 32
+ENTRY_ULI_DISPATCH = 33
+ENTRY_ULI_RET = 34
+
+#: ULI_REGISTER_DATA layout (bytes).
+OFF_HANDLER = 0
+OFF_ALLOWED_LEVEL = 4
+OFF_RESUME = 8
+OFF_KERNEL_EPC = 12
+OFF_INTERRUPTED_LEVEL = 16
+
+ENTRY_ULI_KRET = 35
+ENTRY_ULI_KINFO = 60
+ENTRY_ULI_KSET = 61
+
+
+def make_uli_routines(kernel_irq_entry: int):
+    """Build the §3.4 routine set.
+
+    Args:
+        kernel_irq_entry: kernel entry point that receives interrupts when
+            the interrupted privilege level is not sanctioned for direct
+            user delivery.
+    """
+    uli_register = """
+uli_register:
+    rmr  t0, m0               # kernel only
+    bnez t0, ureg_fail
+    mst  a0, ULI_REGISTER_DATA+0(zero)   # user handler address
+    mst  a1, ULI_REGISTER_DATA+4(zero)   # sanctioned privilege level
+    li   t0, CAUSE_INTERRUPT_BASE
+    add  t0, t0, a2
+    li   t1, MR_ULI_DISPATCH
+    mivec t0, t1              # route the line to the dispatcher
+    li   t0, 1
+    mintc t0                  # enable interrupt delivery in normal mode
+    mexit
+ureg_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    uli_dispatch = f"""
+uli_dispatch:
+    wmr  m11, t0              # transparent handler: spill temporaries
+    wmr  m12, t1
+    mintc zero                # defer further interrupts until uli_ret
+    rmr  t0, m0               # current privilege level
+    mld  t1, ULI_REGISTER_DATA+{OFF_ALLOWED_LEVEL}(zero)
+    bne  t0, t1, ud_kernel    # not sanctioned: kernel takes it
+    rmr  t0, m30
+    mst  t0, ULI_REGISTER_DATA+{OFF_RESUME}(zero)   # interrupted PC
+    mld  t0, ULI_REGISTER_DATA+{OFF_HANDLER}(zero)
+    wmr  m31, t0              # deliver directly to the user handler;
+    rmr  t1, m12              # the privilege level does not change (§3.4)
+    rmr  t0, m11
+    mexit
+ud_kernel:
+    rmr  t0, m30
+    mst  t0, ULI_REGISTER_DATA+{OFF_KERNEL_EPC}(zero)
+    rmr  t0, m0
+    mst  t0, ULI_REGISTER_DATA+{OFF_INTERRUPTED_LEVEL}(zero)
+    wmr  m0, zero             # escalate to kernel
+    li   t0, {{kernel_irq_entry}}
+    wmr  m31, t0
+    rmr  t1, m12
+    rmr  t0, m11
+    mexit
+""".replace("{kernel_irq_entry}", f"{kernel_irq_entry:#x}")
+    uli_ret = f"""
+uli_ret:
+    wmr  m11, t0
+    mld  t0, ULI_REGISTER_DATA+{OFF_RESUME}(zero)
+    wmr  m31, t0              # back to the interrupted instruction stream
+    li   t0, 1
+    mintc t0                  # re-enable interrupt delivery
+    rmr  t0, m11
+    mexit
+"""
+    uli_kret = f"""
+uli_kret:
+    # kernel finished mediating an interrupt: restore the interrupted
+    # privilege level and resume the interrupted code transparently
+    wmr  m11, t0              # preserve the interrupted t0
+    rmr  t0, m0               # kernel only
+    bnez t0, ukr_fail
+    mld  t0, ULI_REGISTER_DATA+{OFF_INTERRUPTED_LEVEL}(zero)
+    wmr  m0, t0
+    mld  t0, ULI_REGISTER_DATA+{OFF_KERNEL_EPC}(zero)
+    wmr  m31, t0
+    li   t0, 1
+    mintc t0                  # re-enable interrupt delivery
+    rmr  t0, m11
+    mexit
+ukr_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    uli_kinfo = f"""
+uli_kinfo:
+    # kernel scheduler support: a0 := interrupted EPC, a1 := its level
+    rmr  t0, m0               # kernel only
+    bnez t0, uki_fail
+    mld  a0, ULI_REGISTER_DATA+{OFF_KERNEL_EPC}(zero)
+    mld  a1, ULI_REGISTER_DATA+{OFF_INTERRUPTED_LEVEL}(zero)
+    mexit
+uki_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    uli_kset = f"""
+uli_kset:
+    # kernel scheduler support: set the context uli_kret will resume to
+    # (a0 = resume PC, a1 = privilege level)
+    rmr  t0, m0               # kernel only
+    bnez t0, uks_fail
+    mst  a0, ULI_REGISTER_DATA+{OFF_KERNEL_EPC}(zero)
+    mst  a1, ULI_REGISTER_DATA+{OFF_INTERRUPTED_LEVEL}(zero)
+    mexit
+uks_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    return [
+        MRoutine(
+            name="uli_register", entry=ENTRY_ULI_REGISTER,
+            source=uli_register, data_words=5, shared_mregs=(0,),
+        ),
+        MRoutine(
+            name="uli_kinfo", entry=ENTRY_ULI_KINFO, source=uli_kinfo,
+            shared_mregs=(0,), shared_data=("uli_register",),
+        ),
+        MRoutine(
+            name="uli_kset", entry=ENTRY_ULI_KSET, source=uli_kset,
+            shared_mregs=(0,), shared_data=("uli_register",),
+        ),
+        MRoutine(
+            name="uli_kret", entry=ENTRY_ULI_KRET, source=uli_kret,
+            shared_mregs=(0, 11), shared_data=("uli_register",),
+        ),
+        MRoutine(
+            name="uli_dispatch", entry=ENTRY_ULI_DISPATCH,
+            source=uli_dispatch, shared_mregs=(0, 11, 12),
+            shared_data=("uli_register",),
+        ),
+        MRoutine(
+            name="uli_ret", entry=ENTRY_ULI_RET, source=uli_ret,
+            shared_mregs=(11,), shared_data=("uli_register",),
+        ),
+    ]

@@ -1,0 +1,174 @@
+"""Virtualization by trap-and-emulate (paper §3.5).
+
+"Developers can use Metal to implement virtualization. ... Privileged
+instructions can be intercepted and trapped by Metal for proper handling."
+
+A minimal but real hypervisor building block: a deprivileged **guest
+kernel** manages "its" TLB with the ordinary privileged instructions
+(`mtlbw`, `mtlbf`) — which trap as illegal in normal mode.  The
+ILLEGAL_INSTRUCTION cause is routed to the ``virt_emul`` mroutine, which:
+
+1. checks the faulting context *is* the guest kernel (the software
+   privilege level in m0 equals GUEST_KERNEL_LEVEL) — anything else is a
+   genuine illegal instruction and is forwarded to the host fault entry;
+2. decodes the trapped word (m29) and emulates the TLB operation, applying
+   the hypervisor's **guest-physical -> host-physical** translation: the
+   guest's PPN is offset into the partition the host assigned
+   (``virt_create`` stores the offset and partition size in MRAM data) and
+   bounds-checked, so a guest can never map host memory outside its
+   partition;
+3. resumes the guest after the emulated instruction.
+
+This is the classic shadow-TLB scheme MIPS/Alpha hypervisors used, in ~40
+mroutine instructions.  The decode-stage operand latch (m25/m24) supplies
+the trapped instruction's register values, exactly as for intercepts.
+
+Routines:
+
+* ``virt_create`` (host only, level 0): a0 = guest partition base (host
+  physical), a1 = partition size in bytes; routes ILLEGAL to the emulator
+  and returns.
+* ``virt_emul``: the trap-and-emulate handler described above.
+* ``virt_enter`` (host only): drop into the guest kernel (level
+  GUEST_KERNEL_LEVEL) at the address in ra, like kexit but for guests.
+* ``virt_exit``: guest kernel calls this to return to the host (level 0)
+  at the address stored by virt_enter.
+"""
+
+from __future__ import annotations
+
+from repro.metal.mroutine import MRoutine
+
+ENTRY_VIRT_CREATE = 54
+ENTRY_VIRT_EMUL = 55
+ENTRY_VIRT_ENTER = 56
+ENTRY_VIRT_EXIT = 57
+
+#: The software privilege level guest kernels run at.
+GUEST_KERNEL_LEVEL = 2
+
+#: VIRT_CREATE_DATA layout (bytes).
+OFF_PARTITION_BASE = 0
+OFF_PARTITION_SIZE = 4
+OFF_HOST_RESUME = 8
+#: Count of emulated privileged instructions (benchmark/diagnostic).
+OFF_EMUL_COUNT = 12
+
+
+def make_virt_routines(host_fault_entry: int):
+    """Build the §3.5 virtualization routine set.
+
+    Args:
+        host_fault_entry: host kernel entry receiving genuine illegal
+            instructions (and guest violations).
+    """
+    virt_create = """
+virt_create:
+    rmr  t0, m0               # host only
+    bnez t0, vc_fail
+    mst  a0, VIRT_CREATE_DATA+0(zero)    # partition base (host physical)
+    mst  a1, VIRT_CREATE_DATA+4(zero)    # partition size
+    mst  zero, VIRT_CREATE_DATA+12(zero)
+    li   t0, CAUSE_ILLEGAL_INSTRUCTION
+    li   t1, MR_VIRT_EMUL
+    mivec t0, t1              # privileged instrs now trap to the emulator
+    mexit
+vc_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    virt_emul = f"""
+virt_emul:
+    # ILLEGAL_INSTRUCTION delivery: m29 = word, m30 = EPC, m31 = EPC,
+    # m25/m24 = the trapped instruction's rs1/rs2 values.
+    wmr  m13, t0              # transparent handler: spill temporaries
+    wmr  m14, t1
+    wmr  m15, t2
+    rmr  t0, m0
+    addi t0, t0, -{GUEST_KERNEL_LEVEL}
+    bnez t0, ve_forward       # not the guest kernel: a real fault
+    rmr  t0, m29
+    andi t1, t0, 0x7F
+    addi t1, t1, -0x2B        # custom-1 (architectural features)?
+    bnez t1, ve_forward
+    srli t1, t0, 12
+    andi t1, t1, 7
+    bnez t1, ve_forward       # only funct3 0 (the TLB group)
+    srli t1, t0, 25           # funct7 selects the TLB operation
+    beqz t1, ve_mtlbw
+    addi t1, t1, -2
+    beqz t1, ve_mtlbf
+    j    ve_forward           # other privileged ops are not virtualized
+ve_mtlbw:
+    # guest rs2 = guest-physical frame | perms | key.  Bounds-check the
+    # gPA against the partition, then offset it into host memory.
+    rmr  t0, m24              # guest rs2 operand
+    li   t1, 0xFFFFF000
+    and  t1, t0, t1           # gPA frame bits
+    mld  t2, VIRT_CREATE_DATA+4(zero)    # partition size
+    bgeu t1, t2, ve_forward   # gPA outside the partition: violation
+    mld  t2, VIRT_CREATE_DATA+0(zero)    # partition base
+    add  t0, t0, t2           # hPA = gPA + base (flags ride along)
+    rmr  t1, m25              # guest rs1 operand (va | asid)
+    mtlbw t1, t0              # install the shadow entry
+    j    ve_done
+ve_mtlbf:
+    mtlbf
+ve_done:
+    mld  t0, VIRT_CREATE_DATA+12(zero)
+    addi t0, t0, 1
+    mst  t0, VIRT_CREATE_DATA+12(zero)   # emulation counter
+    rmr  t0, m30
+    addi t0, t0, 4
+    wmr  m31, t0              # resume after the emulated instruction
+    rmr  t2, m15
+    rmr  t1, m14
+    rmr  t0, m13
+    mexit
+ve_forward:
+    wmr  m0, zero             # escalate to the host
+    li   t0, {host_fault_entry:#x}
+    wmr  m31, t0
+    rmr  t2, m15
+    rmr  t1, m14
+    rmr  t0, m13
+    mexit
+"""
+    virt_enter = f"""
+virt_enter:
+    rmr  t0, m0               # host only
+    bnez t0, ven_fail
+    rmr  t0, m31
+    mst  t0, VIRT_CREATE_DATA+8(zero)    # host resume point
+    li   t0, {GUEST_KERNEL_LEVEL}
+    wmr  m0, t0               # now running as the guest kernel
+    wmr  m31, ra              # guest entry point supplied in ra
+    mexit
+ven_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    virt_exit = f"""
+virt_exit:
+    rmr  t0, m0
+    addi t0, t0, -{GUEST_KERNEL_LEVEL}
+    bnez t0, vex_fail         # only the guest kernel exits guest mode
+    wmr  m0, zero
+    mld  t0, VIRT_CREATE_DATA+8(zero)
+    wmr  m31, t0              # back to the host
+    mexit
+vex_fail:
+    li   t0, CAUSE_PRIVILEGE
+    mraise t0
+"""
+    shared = ("virt_create",)
+    return [
+        MRoutine(name="virt_create", entry=ENTRY_VIRT_CREATE,
+                 source=virt_create, data_words=4, shared_mregs=(0,)),
+        MRoutine(name="virt_emul", entry=ENTRY_VIRT_EMUL, source=virt_emul,
+                 shared_mregs=(0, 13, 14, 15), shared_data=shared),
+        MRoutine(name="virt_enter", entry=ENTRY_VIRT_ENTER,
+                 source=virt_enter, shared_mregs=(0,), shared_data=shared),
+        MRoutine(name="virt_exit", entry=ENTRY_VIRT_EXIT, source=virt_exit,
+                 shared_mregs=(0,), shared_data=shared),
+    ]

@@ -1,0 +1,22 @@
+"""Physical memory, system bus and cache models.
+
+The bus is the machine's physical address space: RAM regions plus
+memory-mapped device registers.  The cache models exist for the timing
+argument at the heart of the paper — mroutine fetches from MRAM cost one
+cycle regardless of cache state, while trap handlers and PALcode-style
+routines live behind the I-cache and main-memory latency.
+"""
+
+from repro.mem.memory import PhysicalMemory
+from repro.mem.bus import MemoryBus
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.mmio import MmioDevice, MmioRegisterBank
+
+__all__ = [
+    "PhysicalMemory",
+    "MemoryBus",
+    "Cache",
+    "CacheStats",
+    "MmioDevice",
+    "MmioRegisterBank",
+]

@@ -1,0 +1,41 @@
+"""The Metal extension: the paper's primary contribution.
+
+Components (paper §2, Figure 1):
+
+* :class:`~repro.metal.mram.Mram` — the dedicated RAM collocated with the
+  fetch unit, split into a code segment (mroutines) and a data segment
+  (mroutine private data).
+* :class:`~repro.metal.mregs.MRegFile` — 32 Metal-exclusive registers.
+* :class:`~repro.metal.mroutine.MRoutine` — one mcode routine + its static
+  resource declaration.
+* :class:`~repro.metal.loader.MetalImage` / loader — boot-time packing of
+  up to 64 mroutines into MRAM, with static verification (§2.1).
+* :class:`~repro.metal.intercept.InterceptTable` — instruction
+  interception (§2.3).
+* :class:`~repro.metal.delivery.DeliveryTable` — exception/interrupt
+  delegation to mroutines (§2.3).
+* :class:`~repro.metal.unit.MetalUnit` — the composite bolted onto the CPU.
+* :mod:`repro.metal.nested` — layered Metal (§3.5 "Nested Metal").
+"""
+
+from repro.metal.mram import Mram
+from repro.metal.mregs import MRegFile
+from repro.metal.mroutine import MRoutine
+from repro.metal.loader import MetalImage, load_mroutines
+from repro.metal.verifier import verify_mroutine, VerifyReport
+from repro.metal.intercept import InterceptTable
+from repro.metal.delivery import DeliveryTable
+from repro.metal.unit import MetalUnit
+
+__all__ = [
+    "Mram",
+    "MRegFile",
+    "MRoutine",
+    "MetalImage",
+    "load_mroutines",
+    "verify_mroutine",
+    "VerifyReport",
+    "InterceptTable",
+    "DeliveryTable",
+    "MetalUnit",
+]

@@ -1,0 +1,51 @@
+"""Exception and interrupt delegation (paper §2.3).
+
+"Our processor delegates all exception and interrupt delivery to Metal.
+We assign specific mroutines to handle interrupts and exceptions."
+
+The delivery table maps a cause code to an mroutine entry number
+(configured by ``mivec``).  An unrouted exception is fatal to the guest —
+there is no hardware fallback, exactly because delivery is fully delegated.
+
+Interrupt enablement for normal mode is a single flag (``mintc``); Metal
+mode is never interruptible (paper §2.1/§4: "Metal disables interrupts in
+mroutines"), so pending interrupts are simply sampled again after
+``mexit`` — the controller is level-triggered, nothing is lost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MetalError
+
+
+class DeliveryTable:
+    """cause code -> mroutine entry, plus the interrupt-enable flag."""
+
+    def __init__(self):
+        self._vectors = {}
+        self.interrupts_enabled = False
+
+    def route(self, cause: int, entry: int) -> None:
+        """Route *cause* to mroutine *entry* (mivec)."""
+        self._vectors[int(cause)] = entry
+
+    def unroute(self, cause: int) -> None:
+        self._vectors.pop(int(cause), None)
+
+    def handler_for(self, cause: int):
+        """Entry number handling *cause*, or None."""
+        return self._vectors.get(int(cause))
+
+    def require_handler(self, cause: int) -> int:
+        entry = self.handler_for(cause)
+        if entry is None:
+            raise MetalError(f"no mroutine routed for cause {cause}")
+        return entry
+
+    @property
+    def routed_causes(self):
+        return sorted(self._vectors)
+
+    def clear(self) -> None:
+        self._vectors.clear()
+        self.interrupts_enabled = False

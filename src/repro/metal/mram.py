@@ -1,0 +1,85 @@
+"""MRAM: the mroutine RAM collocated with the instruction fetch unit.
+
+Paper §2: "we dedicate a RAM for storing Metal code which is collocated
+with the processor's instruction fetch unit.  The RAM partitions code and
+data into separate segments, which hold mroutines and mroutine private
+data.  Accesses to the RAM do not alter processor caches as the locality of
+the RAM already offers cache-like access speed.  This also prevents side
+channels on the RAM."
+
+In this model the code segment is word-addressed by the Metal-mode PC and
+the data segment is byte-addressed by ``mld``/``mst`` (word-aligned).  MRAM
+never interacts with the cache models — its access latency is a constant of
+the timing model (1 cycle by default).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MramError
+
+#: Default segment sizes (bytes).  8 KiB of code comfortably holds 64 short
+#: mroutines ("Our implementation is under 100 instructions" for the whole
+#: STM, §3.3); 4 KiB of data holds page-table roots and STM logs.
+DEFAULT_CODE_BYTES = 8 * 1024
+DEFAULT_DATA_BYTES = 4 * 1024
+
+
+class Mram:
+    """Code + data RAM for mroutines."""
+
+    def __init__(self, code_bytes: int = DEFAULT_CODE_BYTES,
+                 data_bytes: int = DEFAULT_DATA_BYTES):
+        if code_bytes % 4 or data_bytes % 4:
+            raise MramError("MRAM segment sizes must be word multiples")
+        self.code_bytes = code_bytes
+        self.data_bytes = data_bytes
+        self.code = bytearray(code_bytes)
+        self.data = bytearray(data_bytes)
+
+    # -- code segment ------------------------------------------------------
+    def fetch(self, offset: int) -> int:
+        """Fetch the instruction word at byte *offset* of the code segment."""
+        if offset % 4:
+            raise MramError(f"misaligned MRAM fetch at {offset:#x}")
+        if not 0 <= offset < self.code_bytes:
+            raise MramError(f"MRAM fetch out of bounds: {offset:#x}")
+        return struct.unpack_from("<I", self.code, offset)[0]
+
+    def write_code(self, offset: int, words) -> None:
+        """Install *words* at byte *offset* (loader use only)."""
+        end = offset + 4 * len(words)
+        if offset % 4 or not 0 <= offset <= end <= self.code_bytes:
+            raise MramError(
+                f"code image [{offset:#x}, {end:#x}) exceeds MRAM code segment"
+            )
+        struct.pack_into(f"<{len(words)}I", self.code, offset, *words)
+
+    # -- data segment --------------------------------------------------------
+    def load_word(self, offset: int) -> int:
+        """``mld``: read the data-segment word at byte *offset*."""
+        self._check_data(offset)
+        return struct.unpack_from("<I", self.data, offset)[0]
+
+    def store_word(self, offset: int, value: int) -> None:
+        """``mst``: write the data-segment word at byte *offset*."""
+        self._check_data(offset)
+        struct.pack_into("<I", self.data, offset, value & 0xFFFFFFFF)
+
+    def _check_data(self, offset: int) -> None:
+        if offset % 4:
+            raise MramError(f"misaligned MRAM data access at {offset:#x}")
+        if not 0 <= offset < self.data_bytes:
+            raise MramError(f"MRAM data access out of bounds: {offset:#x}")
+
+    def write_data_bytes(self, offset: int, payload: bytes) -> None:
+        """Bulk-initialise data-segment contents (loader use only)."""
+        if not 0 <= offset <= offset + len(payload) <= self.data_bytes:
+            raise MramError("data image exceeds MRAM data segment")
+        self.data[offset:offset + len(payload)] = payload
+
+    def clear(self) -> None:
+        """Zero both segments (machine reset)."""
+        self.code[:] = bytes(self.code_bytes)
+        self.data[:] = bytes(self.data_bytes)

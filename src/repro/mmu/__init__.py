@@ -1,0 +1,14 @@
+"""Memory management: the software-managed TLB.
+
+Per paper §2.3, the processor exposes *TLB modification instructions* to
+Metal along with page keys and address-space IDs; there is **no hardware
+page-table walker** in the Metal machine — on a TLB miss the processor
+raises a page fault which is delivered to an mroutine, and the mroutine
+walks whatever structure the OS chose (§3.2 implements an x86-style radix
+tree) and refills the TLB with ``mtlbw``.
+"""
+
+from repro.mmu.types import AccessType, TlbEntry, TranslationFault
+from repro.mmu.tlb import Tlb
+
+__all__ = ["AccessType", "TlbEntry", "TranslationFault", "Tlb"]

@@ -1,0 +1,68 @@
+"""TLB entry and fault types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.metal_ops import PERM_R, PERM_W, PERM_X
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access being translated."""
+
+    FETCH = "fetch"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def required_perm(self) -> int:
+        if self is AccessType.FETCH:
+            return PERM_X
+        if self is AccessType.LOAD:
+            return PERM_R
+        return PERM_W
+
+
+@dataclass
+class TlbEntry:
+    """One TLB mapping.
+
+    ``global_`` entries match regardless of ASID (shared kernel pages);
+    ``key`` selects a page-key rights pair, giving the batch permission
+    flips the paper describes (§2.3 "Page Keys and Address Space IDs").
+    """
+
+    vpn: int
+    ppn: int
+    asid: int = 0
+    perms: int = PERM_R | PERM_W | PERM_X
+    key: int = 0
+    global_: bool = False
+
+    def matches(self, vpn: int, asid: int) -> bool:
+        return self.vpn == vpn and (self.global_ or self.asid == asid)
+
+
+class FaultKind(enum.Enum):
+    """Why a translation failed."""
+
+    MISS = "tlb-miss"
+    PROTECTION = "protection"
+    KEY = "page-key"
+
+
+@dataclass
+class TranslationFault(Exception):
+    """Raised by :meth:`repro.mmu.tlb.Tlb.translate` on failure.
+
+    The CPU converts this into a page-fault exception whose cause encodes
+    the access type; ``va`` lands in Metal register m29 for the handler.
+    """
+
+    va: int
+    access: AccessType
+    kind: FaultKind
+
+    def __str__(self) -> str:
+        return f"{self.kind.value} fault on {self.access.value} at {self.va:#010x}"

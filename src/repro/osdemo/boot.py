@@ -1,0 +1,75 @@
+"""One-call bring-up of a MetalOS machine (kernel + user program)."""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import Cause
+from repro.machine.builder import (
+    MachineConfig,
+    build_metal_machine,
+    build_trap_machine,
+)
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.uli import make_uli_routines
+from repro.osdemo.kernel import (
+    KIRQ_COUNT_SYMBOLS,
+    SYSCALL_SYMBOLS,
+    build_metal_os,
+    build_trap_os,
+)
+from repro.osdemo.layout import MemoryLayout
+
+
+def _os_symbols(layout: MemoryLayout) -> dict:
+    symbols = dict(layout.symbols())
+    symbols.update(SYSCALL_SYMBOLS)
+    symbols.update(KIRQ_COUNT_SYMBOLS)
+    return symbols
+
+
+def boot_metal_os(user_source: str, extra_routines=(), layout: MemoryLayout = None,
+                  with_uli: bool = True, config: MachineConfig = None,
+                  **config_kwargs):
+    """Build a Metal machine running MetalOS with *user_source* loaded.
+
+    Returns the machine, ready to ``run()`` — the PC is at the kernel boot
+    entry; the kernel installs its syscall table and kexits into the user
+    program at ``USER_BASE`` (which must define the ``_user`` label).
+    """
+    layout = layout or MemoryLayout()
+    routines = list(make_kernel_user_routines(
+        layout.syscall_table, layout.fault_entry,
+    ))
+    if with_uli:
+        routines += make_uli_routines(layout.irq_entry)
+    routines += list(extra_routines)
+
+    config = config or MachineConfig(**config_kwargs)
+    config.extra_symbols = {**_os_symbols(layout), **config.extra_symbols}
+    machine = build_metal_machine(routines, config=config)
+    machine.route_cause(Cause.PRIVILEGE, "priv_fault")
+
+    kernel = machine.assemble(build_metal_os(layout, with_uli=with_uli),
+                              base=layout.kernel_base)
+    machine.load(kernel)
+    user = machine.assemble(user_source, base=layout.user_base)
+    machine.load(user)
+    machine.core.pc = layout.kernel_base
+    return machine
+
+
+def boot_trap_os(user_source: str, layout: MemoryLayout = None,
+                 with_vm: bool = False, config: MachineConfig = None,
+                 **config_kwargs):
+    """Build the trap-baseline machine running the equivalent MetalOS."""
+    layout = layout or MemoryLayout()
+    config = config or MachineConfig(**config_kwargs)
+    config.extra_symbols = {**_os_symbols(layout), **config.extra_symbols}
+    machine = build_trap_machine(config=config)
+
+    kernel = machine.assemble(build_trap_os(layout, with_vm=with_vm),
+                              base=layout.kernel_base)
+    machine.load(kernel)
+    user = machine.assemble(user_source, base=layout.user_base)
+    machine.load(user)
+    machine.core.pc = layout.kernel_base
+    return machine

@@ -1,0 +1,289 @@
+"""MetalOS kernel generators.
+
+Two kernels with identical syscall semantics and ABI:
+
+* :func:`build_metal_os` — privilege transitions via the §3.1
+  kenter/kexit mroutines.  A syscall is ``a0 = number, a1 = arg,
+  menter MR_KENTER``; kenter dispatches straight into the per-syscall
+  kernel handler, which finishes with ``menter MR_KEXIT`` (user resume
+  address in ``ra``).
+* :func:`build_trap_os` — the conventional baseline: ``ecall`` to a
+  ``mtvec`` handler that dispatches by table, returning with ``mret``.
+  Its trap entry also contains the software-TLB refill path (page-fault
+  walk over the same radix tables, MIPS-style, using unmapped physical
+  access for the walk itself).
+
+Syscall ABI (both kernels): a0 = syscall number, a1 = argument;
+result in a0; t0/t1 are clobbered (plus ra on the Metal machine, exactly
+as the paper's Figure 2 ABI).
+"""
+
+from __future__ import annotations
+
+from repro.osdemo.layout import MemoryLayout
+
+# Syscall numbers.
+SYS_NULL = 0
+SYS_PUTC = 1
+SYS_GETPID = 2
+SYS_EXIT = 3
+SYS_TIME = 4
+
+SYSCALL_SYMBOLS = {
+    "SYS_NULL": SYS_NULL,
+    "SYS_PUTC": SYS_PUTC,
+    "SYS_GETPID": SYS_GETPID,
+    "SYS_EXIT": SYS_EXIT,
+    "SYS_TIME": SYS_TIME,
+}
+
+#: The demo PID returned by SYS_GETPID.
+DEMO_PID = 7
+
+_SYSCALL_TABLE_INIT = """\
+    li   t0, SYSCALL_TABLE
+    li   t1, sys_null
+    sw   t1, 0(t0)
+    li   t1, sys_putc
+    sw   t1, 4(t0)
+    li   t1, sys_getpid
+    sw   t1, 8(t0)
+    li   t1, sys_exit
+    sw   t1, 12(t0)
+    li   t1, sys_time
+    sw   t1, 16(t0)
+"""
+
+
+def build_metal_os(layout: MemoryLayout = None, with_uli: bool = True) -> str:
+    """Kernel source for the Metal machine.
+
+    *with_uli* emits the kernel-mediated interrupt entry, which returns
+    through the ``uli_kret`` mroutine — requires the §3.4 ULI routines to
+    be loaded.  Pass False for machines without them.
+    """
+    layout = layout or MemoryLayout()
+    kirq_tail = (
+        "    menter MR_ULI_KRET\n" if with_uli else "    halt\n"
+    )
+    return f"""
+# MetalOS kernel (Metal machine).  Loaded at KERNEL_BASE; boots in kernel
+# privilege (m0 = 0 at reset), installs the syscall table and drops to
+# userspace through kexit.
+_kstart:
+    j    kinit
+
+.org KFAULT_ENTRY
+kfault:
+    # privilege violations and unhandled page faults land here (via the
+    # priv_fault / pagefault-forward mroutines), already at kernel level
+    li   t0, CONSOLE_TX
+    li   t1, 'F'
+    sw   t1, 0(t0)
+    halt
+
+.org KIRQ_ENTRY
+kirq:
+    # kernel-mediated interrupt entry (the non-ULI path): drain one NIC
+    # packet, count it, resume the interrupted code
+    li   t0, NIC_DMA_ADDR
+    li   t1, HEAP_BASE
+    sw   t1, 0(t0)
+    li   t0, NIC_RX_POP
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   t0, KIRQ_COUNT
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+{kirq_tail}
+kinit:
+    li   sp, KERNEL_STACK_TOP
+{_SYSCALL_TABLE_INIT}
+    li   ra, USER_BASE
+    menter MR_KEXIT           # drop to userspace (sets m0 = user)
+
+# ---- syscall handlers (entered from kenter at kernel level; ra holds
+# ---- the user resume address, per the Figure 2 ABI) -----------------
+sys_null:
+    menter MR_KEXIT
+sys_putc:
+    li   t0, CONSOLE_TX
+    sw   a1, 0(t0)
+    menter MR_KEXIT
+sys_getpid:
+    li   a0, {DEMO_PID}
+    menter MR_KEXIT
+sys_exit:
+    halt
+sys_time:
+    li   t0, TIMER_COUNT
+    lw   a0, 0(t0)
+    menter MR_KEXIT
+"""
+
+
+#: The software-TLB refill path of the trap baseline (shared with
+#: the E3 benchmark, which runs it in a standalone machine-mode kernel).
+TRAP_PF_REFILL_ASM = """
+    li   t1, CAUSE_PAGE_FAULT_FETCH
+    bltu t0, t1, kt_fatal
+    li   t1, CAUSE_PAGE_FAULT_STORE+1
+    bgeu t0, t1, kt_fatal
+    # ---- software TLB refill (baseline of §3.2) ---------------------
+    mpst t2, KSAVE+8(zero)        # page faults interrupt arbitrary code:
+    mpst t3, KSAVE+12(zero)       # save everything we touch
+    csrrs t3, CSR_MCAUSE, zero    # keep the cause for the perm check
+    csrrs t0, CSR_MTVAL, zero     # faulting VA
+    mpld t1, KPTROOT+0(zero)      # root (unmapped KSEG0-style access)
+    srli t2, t0, 22
+    slli t2, t2, 2
+    add  t1, t1, t2
+    mpld t1, 0(t1)                # L1 PTE
+    andi t2, t1, 1
+    beqz t2, kt_fatal
+    li   t2, 0xFFFFF000
+    and  t1, t1, t2
+    srli t2, t0, 12
+    andi t2, t2, 0x3FF
+    slli t2, t2, 2
+    add  t1, t1, t2
+    mpld t1, 0(t1)                # leaf PTE
+    andi t2, t1, 1
+    beqz t2, kt_fatal
+    addi t3, t3, -CAUSE_PAGE_FAULT_FETCH
+    beqz t3, kt_need_x
+    addi t3, t3, -1
+    beqz t3, kt_need_r
+    andi t2, t1, PTE_W
+    beqz t2, kt_fatal
+    j    kt_fill
+kt_need_x:
+    andi t2, t1, PTE_X
+    beqz t2, kt_fatal
+    j    kt_fill
+kt_need_r:
+    andi t2, t1, PTE_R
+    beqz t2, kt_fatal
+kt_fill:
+    li   t2, 0xFFFFF000
+    and  t3, t1, t2               # frame
+    srli t0, t1, 1
+    andi t0, t0, 0x1F
+    or   t3, t3, t0               # perms
+    andi t0, t1, 0x3C0
+    or   t3, t3, t0               # page key
+    csrrs t0, CSR_MTVAL, zero
+    and  t0, t0, t2               # VA page
+    mpld t2, KPTROOT+4(zero)      # ASID
+    or   t0, t0, t2
+    mtlbw t0, t3                  # refill
+    mpld t3, KSAVE+12(zero)
+    mpld t2, KSAVE+8(zero)
+    mpld t1, KSAVE+4(zero)
+    mpld t0, KSAVE+0(zero)
+    mret                          # retry the faulting instruction
+"""
+
+
+def build_trap_os(layout: MemoryLayout = None, with_vm: bool = False) -> str:
+    """Kernel source for the trap-baseline machine.
+
+    *with_vm* includes the software-TLB refill path (page-fault walk over
+    the radix tables installed at KPTROOT).
+    """
+    layout = layout or MemoryLayout()
+    pf_path = TRAP_PF_REFILL_ASM if with_vm else """
+    j    kt_fatal
+"""
+    return f"""
+# MetalOS kernel (trap-architecture baseline).  Same syscalls, but
+# privilege transitions go through ecall/mtvec/mret and the TLB is
+# refilled by a trap handler instead of an mroutine.
+_kstart:
+    j    kinit
+
+.org KFAULT_ENTRY
+kfault:
+    li   t0, CONSOLE_TX
+    li   t1, 'F'
+    sw   t1, 0(t0)
+    halt
+
+.org KIRQ_ENTRY
+kirq_stub:
+    j    kirq
+
+kinit:
+    li   sp, KERNEL_STACK_TOP
+{_SYSCALL_TABLE_INIT}
+    li   t0, ktrap
+    csrrw zero, CSR_MTVEC, t0
+    li   t0, USER_BASE
+    csrrw zero, CSR_MEPC, t0
+    csrrwi zero, CSR_MSTATUS, 0   # MPP = user, interrupts off
+    mret                          # drop to userspace
+
+ktrap:
+    mpst t0, KSAVE+0(zero)        # save before we have any free register
+    mpst t1, KSAVE+4(zero)
+    csrrs t0, CSR_MCAUSE, zero
+    li   t1, CAUSE_ECALL
+    beq  t0, t1, kt_ecall
+    li   t1, CAUSE_INTERRUPT_BASE
+    bgeu t0, t1, kirq
+{pf_path}
+kt_fatal:
+    li   t0, CONSOLE_TX
+    li   t1, 'F'
+    sw   t1, 0(t0)
+    halt
+
+kt_ecall:
+    # syscall ABI clobbers t0/t1, so no restore on this path
+    csrrs t0, CSR_MEPC, zero
+    addi t0, t0, 4                # resume after the ecall
+    csrrw zero, CSR_MEPC, t0
+    slli t0, a0, 2
+    li   t1, SYSCALL_TABLE
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    jr   t0
+
+kirq:
+    # kernel-mediated interrupt: drain one NIC packet and count it
+    li   t0, NIC_DMA_ADDR
+    li   t1, HEAP_BASE
+    sw   t1, 0(t0)
+    li   t0, NIC_RX_POP
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   t0, KIRQ_COUNT
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    mpld t1, KSAVE+4(zero)
+    mpld t0, KSAVE+0(zero)
+    mret
+
+# ---- syscall handlers (machine mode; mepc already advanced) ----------
+sys_null:
+    mret
+sys_putc:
+    li   t0, CONSOLE_TX
+    sw   a1, 0(t0)
+    mret
+sys_getpid:
+    li   a0, {DEMO_PID}
+    mret
+sys_exit:
+    halt
+sys_time:
+    li   t0, TIMER_COUNT
+    lw   a0, 0(t0)
+    mret
+"""
+
+
+#: Address of the kernel's interrupt counter (used by the ULI benches).
+KIRQ_COUNT_SYMBOLS = {"KIRQ_COUNT": 0x0000_2FC0}

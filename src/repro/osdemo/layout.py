@@ -1,0 +1,63 @@
+"""Canonical physical memory layout for MetalOS machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Fixed addresses shared between mroutines, kernel and user code.
+
+    The mroutine loader needs kernel entry addresses at Metal-load time, so
+    the layout is a compile-time contract rather than a linker product.
+    """
+
+    #: Trap-kernel physical save area (must stay below 2048 so ``mpst
+    #: reg, KSAVE(zero)`` encodes in a 12-bit immediate — the KSEG0-style
+    #: unmapped access the trap handler uses before it has a free
+    #: register).
+    ksave: int = 0x0000_0700
+    #: Trap-kernel page-table root + ASID storage (same constraint).
+    kptroot: int = 0x0000_0780
+    kernel_base: int = 0x0000_1000
+    syscall_table: int = 0x0000_2E00
+    mailbox: int = 0x0000_2F00       # page-fault forwarding mailbox
+    kernel_stack_top: int = 0x0000_3000
+    user_base: int = 0x0000_4000
+    user_stack_top: int = 0x0000_8000
+    heap_base: int = 0x0001_0000
+    pt_pool: int = 0x0010_0000       # page-table pool (builder-owned)
+    stm_clock: int = 0x0002_0000
+    stm_locks: int = 0x0002_1000
+
+    #: Fixed offsets of kernel entry points from kernel_base.  The kernel
+    #: source pins these with .org so mroutines can hard-code them.
+    FAULT_ENTRY_OFF = 0x40
+    IRQ_ENTRY_OFF = 0x80
+
+    @property
+    def fault_entry(self) -> int:
+        return self.kernel_base + self.FAULT_ENTRY_OFF
+
+    @property
+    def irq_entry(self) -> int:
+        return self.kernel_base + self.IRQ_ENTRY_OFF
+
+    def symbols(self) -> dict:
+        """Assembly symbols for this layout."""
+        return {
+            "KSAVE": self.ksave,
+            "KPTROOT": self.kptroot,
+            "KERNEL_BASE": self.kernel_base,
+            "SYSCALL_TABLE": self.syscall_table,
+            "MAILBOX": self.mailbox,
+            "KERNEL_STACK_TOP": self.kernel_stack_top,
+            "USER_BASE": self.user_base,
+            "USER_STACK_TOP": self.user_stack_top,
+            "HEAP_BASE": self.heap_base,
+            "KFAULT_ENTRY": self.fault_entry,
+            "KIRQ_ENTRY": self.irq_entry,
+            "STM_CLOCK": self.stm_clock,
+            "STM_LOCKS": self.stm_locks,
+        }

@@ -1,0 +1,228 @@
+"""Preemptive multitasking on MetalOS.
+
+The capstone integration of §3.1 + §3.4: timer interrupts are delivered by
+Metal (`uli_dispatch` kernel path), and the kernel's interrupt entry does a
+full context switch between user processes — save all 31 GPRs + PC, pick
+the next process, restore, and resume through `uli_kret` at the process's
+own privilege level.  No CSRs, no trap machinery: every privileged step is
+an mroutine.
+
+Layout (all inside the kernel's low pages):
+
+* per-process context blocks (``CTX_BASE`` + 256·pid): +0 saved PC,
+  +4·r saved x_r (r = 1..31), +128 privilege level;
+* ``SCHED_CURRENT`` — running pid; ``SCHED_SWITCHES`` — context-switch
+  count; scratch slots for the first spills (all < 2048 so the interrupt
+  path can address them off ``zero`` before it has a free register).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import Cause
+from repro.machine.builder import MachineConfig, build_metal_machine
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.uli import make_uli_routines
+from repro.osdemo.kernel import SYSCALL_SYMBOLS
+from repro.osdemo.layout import MemoryLayout
+
+#: Scheduling quantum in cycles.
+DEFAULT_QUANTUM = 2000
+
+#: Fixed kernel addresses (see module docstring).
+SCRATCH_T0 = 0x708
+SCRATCH_T1 = 0x70C
+SCRATCH_T2 = 0x710
+SCHED_CURRENT = 0x714
+SCHED_SWITCHES = 0x718
+CTX_BASE = 0x2C00
+CTX_STRIDE = 256
+OFF_CTX_PC = 0
+OFF_CTX_LEVEL = 128
+
+SCHED_SYMBOLS = {
+    "KSCHED_T0": SCRATCH_T0,
+    "KSCHED_T1": SCRATCH_T1,
+    "KSCHED_T2": SCRATCH_T2,
+    "SCHED_CURRENT": SCHED_CURRENT,
+    "SCHED_SWITCHES": SCHED_SWITCHES,
+    "CTX_BASE": CTX_BASE,
+}
+
+
+def _save_block() -> str:
+    """Store x1..x31 into the context block at t2 (t0-t2 via scratch)."""
+    lines = []
+    for r in range(1, 32):
+        if r == 5:
+            lines += ["    lw   t1, KSCHED_T0(zero)", "    sw   t1, 20(t2)"]
+        elif r == 6:
+            lines += ["    lw   t1, KSCHED_T1(zero)", "    sw   t1, 24(t2)"]
+        elif r == 7:
+            lines += ["    lw   t1, KSCHED_T2(zero)", "    sw   t1, 28(t2)"]
+        else:
+            lines.append(f"    sw   x{r}, {4 * r}(t2)")
+    return "\n".join(lines)
+
+
+def _restore_block() -> str:
+    """Load x1..x31 from the context block at t2 (t2 = x7 restored last)."""
+    lines = []
+    for r in range(1, 32):
+        if r == 7:
+            continue
+        lines.append(f"    lw   x{r}, {4 * r}(t2)")
+    lines.append("    lw   x7, 28(t2)")
+    return "\n".join(lines)
+
+
+def scheduler_kernel_source(quantum: int = DEFAULT_QUANTUM) -> str:
+    """The scheduler kernel: boot, timer-interrupt context switch."""
+    return f"""
+# MetalOS preemptive scheduler: two user processes, timer-driven
+# round-robin, all privileged transitions through mroutines.
+_kstart:
+    j    kinit
+
+.org KFAULT_ENTRY
+kfault:
+    li   t0, CONSOLE_TX
+    li   t1, 'F'
+    sw   t1, 0(t0)
+    halt
+
+.org KIRQ_ENTRY
+kirq:
+    # Timer interrupt, kernel path: full context switch.
+    sw   t0, KSCHED_T0(zero)      # spill before we own any register
+    sw   t1, KSCHED_T1(zero)
+    sw   t2, KSCHED_T2(zero)
+    lw   t0, SCHED_CURRENT(zero)
+    slli t1, t0, 8
+    li   t2, CTX_BASE
+    add  t2, t2, t1               # t2 = interrupted process's context
+{_save_block()}
+    mv   s1, t2                   # context saved: registers are ours now
+    menter MR_ULI_KINFO           # a0 = interrupted PC, a1 = its level
+    sw   a0, {OFF_CTX_PC}(s1)
+    sw   a1, {OFF_CTX_LEVEL}(s1)
+    # round-robin to the other process
+    lw   t0, SCHED_CURRENT(zero)
+    xori t0, t0, 1
+    sw   t0, SCHED_CURRENT(zero)
+    slli t1, t0, 8
+    li   t2, CTX_BASE
+    add  s1, t2, t1               # s1 = next process's context
+    lw   a0, {OFF_CTX_PC}(s1)
+    lw   a1, {OFF_CTX_LEVEL}(s1)
+    menter MR_ULI_KSET            # where uli_kret will resume
+    lw   t0, SCHED_SWITCHES(zero)
+    addi t0, t0, 1
+    sw   t0, SCHED_SWITCHES(zero)
+    # re-arm the quantum timer
+    li   t0, TIMER_COUNT
+    lw   t1, 0(t0)
+    li   t0, {quantum}
+    add  t1, t1, t0
+    li   t0, TIMER_COMPARE
+    sw   t1, 0(t0)
+    # restore the next process and go
+    mv   t2, s1
+{_restore_block()}
+    menter MR_ULI_KRET            # resumes at its PC, at its level
+
+kinit:
+    li   sp, KERNEL_STACK_TOP
+    # initialise process 1's context: starts at PROC1_ENTRY, user level
+    li   t0, CTX_BASE + {CTX_STRIDE}
+    li   t1, PROC1_ENTRY
+    sw   t1, {OFF_CTX_PC}(t0)
+    li   t1, 1
+    sw   t1, {OFF_CTX_LEVEL}(t0)
+    sw   zero, SCHED_CURRENT(zero)
+    sw   zero, SCHED_SWITCHES(zero)
+    # route the timer line through the ULI dispatcher, kernel path only
+    li   a0, 0
+    li   a1, 9                    # sanctioned level 9 never matches:
+    li   a2, IRQ_LINE_TIMER       # delivery always takes the kernel path
+    menter MR_ULI_REGISTER
+    # arm the first quantum and enable the timer interrupt
+    li   t0, TIMER_COUNT
+    lw   t1, 0(t0)
+    li   t0, {quantum}
+    add  t1, t1, t0
+    li   t0, TIMER_COMPARE
+    sw   t1, 0(t0)
+    li   t0, TIMER_CTRL
+    li   t1, 1
+    sw   t1, 0(t0)
+    # enter process 0 in userspace
+    li   ra, PROC0_ENTRY
+    menter MR_KEXIT
+"""
+
+
+def demo_processes(counter0: int = 0x6000, counter1: int = 0x6004,
+                   errflag: int = 0x6008) -> str:
+    """Two user processes: each bumps its counter forever and checks that
+    its private register state survives preemption."""
+    return f"""
+proc0:
+    li   s2, {counter0:#x}
+    li   s4, 0xAAA            # private state: must survive context switches
+p0loop:
+    li   t3, 0xAAA
+    beq  s4, t3, p0ok
+    li   t3, {errflag:#x}
+    li   t4, 1
+    sw   t4, 0(t3)            # register state corrupted!
+p0ok:
+    lw   s3, 0(s2)
+    addi s3, s3, 1
+    sw   s3, 0(s2)
+    j    p0loop
+
+proc1:
+    li   s2, {counter1:#x}
+    li   s4, 0xBBB
+p1loop:
+    li   t3, 0xBBB
+    beq  s4, t3, p1ok
+    li   t3, {errflag:#x}
+    li   t4, 1
+    sw   t4, 0(t3)
+p1ok:
+    lw   s3, 0(s2)
+    addi s3, s3, 1
+    sw   s3, 0(s2)
+    j    p1loop
+"""
+
+
+def boot_scheduler_demo(quantum: int = DEFAULT_QUANTUM,
+                        config: MachineConfig = None, **config_kwargs):
+    """Build a Metal machine running the preemptive scheduler demo."""
+    layout = MemoryLayout()
+    routines = (make_kernel_user_routines(layout.syscall_table,
+                                          layout.fault_entry)
+                + make_uli_routines(layout.irq_entry))
+    config = config or MachineConfig(**config_kwargs)
+    config.extra_symbols = {
+        **layout.symbols(), **SYSCALL_SYMBOLS, **SCHED_SYMBOLS,
+        **config.extra_symbols,
+    }
+    machine = build_metal_machine(routines, config=config)
+    machine.route_cause(Cause.PRIVILEGE, "priv_fault")
+
+    user = machine.assemble(demo_processes(), base=layout.user_base)
+    machine.load(user)
+    kernel = machine.assemble(
+        scheduler_kernel_source(quantum),
+        base=layout.kernel_base,
+        extra_symbols={
+            "PROC0_ENTRY": user.symbols["proc0"],
+            "PROC1_ENTRY": user.symbols["proc1"],
+        },
+    )
+    machine.load(kernel)
+    machine.core.pc = layout.kernel_base
+    return machine

@@ -1,0 +1,54 @@
+"""User-program building blocks for MetalOS."""
+
+from __future__ import annotations
+
+
+def syscall_metal(number_expr: str, arg_expr: str = None) -> str:
+    """One syscall on the Metal machine (kenter path)."""
+    lines = []
+    if arg_expr is not None:
+        lines.append(f"    li   a1, {arg_expr}")
+    lines.append(f"    li   a0, {number_expr}")
+    lines.append("    menter MR_KENTER")
+    return "\n".join(lines) + "\n"
+
+
+def syscall_trap(number_expr: str, arg_expr: str = None) -> str:
+    """One syscall on the trap-baseline machine (ecall path)."""
+    lines = []
+    if arg_expr is not None:
+        lines.append(f"    li   a1, {arg_expr}")
+    lines.append(f"    li   a0, {number_expr}")
+    lines.append("    ecall")
+    return "\n".join(lines) + "\n"
+
+
+def putc_loop(text: str, metal: bool) -> str:
+    """A user program that prints *text* one syscall at a time, then exits."""
+    call = syscall_metal if metal else syscall_trap
+
+    def literal(ch: str) -> str:
+        if ch.isprintable() and ch not in "'\\":
+            return f"'{ch}'"
+        return str(ord(ch))
+
+    body = "".join(call("SYS_PUTC", literal(ch)) for ch in text)
+    return (
+        "_user:\n"
+        "    li   sp, USER_STACK_TOP\n"
+        f"{body}"
+        f"{call('SYS_EXIT')}"
+    )
+
+
+def null_syscall_loop(iterations: int, metal: bool) -> str:
+    """A user program issuing *iterations* null syscalls (bench E2)."""
+    call = syscall_metal("SYS_NULL") if metal else syscall_trap("SYS_NULL")
+    return f"""
+_user:
+    li   sp, USER_STACK_TOP
+    li   s0, {iterations}
+uloop:
+{call}    addi s0, s0, -1
+    bnez s0, uloop
+{syscall_metal("SYS_EXIT") if metal else syscall_trap("SYS_EXIT")}"""

@@ -1,0 +1,31 @@
+"""Structural hardware-cost model (paper Table 2).
+
+The paper synthesizes its 5-stage Verilog prototype with Yosys and a
+Synopsys standard-cell library and reports wires/cells with and without
+Metal.  We have no HDL flow, so this package reproduces the *structure* of
+that result: a component library with per-primitive cell/wire costs
+(:mod:`~repro.synthesis.components`), hierarchical netlists of the
+baseline CPU (:mod:`~repro.synthesis.baseline_cpu`) and of the Metal
+additions (:mod:`~repro.synthesis.metal_cpu`), and a report generator
+(:mod:`~repro.synthesis.report`).
+
+Calibration: primitive costs are fixed library constants except the SRAM
+cell/wire factors, fitted **once to the paper's baseline row only**
+(170,264 wires / 180,546 cells); the Metal *delta* is then a prediction of
+the structural model, not a fit — reproducing where the ~14%/~16% comes
+from (dominated by the MRAM macros, see ``bench_hw_ablation.py``).
+"""
+
+from repro.synthesis.netlist import Module
+from repro.synthesis.baseline_cpu import build_baseline_cpu
+from repro.synthesis.metal_cpu import build_metal_cpu, build_metal_extension
+from repro.synthesis.report import Table2Report, generate_table2
+
+__all__ = [
+    "Module",
+    "build_baseline_cpu",
+    "build_metal_cpu",
+    "build_metal_extension",
+    "Table2Report",
+    "generate_table2",
+]

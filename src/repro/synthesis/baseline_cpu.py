@@ -1,0 +1,88 @@
+"""Structural netlist of the baseline 5-stage pipelined RISC CPU.
+
+Mirrors the simulator's microarchitecture: IF/ID/EX/MEM/WB, 32x32 GPR
+file, 16 KiB I/D caches, a 32-entry fully-associative software-managed
+TLB with ASIDs and page keys, M-extension datapath, and the trap CSR file.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis import components as c
+from repro.synthesis.netlist import Module
+
+
+def build_baseline_cpu(icache_kib: int = 16, dcache_kib: int = 16,
+                       tlb_entries: int = 32) -> Module:
+    """Build the baseline CPU netlist."""
+    cpu = Module("cpu")
+
+    fetch = cpu.submodule("fetch")
+    fetch.add("pc_reg", c.dff(32))
+    fetch.add("pc_adder", c.adder(32))
+    fetch.add("target_adder", c.adder(32))
+    fetch.add("pc_mux", c.muxn(32, 4))
+    _cache(fetch.submodule("icache"), icache_kib)
+
+    decode = cpu.submodule("decode")
+    decode.add("regfile_32x32_2r1w", c.register_file(32, 32, 2, 1))
+    decode.add("imm_gen", c.muxn(32, 6))
+    decode.add("decoder", c.decoder_unit(distinct_ops=64))
+    decode.add("hazard_unit", c.control_fsm(8, 24))
+
+    execute = cpu.submodule("execute")
+    execute.add("alu", c.alu(32))
+    execute.add("multiplier", c.multiplier(32))
+    execute.add("divider", c.divider(32))
+    execute.add("fwd_mux_a", c.muxn(32, 3))
+    execute.add("fwd_mux_b", c.muxn(32, 3))
+    execute.add("branch_cmp", c.comparator(32))
+
+    mem = cpu.submodule("mem")
+    _cache(mem.submodule("dcache"), dcache_kib)
+    mem.add("align_net", c.muxn(32, 4))
+    mem.add("store_buffer", c.dff(2 * 37))
+    mem.add("bus_interface", c.control_fsm(12, 40))
+
+    wb = cpu.submodule("writeback")
+    wb.add("result_mux", c.muxn(32, 3))
+
+    mmu = cpu.submodule("mmu")
+    # Tag: VPN(20) + ASID(8) + G; data: PPN(20) + perms(5) + key(4).
+    mmu.add("tlb_cam", c.cam(tlb_entries, 29))
+    mmu.add("tlb_data", c.dff(tlb_entries * 29))
+    mmu.add("pkr_reg", c.dff(32))
+    mmu.add("asid_reg", c.dff(8))
+    mmu.add("fault_logic", c.control_fsm(6, 16))
+
+    latches = cpu.submodule("pipeline_latches")
+    latches.add("if_id", c.pipeline_latch(96))
+    latches.add("id_ex", c.pipeline_latch(180))
+    latches.add("ex_mem", c.pipeline_latch(140))
+    latches.add("mem_wb", c.pipeline_latch(104))
+
+    csr = cpu.submodule("csr")
+    csr.add("csr_regs", c.dff(8 * 32))
+    csr.add("csr_mux", c.muxn(32, 8))
+    csr.add("trap_logic", c.control_fsm(10, 32))
+
+    misc = cpu.submodule("misc")
+    misc.add("interrupt_ctl", c.dff(2 * 32))
+    misc.add("counters", c.dff(2 * 64))
+    misc.add("glue", c.control_fsm(16, 48))
+
+    return cpu
+
+
+def _cache(module: Module, size_kib: int, line_bytes: int = 32,
+           ways: int = 4) -> Module:
+    """Set-associative cache: data + tag arrays + match/replace logic."""
+    data_bits = size_kib * 1024 * 8
+    lines = size_kib * 1024 // line_bytes
+    tag_bits_per_line = 20 + 2   # tag + valid/dirty
+    module.add("data_array", c.sram_macro(data_bits))
+    module.add("tag_array", c.sram_macro(lines * tag_bits_per_line))
+    module.add("way_compare", c.comparator(20) * ways)
+    module.add("way_mux", c.muxn(256, ways))
+    module.add("lru_state", c.dff(lines // ways * 3))
+    module.add("control", c.control_fsm(8, 24))
+    return module

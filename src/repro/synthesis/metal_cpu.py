@@ -1,0 +1,77 @@
+"""Structural netlist of the Metal additions (paper Figure 1 hardware).
+
+The prototype-sized MRAM used for the Table 2 comparison is 4 KiB of code
+plus 1 KiB of data — enough for the paper's applications (our complete
+mcode library assembles to ~2.5 KiB of code).  The functional simulator's
+*default* MRAM is larger (8+4 KiB) purely for development convenience;
+``bench_hw_ablation.py`` sweeps the MRAM size to show exactly how the
+hardware cost scales with it.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis import components as c
+from repro.synthesis.baseline_cpu import build_baseline_cpu
+from repro.synthesis.netlist import Module
+
+#: Prototype MRAM sizing used for the Table 2 row.
+PROTO_MRAM_CODE_KIB = 4
+PROTO_MRAM_DATA_KIB = 1
+
+
+def build_metal_extension(mram_code_kib: int = PROTO_MRAM_CODE_KIB,
+                          mram_data_kib: int = PROTO_MRAM_DATA_KIB,
+                          mroutines: int = 64,
+                          intercept_slots: int = 16) -> Module:
+    """Netlist of everything Metal adds to the baseline CPU."""
+    metal = Module("metal")
+
+    mram = metal.submodule("mram")
+    mram.add("code_segment", c.sram_macro(mram_code_kib * 1024 * 8))
+    mram.add("data_segment", c.sram_macro(mram_data_kib * 1024 * 8))
+    mram.add("fetch_port_mux", c.mux2(32))
+    mram.add("addr_decode", c.control_fsm(4, 16))
+
+    mregs = metal.submodule("mreg_file")
+    mregs.add("mregs_32x32_1r1w", c.register_file(32, 32, 1, 1))
+
+    entry = metal.submodule("entry_table")
+    # 64 mroutine entries of MRAM code offsets (13 bits covers 8 KiB),
+    # kept in a small macro alongside the MRAM.
+    entry.add("entries", c.sram_macro(mroutines * 13))
+    entry.add("read_port", c.muxn(13, 4))
+
+    icept = metal.submodule("intercept_unit")
+    # Match spec: opcode(7) + funct3(3) + funct3-valid(1) = 11 tag bits;
+    # payload: 6-bit handler entry per slot.
+    icept.add("match_cam", c.cam(intercept_slots, 11))
+    icept.add("entry_regs", c.dff(intercept_slots * 6))
+    icept.add("entry_mux", c.muxn(6, intercept_slots))
+
+    delivery = metal.submodule("delivery_table")
+    # 48 routable causes x (6-bit entry + valid), in a small macro.
+    delivery.add("vectors", c.sram_macro(48 * 7))
+    delivery.add("read_port", c.muxn(7, 4))
+    delivery.add("intc_state", c.dff(2))
+
+    transition = metal.submodule("transition_unit")
+    # The §2.2 decode-stage replacement: substitute menter/mexit with the
+    # target instruction, plus operand latches (m24-m31 write paths).
+    transition.add("decode_replace_mux", c.mux2(32) * 2)
+    transition.add("mode_bit", c.dff(1))
+    transition.add("operand_latch_paths", c.mux2(32) * 4)
+    transition.add("metal_decode", c.decoder_unit(distinct_ops=24))
+    transition.add("control", c.control_fsm(12, 36))
+
+    return metal
+
+
+def build_metal_cpu(icache_kib: int = 16, dcache_kib: int = 16,
+                    tlb_entries: int = 32,
+                    mram_code_kib: int = PROTO_MRAM_CODE_KIB,
+                    mram_data_kib: int = PROTO_MRAM_DATA_KIB) -> Module:
+    """Baseline CPU + Metal extension (the paper's "Metal" column)."""
+    cpu = build_baseline_cpu(icache_kib, dcache_kib, tlb_entries)
+    cpu.name = "cpu_metal"
+    cpu.attach(build_metal_extension(mram_code_kib, mram_data_kib))
+    return cpu

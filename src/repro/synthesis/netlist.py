@@ -1,0 +1,56 @@
+"""Hierarchical netlist aggregation."""
+
+from __future__ import annotations
+
+from repro.synthesis.components import Cost
+
+
+class Module:
+    """A named hierarchy node holding primitive costs and submodules."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items = []   # (label, Cost) leaves
+        self._subs = []    # Module children
+
+    def add(self, label: str, cost: Cost) -> "Module":
+        """Add a primitive instance."""
+        self._items.append((label, cost))
+        return self
+
+    def submodule(self, name: str) -> "Module":
+        """Create and attach a child module."""
+        child = Module(name)
+        self._subs.append(child)
+        return child
+
+    def attach(self, module: "Module") -> "Module":
+        """Attach an existing module as a child."""
+        self._subs.append(module)
+        return module
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> Cost:
+        total = Cost()
+        for _, cost in self._items:
+            total = total + cost
+        for sub in self._subs:
+            total = total + sub.total
+        return total
+
+    def breakdown(self, depth: int = 1):
+        """Yield ``(path, Cost)`` rows down to *depth* levels."""
+        yield (self.name, self.total)
+        if depth <= 0:
+            return
+        for sub in self._subs:
+            for path, cost in sub.breakdown(depth - 1):
+                yield (f"{self.name}/{path}", cost)
+
+    def report(self, depth: int = 1) -> str:
+        """Human-readable cell/wire breakdown."""
+        lines = [f"{'module':<44} {'cells':>10} {'wires':>10}"]
+        for path, cost in self.breakdown(depth):
+            lines.append(f"{path:<44} {cost.cells:>10,} {cost.wires:>10,}")
+        return "\n".join(lines)

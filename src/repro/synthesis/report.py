@@ -1,0 +1,78 @@
+"""Table 2 report generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthesis.baseline_cpu import build_baseline_cpu
+from repro.synthesis.metal_cpu import build_metal_cpu
+
+#: The paper's Table 2 values.
+PAPER_BASELINE_WIRES = 170_264
+PAPER_BASELINE_CELLS = 180_546
+PAPER_METAL_WIRES = 197_705
+PAPER_METAL_CELLS = 206_384
+PAPER_WIRE_CHANGE = 16.1
+PAPER_CELL_CHANGE = 14.3
+
+
+@dataclass
+class Table2Report:
+    """Our Table 2: wires/cells for the baseline and Metal CPUs."""
+
+    baseline_wires: int
+    baseline_cells: int
+    metal_wires: int
+    metal_cells: int
+
+    @property
+    def wire_change_pct(self) -> float:
+        return 100.0 * (self.metal_wires - self.baseline_wires) / self.baseline_wires
+
+    @property
+    def cell_change_pct(self) -> float:
+        return 100.0 * (self.metal_cells - self.baseline_cells) / self.baseline_cells
+
+    def rows(self):
+        """(name, baseline, metal, %change) rows in paper order."""
+        return [
+            ("Number of Wires", self.baseline_wires, self.metal_wires,
+             self.wire_change_pct),
+            ("Number of Cells", self.baseline_cells, self.metal_cells,
+             self.cell_change_pct),
+        ]
+
+    def format(self, with_paper: bool = True) -> str:
+        lines = [
+            "Table 2: Hardware resources for adding Metal to the 5-stage "
+            "pipelined processor",
+            f"{'':<18} {'Baseline':>10} {'Metal':>10} {'%Change':>9}",
+        ]
+        for name, base, metal, change in self.rows():
+            lines.append(f"{name:<18} {base:>10,} {metal:>10,} {change:>8.1f}%")
+        if with_paper:
+            lines.append("")
+            lines.append(
+                f"{'(paper)':<18} {PAPER_BASELINE_WIRES:>10,} "
+                f"{PAPER_METAL_WIRES:>10,} {PAPER_WIRE_CHANGE:>8.1f}%"
+            )
+            lines.append(
+                f"{'':<18} {PAPER_BASELINE_CELLS:>10,} "
+                f"{PAPER_METAL_CELLS:>10,} {PAPER_CELL_CHANGE:>8.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def generate_table2(**kwargs) -> Table2Report:
+    """Build both CPUs and produce the Table 2 comparison."""
+    baseline = build_baseline_cpu(
+        **{k: v for k, v in kwargs.items()
+           if k in ("icache_kib", "dcache_kib", "tlb_entries")}
+    ).total
+    metal = build_metal_cpu(**kwargs).total
+    return Table2Report(
+        baseline_wires=baseline.wires,
+        baseline_cells=baseline.cells,
+        metal_wires=metal.wires,
+        metal_cells=metal.cells,
+    )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MRoutine, build_metal_machine, build_trap_machine
+
+
+@pytest.fixture
+def noop_routine():
+    """An mroutine that immediately returns."""
+    return MRoutine(name="noop", entry=0, source="mexit\n")
+
+
+@pytest.fixture
+def metal_machine(noop_routine):
+    """A Metal machine with a single no-op mroutine, no caches."""
+    return build_metal_machine([noop_routine], with_caches=False)
+
+
+@pytest.fixture
+def trap_machine():
+    """A plain trap-baseline machine, no caches."""
+    return build_trap_machine(with_caches=False)
+
+
+def run_asm(machine, source, base=0x1000, max_instructions=1_000_000):
+    """Assemble, load and run to halt; returns the machine."""
+    machine.load_and_run(source, base=base, max_instructions=max_instructions)
+    return machine

@@ -1,0 +1,122 @@
+"""ALU semantics: unit cases plus property tests against Python ints."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu import alu
+
+u32s = st.integers(0, 0xFFFFFFFF)
+
+
+def signed(v):
+    return v - (1 << 32) if v & 0x80000000 else v
+
+
+class TestAddSub:
+    def test_add_wraps(self):
+        assert alu.add(0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu.sub(0, 1) == 0xFFFFFFFF
+
+    @given(u32s, u32s)
+    def test_add_matches_python(self, a, b):
+        assert alu.add(a, b) == (a + b) & 0xFFFFFFFF
+
+    @given(u32s, u32s)
+    def test_sub_matches_python(self, a, b):
+        assert alu.sub(a, b) == (a - b) & 0xFFFFFFFF
+
+
+class TestShifts:
+    def test_sll_uses_low5_bits(self):
+        assert alu.sll(1, 33) == 2
+
+    def test_srl_logical(self):
+        assert alu.srl(0x80000000, 1) == 0x40000000
+
+    def test_sra_arithmetic(self):
+        assert alu.sra(0x80000000, 1) == 0xC0000000
+        assert alu.sra(0x40000000, 1) == 0x20000000
+
+    @given(u32s, st.integers(0, 31))
+    def test_srl_matches_python(self, a, s):
+        assert alu.srl(a, s) == a >> s
+
+    @given(u32s, st.integers(0, 31))
+    def test_sra_matches_python(self, a, s):
+        assert alu.sra(a, s) == (signed(a) >> s) & 0xFFFFFFFF
+
+
+class TestCompare:
+    def test_slt_signed(self):
+        assert alu.slt(0xFFFFFFFF, 0) == 1   # -1 < 0
+        assert alu.slt(0, 0xFFFFFFFF) == 0
+
+    def test_sltu_unsigned(self):
+        assert alu.sltu(0xFFFFFFFF, 0) == 0
+        assert alu.sltu(0, 0xFFFFFFFF) == 1
+
+    @given(u32s, u32s)
+    def test_branch_ops_consistent(self, a, b):
+        assert alu.BRANCH_OPS["beq"](a, b) == (a == b)
+        assert alu.BRANCH_OPS["bne"](a, b) == (a != b)
+        assert alu.BRANCH_OPS["blt"](a, b) == (signed(a) < signed(b))
+        assert alu.BRANCH_OPS["bgeu"](a, b) == (a >= b)
+
+
+class TestMul:
+    def test_mul_low(self):
+        assert alu.mul(0x10000, 0x10000) == 0  # low 32 bits
+
+    def test_mulh_signed(self):
+        assert alu.mulh(0xFFFFFFFF, 0xFFFFFFFF) == 0  # (-1)*(-1)=1, high=0
+
+    def test_mulhu_unsigned(self):
+        assert alu.mulhu(0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFE
+
+    def test_mulhsu_mixed(self):
+        # -1 * 0xFFFFFFFF = -0xFFFFFFFF -> high word 0xFFFFFFFF
+        assert alu.mulhsu(0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFF
+
+    @given(u32s, u32s)
+    def test_mul_matches_python(self, a, b):
+        assert alu.mul(a, b) == (signed(a) * signed(b)) & 0xFFFFFFFF
+
+    @given(u32s, u32s)
+    def test_mulhu_matches_python(self, a, b):
+        assert alu.mulhu(a, b) == (a * b) >> 32
+
+
+class TestDivRem:
+    def test_div_by_zero_is_minus_one(self):
+        assert alu.div(42, 0) == 0xFFFFFFFF
+        assert alu.divu(42, 0) == 0xFFFFFFFF
+
+    def test_rem_by_zero_is_dividend(self):
+        assert alu.rem(42, 0) == 42
+        assert alu.remu(42, 0) == 42
+
+    def test_signed_overflow(self):
+        int_min = 0x80000000
+        assert alu.div(int_min, 0xFFFFFFFF) == int_min  # wraps
+        assert alu.rem(int_min, 0xFFFFFFFF) == 0
+
+    def test_truncating_division(self):
+        # RISC-V divides toward zero: -7 / 2 == -3, rem -1
+        assert signed(alu.div(alu.sub(0, 7), 2)) == -3
+        assert signed(alu.rem(alu.sub(0, 7), 2)) == -1
+
+    @given(u32s, st.integers(1, 0xFFFFFFFF))
+    def test_divu_matches_python(self, a, b):
+        assert alu.divu(a, b) == a // b
+        assert alu.remu(a, b) == a % b
+
+    @given(u32s, u32s)
+    def test_div_rem_identity(self, a, b):
+        """a == div(a,b)*b + rem(a,b) (mod 2^32), including edge cases."""
+        q = alu.div(a, b)
+        r = alu.rem(a, b)
+        if b == 0:
+            assert q == 0xFFFFFFFF and r == a
+        else:
+            assert (signed(q) * signed(b) + signed(r)) & 0xFFFFFFFF == a

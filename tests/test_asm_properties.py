@@ -1,0 +1,113 @@
+"""Property-based assembler/expression tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.asm.assembler import split_operands
+from repro.asm.expr import ExprEvaluator, hi20, lo12
+from repro.asm.lexer import tokenize
+from repro.isa.decoder import decode
+
+
+u32s = st.integers(0, 0xFFFFFFFF)
+
+
+class TestHiLo:
+    @given(u32s)
+    def test_hi_lo_reconstructs_every_address(self, value):
+        assert ((hi20(value) << 12) + lo12(value)) & 0xFFFFFFFF == value
+
+    @given(u32s)
+    def test_lo12_is_signed_12bit(self, value):
+        assert -2048 <= lo12(value) <= 2047
+
+    @given(u32s)
+    def test_hi20_fits_field(self, value):
+        assert 0 <= hi20(value) < (1 << 20)
+
+
+class TestExpressions:
+    def _eval(self, text, symbols=None, location=0):
+        ev = ExprEvaluator(symbols or {}, location)
+        return ev.evaluate(tokenize(text))
+
+    @given(st.integers(-10_000, 10_000), st.integers(-10_000, 10_000))
+    def test_addition(self, a, b):
+        assert self._eval(f"{a} + {b}".replace("+ -", "- ")) == a + b
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(1, 50))
+    def test_precedence(self, a, b, c):
+        assert self._eval(f"{a} + {b} * {c}") == a + b * c
+        assert self._eval(f"({a} + {b}) * {c}") == (a + b) * c
+
+    @given(st.integers(0, 10_000), st.integers(1, 100))
+    def test_division_floors(self, a, b):
+        assert self._eval(f"{a} / {b}") == a // b
+
+    def test_nested_unary_minus(self):
+        assert self._eval("- - 5") == 5
+        assert self._eval("-(3 + 4)") == -7
+
+    @given(st.integers(0, 0xFFFF))
+    def test_symbols_resolve(self, value):
+        assert self._eval("SYM + 1", symbols={"SYM": value}) == value + 1
+
+    @given(st.integers(0, 0xFFFF))
+    def test_dot_location(self, loc):
+        assert self._eval(". + 4", location=loc) == loc + 4
+
+
+class TestSplitOperands:
+    def test_parens_protect_commas(self):
+        # not a realistic operand, but commas inside parens must not split
+        assert split_operands("a, (b, c), d") == ["a", "(b, c)", "d"]
+
+    def test_strings_protect_commas(self):
+        assert split_operands('"x, y", z') == ['"x, y"', "z"]
+
+    def test_empty(self):
+        assert split_operands("") == []
+
+    @given(st.lists(st.sampled_from(["a0", "12", "sym", "0x10"]),
+                    min_size=1, max_size=6))
+    def test_roundtrip_simple(self, chunks):
+        joined = ", ".join(chunks)
+        assert split_operands(joined) == chunks
+
+
+@st.composite
+def li_values(draw):
+    return draw(st.integers(-(1 << 31), (1 << 32) - 1))
+
+
+@given(li_values())
+@settings(max_examples=300)
+def test_li_materializes_any_32bit_value(value):
+    """The li pseudo must reconstruct every 32-bit constant exactly."""
+    prog = assemble(f"li s0, {value}")
+    hi = decode(prog.words()[0]).imm
+    lo = decode(prog.words()[1]).imm
+    assert (hi + lo) & 0xFFFFFFFF == value & 0xFFFFFFFF
+
+
+@given(li_values())
+@settings(max_examples=100)
+def test_li_executes_to_value(value):
+    """End to end: the machine register really holds the constant."""
+    from repro import build_trap_machine
+
+    m = build_trap_machine(with_caches=False)
+    m.load_and_run(f"_start:\n    li s0, {value}\n    halt\n")
+    assert m.reg("s0") == value & 0xFFFFFFFF
+
+
+@given(st.integers(0, 200), st.integers(0, 200))
+def test_labels_are_position_exact(before, after):
+    """A label's address equals base + 4 * (instructions before it)."""
+    source = (
+        "_start:\n" + "    nop\n" * before
+        + "here:\n" + "    nop\n" * after + "    halt\n"
+    )
+    prog = assemble(source, base=0x2000)
+    assert prog.symbols["here"] == 0x2000 + 4 * before
+    assert prog.size == 4 * (before + after + 1)

@@ -1,0 +1,279 @@
+"""Assembler unit tests: syntax, directives, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import (
+    AsmRangeError,
+    AsmSymbolError,
+    AsmSyntaxError,
+)
+from repro.isa import decode
+
+
+def words(source, base=0, symbols=None):
+    return assemble(source, base=base, symbols=symbols).words()
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        assert len(words("addi a0, a0, 1")) == 1
+
+    def test_comments_and_blank_lines(self):
+        prog = words("""
+        # full-line comment
+        addi a0, a0, 1   # trailing comment
+        ; semicolon comment
+
+        addi a0, a0, 2
+        """)
+        assert len(prog) == 2
+
+    def test_register_spellings(self):
+        a = words("add x10, x11, x12")
+        b = words("add a0, a1, a2")
+        assert a == b
+
+    def test_fp_alias(self):
+        assert words("mv fp, sp") == words("mv s0, sp")
+
+    def test_case_insensitive_mnemonic(self):
+        assert words("ADDI a0, a0, 1") == words("addi a0, a0, 1")
+
+    def test_char_literal(self):
+        instr = decode(words("li a0, 'A'")[1])  # addi carries the low part
+        assert instr.imm == ord("A")
+
+    def test_escaped_char_literal(self):
+        instr = decode(words(r"addi a0, zero, '\n'")[0])
+        assert instr.imm == 10
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        prog = assemble("""
+        start:
+            j end
+            nop
+        end:
+            halt
+        """, base=0x100)
+        assert prog.symbols["start"] == 0x100
+        assert prog.symbols["end"] == 0x108
+        jal = decode(prog.words()[0])
+        assert jal.imm == 8
+
+    def test_backward_branch(self):
+        prog = assemble("""
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+        """)
+        b = decode(prog.words()[1])
+        assert b.imm == -4
+
+    def test_redefined_label(self):
+        with pytest.raises(AsmSymbolError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmSymbolError):
+            assemble("j nowhere")
+
+    def test_external_symbols(self):
+        prog = assemble("li a0, MAGIC", symbols={"MAGIC": 0x1234})
+        lo = decode(prog.words()[1])
+        assert lo.imm == 0x234
+
+    def test_multiple_labels_one_line(self):
+        prog = assemble("a: b: nop")
+        assert prog.symbols["a"] == prog.symbols["b"] == 0
+
+
+class TestDirectives:
+    def test_word_and_byte(self):
+        prog = assemble("""
+        .word 0x11223344, 5
+        .byte 1, 2, 3, 4
+        """)
+        assert prog.words()[0] == 0x11223344
+        assert prog.words()[1] == 5
+        assert prog.words()[2] == 0x04030201
+
+    def test_half(self):
+        prog = assemble(".half 0x1234, 0x5678")
+        assert prog.words()[0] == 0x56781234
+
+    def test_ascii_and_asciz(self):
+        prog = assemble('.asciz "AB"')
+        assert bytes(prog.data) == b"AB\x00"
+
+    def test_ascii_escapes(self):
+        prog = assemble(r'.ascii "a\nb"')
+        assert bytes(prog.data) == b"a\nb"
+
+    def test_align(self):
+        prog = assemble("""
+        .byte 1
+        .align 2
+        marker:
+        .word 9
+        """)
+        assert prog.symbols["marker"] == 4
+
+    def test_org(self):
+        prog = assemble("""
+        nop
+        .org 0x20
+        there:
+        nop
+        """, base=0)
+        assert prog.symbols["there"] == 0x20
+        assert prog.size == 0x24
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AsmRangeError):
+            assemble("nop\nnop\n.org 4\nnop")
+
+    def test_equ(self):
+        prog = assemble("""
+        .equ FOO, 40 + 2
+        addi a0, zero, FOO
+        """)
+        assert decode(prog.words()[0]).imm == 42
+
+    def test_space(self):
+        prog = assemble("""
+        .space 12
+        end:
+        """)
+        assert prog.symbols["end"] == 12
+        assert all(b == 0 for b in prog.data)
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".bogus 1")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        prog = assemble("addi a0, zero, (2 + 3) * 4 - 6 / 2")
+        assert decode(prog.words()[0]).imm == 17
+
+    def test_unary_minus(self):
+        prog = assemble("addi a0, zero, -5 + 1")
+        assert decode(prog.words()[0]).imm == -4
+
+    def test_dot_is_location(self):
+        prog = assemble("""
+        nop
+        .word .
+        """, base=0x80)
+        assert prog.words()[1] == 0x84
+
+    def test_hi_lo_reconstruct(self):
+        for value in (0x12345678, 0xFFFFF800, 0x800, 0x7FF, 0xDEADBEEF):
+            prog = assemble(f"""
+            lui  t0, %hi({value:#x})
+            addi t0, t0, %lo({value:#x})
+            """)
+            hi = decode(prog.words()[0]).imm
+            lo = decode(prog.words()[1]).imm
+            assert (hi + lo) & 0xFFFFFFFF == value
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert words("nop") == words("addi zero, zero, 0")
+
+    def test_li_small_and_large(self):
+        prog = assemble("li a0, 42")
+        assert len(prog.words()) == 2
+        prog = assemble("li a0, 0xDEADBEEF")
+        hi = decode(prog.words()[0]).imm
+        lo = decode(prog.words()[1]).imm
+        assert (hi + lo) & 0xFFFFFFFF == 0xDEADBEEF
+
+    def test_mv_j_jr_ret(self):
+        assert words("mv a0, a1") == words("addi a0, a1, 0")
+        assert words("jr t0") == words("jalr zero, 0(t0)")
+        assert words("ret") == words("jalr zero, 0(ra)")
+
+    def test_branch_pseudos(self):
+        assert words("beqz a0, 0") == words("beq a0, zero, 0")
+        assert words("bgt a0, a1, 0") == words("blt a1, a0, 0")
+        assert words("bleu a0, a1, 0") == words("bgeu a1, a0, 0")
+
+    def test_setcc_pseudos(self):
+        assert words("seqz a0, a1") == words("sltiu a0, a1, 1")
+        assert words("snez a0, a1") == words("sltu a0, zero, a1")
+        assert words("not a0, a1") == words("xori a0, a1, -1")
+        assert words("neg a0, a1") == words("sub a0, zero, a1")
+
+    def test_call_is_jal_ra(self):
+        assert words("call 0x40") == words("jal ra, 0x40")
+
+    def test_jal_shorthand(self):
+        assert words("jal 0x40") == words("jal ra, 0x40")
+
+
+class TestMetalSyntax:
+    def test_menter_with_symbol(self):
+        prog = assemble("menter MR_FOO", symbols={"MR_FOO": 9})
+        assert decode(prog.words()[0]).imm == 9
+
+    def test_rmr_wmr(self):
+        instr = decode(words("rmr t0, m31")[0])
+        assert (instr.rd, instr.rs1) == (5, 31)
+        instr = decode(words("wmr m0, a0")[0])
+        assert (instr.rd, instr.rs1) == (0, 10)
+
+    def test_bad_mreg(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble("rmr t0, m32")
+
+    def test_mld_mst(self):
+        instr = decode(words("mld a0, 8(t1)")[0])
+        assert (instr.rd, instr.rs1, instr.imm) == (10, 6, 8)
+        instr = decode(words("mst a0, 12(zero)")[0])
+        assert (instr.rs2, instr.rs1, instr.imm) == (10, 0, 12)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble("frobnicate a0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble("add a0, a1")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble("add a0, a1, q7")
+
+    def test_imm_out_of_range_reported_with_line(self):
+        with pytest.raises(AsmRangeError) as err:
+            assemble("nop\naddi a0, a0, 99999")
+        assert ":2:" in str(err.value)
+
+    def test_branch_out_of_range(self):
+        source = "start:\n" + "nop\n" * 1200 + "beq a0, a1, start\n"
+        with pytest.raises(AsmRangeError):
+            assemble(source)
+
+
+class TestListing:
+    def test_listing_addresses(self):
+        prog = assemble("nop\nnop", base=0x200)
+        assert [addr for addr, _, _ in prog.listing] == [0x200, 0x204]
+
+    def test_disassembly_roundtrip(self):
+        src = """
+        addi a0, zero, 7
+        sw a0, 16(sp)
+        """
+        prog = assemble(src)
+        text = prog.disassembly()
+        assert "addi a0, zero, 7" in text
+        assert "sw a0, 16(sp)" in text

@@ -1,0 +1,105 @@
+"""Benchmark harness utility tests."""
+
+import pytest
+
+from repro.bench import (
+    MeasureResult,
+    format_series,
+    format_table,
+    lcg_stream,
+    measure,
+    page_touch_sequence,
+    per_op_cycles,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro import build_trap_machine
+
+
+class TestWorkloads:
+    def test_lcg_deterministic(self):
+        gen_a, gen_b = lcg_stream(5), lcg_stream(5)
+        a = [next(gen_a) for _ in range(10)]
+        b = [next(gen_b) for _ in range(10)]
+        assert a == b
+        assert len(set(a)) > 1  # actually advancing
+
+    def test_lcg_different_seeds_differ(self):
+        a = next(lcg_stream(1))
+        b = next(lcg_stream(2))
+        assert a != b
+
+    def test_uniform_arrivals(self):
+        times = uniform_arrivals(4, 100, start=50)
+        assert times == [50, 150, 250, 350]
+
+    def test_poisson_mean(self):
+        times = poisson_arrivals(2000, mean_interval_cycles=100, start=0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert 80 <= mean <= 120    # within 20% of the target mean
+
+    def test_poisson_monotonic(self):
+        times = poisson_arrivals(100, 50)
+        assert times == sorted(times)
+
+    def test_page_touch_sequential(self):
+        addrs = page_touch_sequence(4, 8, pattern="sequential", base_va=0)
+        assert addrs == [0, 4096, 8192, 12288, 0, 4096, 8192, 12288]
+
+    def test_page_touch_random_in_range(self):
+        addrs = page_touch_sequence(16, 100, pattern="random", base_va=0x1000_0000)
+        assert all(0x1000_0000 <= a < 0x1000_0000 + 16 * 4096 for a in addrs)
+
+    def test_page_touch_zipf_skewed(self):
+        addrs = page_touch_sequence(64, 2000, pattern="zipf", base_va=0)
+        head = sum(1 for a in addrs if a < 8 * 4096)
+        assert head > len(addrs) // 2   # the head is hot
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            page_touch_sequence(4, 4, pattern="mystery")
+
+
+class TestRunner:
+    def test_measure_deltas(self):
+        m = build_trap_machine(with_caches=False)
+        prog = m.assemble("_start:\n    li a0, 1\n    halt\n")
+        m.load(prog)
+        m.core.pc = 0x1000
+        result = measure(m, label="x")
+        assert result.instructions == 3
+        assert result.cycles > 0
+        assert result.label == "x"
+        assert result.cpi > 0
+
+    def test_per_op_cycles(self):
+        total = MeasureResult(cycles=1000, instructions=1)
+        base = MeasureResult(cycles=400, instructions=1)
+        assert per_op_cycles(total, base, ops=100) == 6.0
+
+    def test_per_op_requires_positive_ops(self):
+        with pytest.raises(ValueError):
+            per_op_cycles(MeasureResult(1, 1), MeasureResult(1, 1), 0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "T", ["name", "value"],
+            [["metal", 1234], ["trap", 7.5]],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1,234" in text
+        assert "7.50" in text
+
+    def test_format_table_note(self):
+        text = format_table("T", ["a"], [[1]], note="shape holds")
+        assert text.endswith("shape holds")
+
+    def test_format_series(self):
+        text = format_series("S", "x", ["y1", "y2"],
+                             [(1, (10, 20)), (2, (30, 40))])
+        assert "y1" in text
+        assert "30" in text

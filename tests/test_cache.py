@@ -1,0 +1,99 @@
+"""Cache timing-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import Cache
+
+
+def make_cache(**kw):
+    defaults = dict(size=1024, line_size=32, ways=2, hit_latency=1,
+                    miss_latency=10)
+    defaults.update(kw)
+    return Cache(**defaults)
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        c = make_cache()
+        assert c.access(0x100) == 11
+        assert c.stats.misses == 1
+
+    def test_second_access_hits(self):
+        c = make_cache()
+        c.access(0x100)
+        assert c.access(0x100) == 1
+        assert c.stats.hits == 1
+
+    def test_same_line_hits(self):
+        c = make_cache()
+        c.access(0x100)
+        assert c.access(0x11C) == 1  # same 32-byte line
+
+    def test_next_line_misses(self):
+        c = make_cache()
+        c.access(0x100)
+        assert c.access(0x120) == 11
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size=1000, line_size=32, ways=3)
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        c = make_cache()  # 2 ways, 16 sets
+        set_stride = c.num_sets * c.line_size
+        a, b, d = 0, set_stride, 2 * set_stride  # same set
+        c.access(a)
+        c.access(b)
+        c.access(a)       # a is now MRU
+        c.access(d)       # evicts b (LRU)
+        assert c.probe(a)
+        assert not c.probe(b)
+        assert c.probe(d)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.access(0x40)
+        c.invalidate(0x40)
+        assert not c.probe(0x40)
+
+    def test_invalidate_all(self):
+        c = make_cache()
+        for i in range(8):
+            c.access(i * 64)
+        c.invalidate_all()
+        assert not any(c.probe(i * 64) for i in range(8))
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset(self):
+        c = make_cache()
+        c.access(0)
+        c.stats.reset()
+        assert c.stats.accesses == 0
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+def test_capacity_invariant(addresses):
+    """No set ever holds more tags than the associativity."""
+    c = make_cache()
+    for addr in addresses:
+        c.access(addr)
+    assert all(len(ways) <= c.ways for ways in c._sets)
+
+
+@given(st.lists(st.integers(0, 0x3FF), min_size=1, max_size=100))
+def test_rerun_is_deterministic(addresses):
+    c1, c2 = make_cache(), make_cache()
+    lat1 = [c1.access(a) for a in addresses]
+    lat2 = [c2.access(a) for a in addresses]
+    assert lat1 == lat2

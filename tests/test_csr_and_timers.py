@@ -1,0 +1,164 @@
+"""CSR file unit tests and SimpleTimer cost-model tests."""
+
+import pytest
+
+from repro.cpu.csr import (
+    CSR_CYCLE,
+    CSR_INSTRET,
+    CSR_MCAUSE,
+    CSR_MEPC,
+    CSR_MSCRATCH,
+    CSR_MSTATUS,
+    CSR_MTVAL,
+    CSR_MTVEC,
+    CsrFile,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MSTATUS_MPP_M,
+)
+from repro.cpu.exceptions import TrapException
+from repro.cpu.executor import StepInfo
+from repro.cpu.functional import SimpleTimer
+from repro.cpu.timing import TimingModel
+from repro.isa.instruction import InstrClass
+
+
+class TestCsrFile:
+    def test_boot_state(self):
+        csrs = CsrFile()
+        assert csrs.mstatus & MSTATUS_MPP_M   # machine mode
+        assert not csrs.interrupts_enabled
+
+    def test_trap_enter_latches(self):
+        csrs = CsrFile()
+        csrs.mtvec = 0x800
+        csrs.mstatus |= MSTATUS_MIE
+        handler = csrs.trap_enter(pc=0x100, cause=5, info=0x42, in_user=True)
+        assert handler == 0x800
+        assert csrs.mepc == 0x100
+        assert csrs.mcause == 5
+        assert csrs.mtval == 0x42
+        assert not csrs.interrupts_enabled     # MIE cleared
+        assert csrs.mstatus & MSTATUS_MPIE     # previous MIE saved
+
+    def test_trap_return_restores(self):
+        csrs = CsrFile()
+        csrs.mtvec = 0x800
+        csrs.mstatus |= MSTATUS_MIE
+        csrs.trap_enter(pc=0x100, cause=5, info=0, in_user=True)
+        pc, to_user = csrs.trap_return()
+        assert pc == 0x100
+        assert to_user                        # MPP was user
+        assert csrs.interrupts_enabled        # MPIE restored
+
+    def test_trap_from_machine_returns_to_machine(self):
+        csrs = CsrFile()
+        csrs.mtvec = 0x800
+        csrs.trap_enter(pc=0x100, cause=5, info=0, in_user=False)
+        _, to_user = csrs.trap_return()
+        assert not to_user
+
+    def test_nested_trap_loses_interrupts_conservatively(self):
+        csrs = CsrFile()
+        csrs.mtvec = 0x800
+        csrs.mstatus |= MSTATUS_MIE
+        csrs.trap_enter(pc=0x100, cause=5, info=0, in_user=True)
+        csrs.trap_enter(pc=0x200, cause=6, info=0, in_user=False)
+        # the second trap saw MIE=0, so MPIE is now 0
+        csrs.trap_return()
+        assert not csrs.interrupts_enabled
+
+    def test_generic_read_write(self):
+        csrs = CsrFile()
+        for csr in (CSR_MSTATUS, CSR_MTVEC, CSR_MSCRATCH, CSR_MEPC,
+                    CSR_MCAUSE, CSR_MTVAL):
+            csrs.write(csr, 0x1234)
+            assert csrs.read(csr) in (0x1234, 0x1234 & ~0x3, 0x1234 & ~0x1)
+
+    def test_mtvec_alignment_forced(self):
+        csrs = CsrFile()
+        csrs.write(CSR_MTVEC, 0x1003)
+        assert csrs.read(CSR_MTVEC) == 0x1000
+
+    def test_counters_read_only(self):
+        csrs = CsrFile()
+        assert csrs.read(CSR_CYCLE, cycles=77) == 77
+        assert csrs.read(CSR_INSTRET, instret=9) == 9
+        with pytest.raises(TrapException):
+            csrs.write(CSR_CYCLE, 1)
+
+    def test_unknown_csr_traps(self):
+        csrs = CsrFile()
+        with pytest.raises(TrapException):
+            csrs.read(0x7C0)
+        with pytest.raises(TrapException):
+            csrs.write(0x7C0, 1)
+
+
+def _step(**kw):
+    defaults = dict(pc=0, next_pc=4, mnemonic="addi",
+                    cls=InstrClass.ALU_IMM, fetch_latency=1)
+    defaults.update(kw)
+    return StepInfo(**defaults)
+
+
+class TestSimpleTimer:
+    def test_base_cost_is_fetch(self):
+        t = SimpleTimer(TimingModel())
+        t.note(_step(fetch_latency=1))
+        assert t.cycles == 1
+        t.note(_step(fetch_latency=21))
+        assert t.cycles == 22
+
+    def test_memory_excess_charged(self):
+        t = SimpleTimer(TimingModel())
+        t.note(_step(mnemonic="lw", cls=InstrClass.LOAD, mem_latency=21))
+        assert t.cycles == 1 + 20
+
+    def test_hit_memory_free(self):
+        t = SimpleTimer(TimingModel())
+        t.note(_step(mnemonic="lw", cls=InstrClass.LOAD, mem_latency=1))
+        assert t.cycles == 1
+
+    def test_control_penalties(self):
+        timing = TimingModel()
+        costs = {}
+        for control in ("branch", "jal", "jalr", "mret", "menter",
+                        "mexit", "mraise", None):
+            t = SimpleTimer(timing)
+            t.note(_step(control=control))
+            costs[control] = t.cycles
+        assert costs[None] == 1
+        assert costs["branch"] == 1 + timing.branch_taken_penalty
+        assert costs["jal"] == 1 + timing.jump_penalty
+        assert costs["menter"] == 1  # decode replacement: free
+        assert costs["mexit"] == 1
+
+    def test_transition_costs_when_replacement_off(self):
+        timing = TimingModel(decode_replacement=False)
+        t = SimpleTimer(timing)
+        t.note(_step(control="menter"))
+        assert t.cycles == 1 + timing.transition_redirect
+
+    def test_muldiv_extras(self):
+        timing = TimingModel()
+        t = SimpleTimer(timing)
+        t.note(_step(mnemonic="mul", cls=InstrClass.MULDIV))
+        assert t.cycles == 1 + timing.mul_extra
+        t2 = SimpleTimer(timing)
+        t2.note(_step(mnemonic="divu", cls=InstrClass.MULDIV))
+        assert t2.cycles == 1 + timing.div_extra
+
+    def test_trap_charges(self):
+        timing = TimingModel()
+        t = SimpleTimer(timing)
+        t.note_trap(metal=True)
+        assert t.cycles == timing.delivery_redirect
+        t.note_trap(metal=False)
+        assert t.cycles == timing.delivery_redirect + timing.trap_flush
+
+    def test_timing_overrides(self):
+        base = TimingModel()
+        fast = base.with_overrides(mem_latency=1)
+        assert fast.mem_latency == 1
+        assert base.mem_latency == 20  # original untouched

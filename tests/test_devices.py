@@ -1,0 +1,232 @@
+"""Device model tests: console, timer, NIC, block device, interrupt ctl."""
+
+import pytest
+
+from repro.devices import BlockDevice, Console, InterruptController, Nic, Timer
+from repro.devices.blockdev import (
+    CMD_READ,
+    CMD_WRITE,
+    REG_CMD,
+    REG_COMPLETED,
+    REG_DMA_ADDR,
+    REG_SECTOR,
+    REG_STATUS,
+    SECTOR_SIZE,
+    STATUS_BUSY,
+    STATUS_COMPLETE,
+    STATUS_IDLE,
+)
+from repro.devices.console import (
+    REG_RX_DATA,
+    REG_RX_STATUS as CON_RX_STATUS,
+    REG_TX,
+)
+from repro.devices.nic import (
+    REG_DMA_ADDR as NIC_DMA,
+    REG_IRQ_CTRL,
+    REG_RX_LEN,
+    REG_RX_POP,
+    REG_RX_STATUS,
+    REG_RX_TOTAL,
+)
+from repro.devices.timer import REG_COMPARE, REG_COUNT, REG_CTRL
+from repro.errors import SimulatorError
+from repro.mem import MemoryBus
+
+
+class TestConsole:
+    def test_tx_collects_output(self):
+        con = Console(base=0)
+        for ch in b"hi":
+            con.write_reg(REG_TX, ch)
+        assert con.text == "hi"
+
+    def test_rx_feed_and_drain(self):
+        con = Console(base=0)
+        con.feed(b"ab")
+        assert con.read_reg(CON_RX_STATUS) == 2
+        assert con.read_reg(REG_RX_DATA) == ord("a")
+        assert con.read_reg(REG_RX_DATA) == ord("b")
+        assert con.read_reg(REG_RX_DATA) == 0  # empty -> 0
+
+    def test_rx_irq(self):
+        con = Console(base=0)
+        con.feed(b"x")
+        assert not con.irq_pending()      # irq disabled
+        con.write_reg(0x0C, 1)
+        assert con.irq_pending()
+        con.read_reg(REG_RX_DATA)
+        assert not con.irq_pending()      # drained
+
+
+class TestTimer:
+    def test_count_advances_with_ticks(self):
+        t = Timer(base=0)
+        t.tick(100)
+        assert t.read_reg(REG_COUNT) == 100
+
+    def test_compare_interrupt(self):
+        t = Timer(base=0)
+        t.write_reg(REG_COMPARE, 50)
+        t.write_reg(REG_CTRL, 1)
+        t.tick(49)
+        assert not t.irq_pending()
+        t.tick(1)
+        assert t.irq_pending()
+
+    def test_irq_disabled(self):
+        t = Timer(base=0)
+        t.write_reg(REG_COMPARE, 0)
+        t.tick(10)
+        assert not t.irq_pending()
+
+
+class TestNic:
+    def _nic_with_bus(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        nic = Nic(base=0xF000_0000)
+        nic.bus = bus
+        return nic, bus
+
+    def test_scheduled_arrival(self):
+        nic, _ = self._nic_with_bus()
+        nic.schedule_packet(100, b"pkt")
+        nic.tick(50)
+        assert nic.read_reg(REG_RX_STATUS) == 0
+        nic.tick(50)
+        assert nic.read_reg(REG_RX_STATUS) == 1
+        assert nic.read_reg(REG_RX_LEN) == 3
+
+    def test_pop_dma(self):
+        nic, bus = self._nic_with_bus()
+        nic.schedule_packet(0, b"abcd")
+        nic.tick(1)
+        nic.write_reg(NIC_DMA, 0x100)
+        nic.write_reg(REG_RX_POP, 1)
+        assert bus.read_bytes(0x100, 4) == b"abcd"
+        assert nic.read_reg(REG_RX_TOTAL) == 1
+        assert nic.read_reg(REG_RX_STATUS) == 0
+
+    def test_irq_level(self):
+        nic, _ = self._nic_with_bus()
+        nic.schedule_packet(0, b"x")
+        nic.tick(1)
+        assert not nic.irq_pending()
+        nic.write_reg(REG_IRQ_CTRL, 1)
+        assert nic.irq_pending()
+        nic.write_reg(REG_RX_POP, 1)
+        assert not nic.irq_pending()
+
+    def test_latency_accounting(self):
+        nic, _ = self._nic_with_bus()
+        nic.schedule_packet(10, b"x")
+        nic.tick(60)
+        nic.write_reg(REG_RX_POP, 1)
+        assert nic.latencies == [(10, 60)]
+
+    def test_fifo_order(self):
+        nic, bus = self._nic_with_bus()
+        nic.schedule_packet(5, b"B")
+        nic.schedule_packet(1, b"A")
+        nic.tick(10)
+        nic.write_reg(NIC_DMA, 0x200)
+        nic.write_reg(REG_RX_POP, 1)
+        assert bus.read_u8(0x200) == ord("A")
+
+
+class TestBlockDevice:
+    def _blk_with_bus(self, latency=10):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        blk = BlockDevice(base=0xF000_0000, latency_cycles=latency)
+        blk.bus = bus
+        return blk, bus
+
+    def test_read_completes_after_latency(self):
+        blk, bus = self._blk_with_bus(latency=10)
+        blk.preload(3, b"sector3!")
+        blk.write_reg(REG_SECTOR, 3)
+        blk.write_reg(REG_DMA_ADDR, 0x400)
+        blk.write_reg(REG_CMD, CMD_READ)
+        assert blk.read_reg(REG_STATUS) == STATUS_BUSY
+        blk.tick(9)
+        assert blk.read_reg(REG_STATUS) == STATUS_BUSY
+        blk.tick(1)
+        assert blk.read_reg(REG_STATUS) == STATUS_COMPLETE
+        assert bus.read_bytes(0x400, 8) == b"sector3!"
+
+    def test_write_roundtrip(self):
+        blk, bus = self._blk_with_bus(latency=1)
+        bus.write_bytes(0x200, b"payload!".ljust(SECTOR_SIZE, b"\0"))
+        blk.write_reg(REG_SECTOR, 9)
+        blk.write_reg(REG_DMA_ADDR, 0x200)
+        blk.write_reg(REG_CMD, CMD_WRITE)
+        blk.tick(1)
+        assert blk.sectors[9][:8] == b"payload!"
+        assert blk.read_reg(REG_COMPLETED) == 1
+
+    def test_ack_clears_complete(self):
+        blk, _ = self._blk_with_bus(latency=1)
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.tick(1)
+        blk.write_reg(REG_STATUS, 0)
+        assert blk.read_reg(REG_STATUS) == STATUS_IDLE
+
+    def test_busy_rejects_new_command(self):
+        blk, _ = self._blk_with_bus(latency=100)
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.write_reg(REG_CMD, CMD_READ)  # ignored while busy
+        blk.tick(100)
+        assert blk.read_reg(REG_COMPLETED) == 1
+
+    def test_irq(self):
+        blk, _ = self._blk_with_bus(latency=1)
+        blk.write_reg(0x10, 1)
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.tick(1)
+        assert blk.irq_pending()
+        blk.write_reg(REG_STATUS, 0)
+        assert not blk.irq_pending()
+
+
+class TestInterruptController:
+    def test_level_source(self):
+        irq = InterruptController()
+        state = {"on": False}
+        irq.wire(3, lambda: state["on"])
+        assert irq.highest_pending() is None
+        state["on"] = True
+        assert irq.highest_pending() == 3
+
+    def test_priority_is_lowest_line(self):
+        irq = InterruptController()
+        irq.wire(5, lambda: True)
+        irq.wire(2, lambda: True)
+        assert irq.highest_pending() == 2
+
+    def test_enable_mask(self):
+        irq = InterruptController()
+        irq.wire(1, lambda: True)
+        irq.set_enabled(0)
+        assert irq.highest_pending() is None
+        irq.set_enabled(1 << 1)
+        assert irq.highest_pending() == 1
+
+    def test_latched_raise_and_ack(self):
+        irq = InterruptController()
+        irq.raise_line(4)
+        assert irq.highest_pending() == 4
+        irq.acknowledge(4)
+        assert irq.highest_pending() is None
+
+    def test_double_wire_rejected(self):
+        irq = InterruptController()
+        irq.wire(0, lambda: False)
+        with pytest.raises(SimulatorError):
+            irq.wire(0, lambda: False)
+
+    def test_line_range(self):
+        irq = InterruptController()
+        with pytest.raises(SimulatorError):
+            irq.wire(32, lambda: False)

@@ -1,0 +1,128 @@
+"""End-to-end enclave memory protection (§3.5) under paging.
+
+"After Metal loads and verifies an enclave, the enclave runs in the
+trusted execution layer which the host OS cannot access."  Here the host
+OS (kernel level 0!) attempts to read enclave memory and faults on the
+page key, while the enclave itself reads it fine.
+"""
+
+import pytest
+
+from repro import Cause, build_metal_machine
+from repro.mcode.enclave import make_enclave_routines
+from repro.mcode.pagetable import (
+    PTE_G,
+    PTE_R,
+    PTE_W,
+    PTE_X,
+    PageTableBuilder,
+    make_pagetable_routines,
+)
+from repro.mcode.privilege import make_kernel_user_routines
+
+FAULT_ENTRY = 0x2000
+PT_POOL = 0x100000
+ENCLAVE_KEY = 6
+ENCLAVE_VA = 0x500000
+ENCLAVE_PA = 0x90000
+SECRET = 0x5EC12E7
+
+
+@pytest.fixture
+def machine():
+    routines = (make_kernel_user_routines(0x2E00, FAULT_ENTRY)
+                + make_pagetable_routines(0x2F00, FAULT_ENTRY)
+                + make_enclave_routines())
+    m = build_metal_machine(routines, with_caches=False)
+    m.route_page_faults()
+    m.route_cause(Cause.PRIVILEGE, "priv_fault")
+    pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+    # identity map code/data, user + global
+    pt.map_range(0x0, 0x0, 0x10000,
+                 flags=PTE_R | PTE_W | PTE_X | PTE_G | 0x10)
+    # the enclave page carries the enclave key
+    pt.map(ENCLAVE_VA, ENCLAVE_PA, flags=PTE_R | PTE_W | PTE_G,
+           key=ENCLAVE_KEY)
+    m.write_word(ENCLAVE_PA, SECRET)
+    return m
+
+
+BOOT = f"""
+_start:
+    j    boot
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1              # host saw a fault
+    halt
+boot:
+    li   a0, {PT_POOL:#x}
+    li   a1, 0
+    menter MR_PTROOT_SET
+    li   a0, 1
+    menter MR_PAGING_CTL
+    # load the enclave: entry, pages, key -> locks the key via PKR
+    li   a0, enclave_entry
+    li   a1, {ENCLAVE_PA:#x}
+    li   a2, 1
+    li   a3, {ENCLAVE_KEY}
+    menter MR_ECREATE
+"""
+
+
+class TestEnclaveIsolation:
+    def test_host_os_cannot_read_enclave_memory(self, machine):
+        machine.load_and_run(BOOT + f"""
+    # the HOST OS (kernel level!) tries to read enclave memory
+    li   t0, {ENCLAVE_VA:#x}
+    lw   s0, 0(t0)           # key locked -> KEY_FAULT -> forwarded
+    halt
+enclave_entry:
+    menter MR_EEXIT
+""", base=0x1000, max_instructions=500_000)
+        assert machine.reg("s11") == 1
+        assert machine.reg("s0") != SECRET
+
+    def test_enclave_reads_its_own_memory(self, machine):
+        machine.load_and_run(BOOT + f"""
+    # drop to user, then enter the enclave properly
+    li   ra, user
+    menter MR_KEXIT
+user:
+    menter MR_EENTER
+back:
+    mv   s1, a0              # value the enclave extracted
+    halt
+enclave_entry:
+    li   t0, {ENCLAVE_VA:#x}
+    lw   a0, 0(t0)           # key unlocked inside the enclave
+    menter MR_EEXIT
+""", base=0x1000, max_instructions=500_000)
+        assert machine.reg("s11") == 0
+        assert machine.reg("s1") == SECRET
+
+    def test_key_relocks_after_eexit(self, machine):
+        machine.load_and_run(BOOT + f"""
+    li   ra, user
+    menter MR_KEXIT
+user:
+    menter MR_EENTER
+back:
+    li   t0, {ENCLAVE_VA:#x}
+    lw   s2, 0(t0)           # outside again: locked -> fault
+    halt
+enclave_entry:
+    menter MR_EEXIT
+""", base=0x1000, max_instructions=500_000)
+        assert machine.reg("s11") == 1
+        assert machine.reg("s2") != SECRET
+
+    def test_measurement_covers_secret(self, machine):
+        machine.load_and_run(BOOT + """
+    menter MR_EREPORT
+    mv   s3, a0
+    halt
+enclave_entry:
+    menter MR_EEXIT
+""", base=0x1000, max_instructions=500_000)
+        # additive measurement over one page containing the secret word
+        assert machine.reg("s3") == SECRET

@@ -1,0 +1,188 @@
+"""Differential tests: the functional and pipeline engines must retire
+identical architectural state (they share semantics, differ in timing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MRoutine, build_metal_machine, build_trap_machine
+
+
+PROGRAMS = [
+    # arithmetic mix
+    """
+_start:
+    li   a0, 123
+    li   a1, 456
+    add  a2, a0, a1
+    mul  a3, a0, a1
+    div  a4, a1, a0
+    xor  a5, a2, a3
+    halt
+""",
+    # memory traffic
+    """
+_start:
+    li   t0, 0x2000
+    li   t1, 16
+loop:
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    add  s0, s0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    halt
+""",
+    # call graph
+    """
+_start:
+    li   sp, 0x8000
+    call fib
+    halt
+fib:
+    li   a0, 10
+    li   t0, 0
+    li   t1, 1
+    li   t2, 10
+floop:
+    add  t3, t0, t1
+    mv   t0, t1
+    mv   t1, t3
+    addi t2, t2, -1
+    bnez t2, floop
+    mv   a0, t0
+    ret
+""",
+]
+
+METAL_PROGRAM = """
+_start:
+    li   a0, 5
+    menter MR_DOUBLE
+    menter MR_DOUBLE
+    li   t0, 0x3000
+    sw   a0, 0(t0)
+    halt
+"""
+
+
+def _routines():
+    return [MRoutine(name="double", entry=0, source="add a0, a0, a0\nmexit\n")]
+
+
+def _run_both(builder, source, **build_kw):
+    results = []
+    for engine in ("functional", "pipeline"):
+        m = builder(engine=engine, **build_kw)
+        m.load_and_run(source)
+        results.append(m)
+    return results
+
+
+def _assert_same_state(a, b):
+    assert a.core.regs == b.core.regs
+    assert a.core.pc == b.core.pc
+    assert a.core.instret == b.core.instret
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_trap_machine_state_identical(source):
+    a, b = _run_both(lambda **kw: build_trap_machine(**kw), source)
+    _assert_same_state(a, b)
+
+
+def test_metal_machine_state_identical():
+    a, b = _run_both(
+        lambda **kw: build_metal_machine(_routines(), **kw), METAL_PROGRAM
+    )
+    _assert_same_state(a, b)
+    assert a.read_word(0x3000) == b.read_word(0x3000) == 20
+
+
+def test_pipeline_cycles_at_least_functional_instret():
+    m = build_trap_machine(engine="pipeline", with_caches=False)
+    m.load_and_run(PROGRAMS[1])
+    # a 5-stage in-order pipeline can never beat 1 instruction per cycle
+    assert m.cycles >= m.instret
+
+
+@st.composite
+def random_programs(draw):
+    """Random straight-line ALU/memory programs (always terminate)."""
+    ops = []
+    n = draw(st.integers(3, 25))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["alu", "alui", "store", "load"]))
+        rd = draw(st.integers(5, 15))
+        rs1 = draw(st.integers(5, 15))
+        rs2 = draw(st.integers(5, 15))
+        if kind == "alu":
+            op = draw(st.sampled_from(["add", "sub", "xor", "and", "or",
+                                       "sll", "srl", "mul"]))
+            ops.append(f"    {op} x{rd}, x{rs1}, x{rs2}")
+        elif kind == "alui":
+            imm = draw(st.integers(-2048, 2047))
+            op = draw(st.sampled_from(["addi", "xori", "andi", "ori"]))
+            ops.append(f"    {op} x{rd}, x{rs1}, {imm}")
+        elif kind == "store":
+            off = draw(st.integers(0, 127)) * 4
+            ops.append(f"    li x4, 0x2000\n    sw x{rs2}, {off}(x4)")
+        else:
+            off = draw(st.integers(0, 127)) * 4
+            ops.append(f"    li x4, 0x2000\n    lw x{rd}, {off}(x4)")
+    body = "\n".join(ops)
+    return f"_start:\n    li x5, 17\n    li x6, 99\n{body}\n    halt\n"
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_random_programs_agree(source):
+    a = build_trap_machine(engine="functional", with_caches=False)
+    b = build_trap_machine(engine="pipeline", with_caches=False)
+    a.load_and_run(source)
+    b.load_and_run(source)
+    _assert_same_state(a, b)
+
+
+@given(random_programs())
+@settings(max_examples=20, deadline=None)
+def test_random_programs_agree_under_interception(source):
+    """Engines must also agree when every word load is intercepted and
+    emulated by an MRAM handler."""
+    emul = MRoutine(name="emul", entry=0, source="""
+        wmr  m13, t0
+        wmr  m14, t1
+        rmr  t0, m29
+        srai t1, t0, 20
+        rmr  t0, m25
+        add  t0, t0, t1
+        lw   t1, 0(t0)
+        wmr  m27, t1
+        rmr  t0, m29
+        srli t0, t0, 7
+        andi t0, t0, 31
+        wmr  m26, t0
+        rmr  t1, m14
+        rmr  t0, m13
+        mexitm
+    """, shared_mregs=(13, 14))
+    setup = MRoutine(name="setup", entry=1, source="""
+        micept a0, a1
+        mexit
+    """)
+    prologue = (
+        "_start:\n"
+        "    li   a0, 0x503\n"
+        "    li   a1, MR_EMUL\n"
+        "    menter MR_SETUP\n"
+    )
+    body = source.split("_start:\n", 1)[1]
+    machines = []
+    for engine in ("functional", "pipeline"):
+        m = build_metal_machine([emul, setup], engine=engine,
+                                with_caches=False)
+        m.load_and_run(prologue + body)
+        machines.append(m)
+    a, b = machines
+    _assert_same_state(a, b)
+    assert a.core.metal.intercept.hits == b.core.metal.intercept.hits

@@ -1,0 +1,148 @@
+"""Error hierarchy, runtime helpers, layout and small-module coverage."""
+
+import pytest
+
+from repro import errors
+from repro.cpu.exceptions import (
+    CAUSE_SYMBOLS,
+    Cause,
+    TrapException,
+    interrupt_line,
+    is_interrupt,
+)
+from repro.mcode.runtime import (
+    PRIV_KERNEL,
+    PRIV_USER,
+    privilege_check,
+    raise_privilege_violation,
+    restore_scratch,
+    save_scratch,
+)
+from repro.osdemo.layout import MemoryLayout
+from repro.isa.metal_ops import InterceptSpec, pack_intercept_spec, unpack_intercept_spec
+from hypothesis import given, strategies as st
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        leaf_classes = [
+            errors.DecodeError(0), errors.EncodeError("x"),
+            errors.AsmSyntaxError("x", 1), errors.AsmSymbolError("x", 1),
+            errors.AsmRangeError("x", 1), errors.BusError(0),
+            errors.AlignmentError("x"), errors.MramError("x"),
+            errors.MroutineLoadError("x"), errors.MroutineVerifyError("x"),
+            errors.MetalModeError("x"), errors.InterceptError("x"),
+            errors.NestedMetalError("x"), errors.HaltedError("x"),
+            errors.ExecutionLimitExceeded(1), errors.GuestPanic("x"),
+        ]
+        for exc in leaf_classes:
+            assert isinstance(exc, errors.ReproError), type(exc)
+
+    def test_asm_errors_carry_position(self):
+        exc = errors.AsmSyntaxError("bad", line=7, source="file.s")
+        assert "file.s:7" in str(exc)
+
+    def test_verify_error_is_load_error(self):
+        assert issubclass(errors.MroutineVerifyError, errors.MroutineLoadError)
+
+    def test_bus_error_formats_address(self):
+        assert "0xdeadbeef" in str(errors.BusError(0xDEADBEEF)).lower()
+
+    def test_decode_error_masks_word(self):
+        assert errors.DecodeError(-1).word == 0xFFFFFFFF
+
+
+class TestCauses:
+    def test_interrupt_helpers(self):
+        cause = Cause.interrupt(3)
+        assert is_interrupt(cause)
+        assert interrupt_line(cause) == 3
+        assert not is_interrupt(Cause.ECALL)
+
+    def test_trap_exception_masks_info(self):
+        trap = TrapException(Cause.ECALL, info=-1)
+        assert trap.info == 0xFFFFFFFF
+        assert not trap.is_interrupt
+
+    def test_cause_symbols_complete(self):
+        for cause in Cause:
+            assert f"CAUSE_{cause.name}" in CAUSE_SYMBOLS
+        assert CAUSE_SYMBOLS["CAUSE_INTERRUPT_NIC"] == 17
+
+
+class TestRuntimeHelpers:
+    def test_scratch_roundtrip_shape(self):
+        mapping = [("t0", 10), ("t1", 11)]
+        save = save_scratch(mapping)
+        restore = restore_scratch(mapping)
+        assert "wmr  m10, t0" in save
+        assert "wmr  m11, t1" in save
+        # restore is in reverse order
+        lines = restore.splitlines()
+        assert "rmr  t1, m11" in lines[0]
+        assert "rmr  t0, m10" in lines[1]
+
+    def test_privilege_check_emits_branch(self):
+        text = privilege_check(PRIV_KERNEL, "oops")
+        assert "rmr  t0, m0" in text
+        assert "bnez t0, oops" in text
+
+    def test_raise_violation_uses_cause_symbol(self):
+        assert "CAUSE_PRIVILEGE" in raise_privilege_violation()
+
+    def test_levels(self):
+        assert PRIV_KERNEL == 0
+        assert PRIV_USER == 1
+
+    def test_scratch_helpers_assemble(self):
+        from repro.metal import MRoutine, load_mroutines
+
+        mapping = [("t0", 9), ("t1", 10)]
+        source = ("r:\n" + save_scratch(mapping) + "\n"
+                  + restore_scratch(mapping) + "\n    mexit\n")
+        image = load_mroutines([
+            MRoutine(name="r", entry=0, source=source,
+                     shared_mregs=(9, 10)),
+        ])
+        assert "r" in image.routines
+
+
+class TestLayout:
+    def test_symbols_cover_entries(self):
+        layout = MemoryLayout()
+        symbols = layout.symbols()
+        assert symbols["KFAULT_ENTRY"] == layout.kernel_base + 0x40
+        assert symbols["KIRQ_ENTRY"] == layout.kernel_base + 0x80
+        assert symbols["KSAVE"] < 2048      # must fit a 12-bit immediate
+        assert symbols["KPTROOT"] < 2048
+
+    def test_layout_is_frozen(self):
+        layout = MemoryLayout()
+        with pytest.raises(Exception):
+            layout.kernel_base = 0
+
+
+class TestInterceptSpecProperties:
+    @given(st.integers(0, 127), st.one_of(st.none(), st.integers(0, 7)))
+    def test_pack_unpack_roundtrip(self, opcode, funct3):
+        spec = unpack_intercept_spec(pack_intercept_spec(opcode, funct3))
+        assert spec.opcode == opcode
+        if funct3 is None:
+            assert not spec.match_funct3
+        else:
+            assert spec.match_funct3
+            assert spec.funct3 == funct3
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_wildcard_matches_iff_opcode(self, word):
+        spec = InterceptSpec(opcode=word & 0x7F)
+        assert spec.matches(word)
+        other = InterceptSpec(opcode=(word + 1) & 0x7F)
+        assert not other.matches(word)
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 7))
+    def test_funct3_match_consistent(self, word, funct3):
+        spec = InterceptSpec(opcode=word & 0x7F, funct3=funct3,
+                             match_funct3=True)
+        expected = ((word >> 12) & 7) == funct3
+        assert spec.matches(word) == expected

@@ -1,0 +1,312 @@
+"""§3.5 extension tests: shadow stack / CFI keys, capabilities, enclaves."""
+
+import pytest
+
+from repro import build_metal_machine, Cause
+from repro.isa.metal_ops import pack_pkr
+from repro.mcode.capability import make_capability_routines
+from repro.mcode.enclave import ENCLAVE_LEVEL, make_enclave_routines
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.shadowstack import make_shadowstack_routines
+
+FAULT_ENTRY = 0x1040
+SYSCALL_TABLE = 0x2E00
+
+FAULT_STUB = f"""
+    j    main
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1              # fault marker
+    halt
+main:
+"""
+
+
+def machine(extra):
+    routines = make_kernel_user_routines(SYSCALL_TABLE, FAULT_ENTRY) + extra
+    m = build_metal_machine(routines, with_caches=False)
+    m.route_cause(Cause.PRIVILEGE, "priv_fault")
+    return m
+
+
+class TestShadowStack:
+    def _m(self):
+        return machine(make_shadowstack_routines())
+
+    def test_balanced_calls_pass(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    call f
+    li   a0, 1
+    halt
+f:
+    menter MR_SSPUSH
+    mv   s2, ra              # callee-saved spill, as a compiler would
+    call g
+    mv   ra, s2
+    menter MR_SSCHECK
+    ret
+g:
+    menter MR_SSPUSH
+    menter MR_SSCHECK
+    ret
+""", base=0x1000)
+        assert m.reg("a0") == 1
+        assert m.reg("s11") == 0
+
+    def test_corrupted_return_detected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    call f
+    halt
+f:
+    menter MR_SSPUSH
+    li   ra, 0x4444          # simulated stack-smash of the return address
+    menter MR_SSCHECK        # mismatch -> privilege violation
+    ret
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_underflow_detected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    menter MR_SSCHECK        # empty shadow stack
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_overflow_detected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   s0, 70              # deeper than SS_MAX = 64
+loop:
+    menter MR_SSPUSH
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+""", base=0x1000, max_instructions=100_000)
+        assert m.reg("s11") == 1
+
+
+class TestCfiKeys:
+    def _m(self):
+        return machine(make_shadowstack_routines())
+
+    def test_sign_and_check(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x5ECDEF
+    menter MR_CFIKEY_SET     # kernel installs the secret in m3
+    li   ra, 0x1234
+    menter MR_CFI_SIGN       # t0 := MAC(ra)
+    mv   a0, t0
+    menter MR_CFI_CHECK      # verifies, no fault
+    li   s0, 1
+    halt
+""", base=0x1000)
+        assert m.reg("s0") == 1
+        assert m.reg("s11") == 0
+
+    def test_wrong_mac_detected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x5ECDEF
+    menter MR_CFIKEY_SET
+    li   ra, 0x1234
+    li   a0, 0xBAD
+    menter MR_CFI_CHECK
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_key_invisible_to_normal_mode(self):
+        # The point of MReg key storage: normal-mode code cannot read m3 —
+        # rmr is Metal-only and traps as illegal.
+        m = self._m()
+        m.route_cause(Cause.ILLEGAL_INSTRUCTION, "priv_fault")
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x5EC
+    menter MR_CFIKEY_SET
+    rmr  a1, m3              # illegal in normal mode -> fault path
+    halt
+""", base=0x1000, max_instructions=2000)
+        assert m.reg("s11") == 1
+        assert m.reg("a1") != 0x5EC
+
+    def test_key_set_requires_kernel(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   ra, user
+    menter MR_KEXIT
+user:
+    li   a0, 1
+    menter MR_CFIKEY_SET     # user level -> fault
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+
+class TestCapabilities:
+    def _m(self):
+        return machine(make_capability_routines())
+
+    def test_create_load_store(self):
+        m = self._m()
+        m.write_word(0x8000, 0xAB)
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x8000
+    li   a1, 64
+    li   a2, 3               # R|W
+    menter MR_CAP_CREATE
+    mv   s0, a0              # capability index
+    li   a1, 0
+    menter MR_CAP_LOAD
+    mv   s1, a0              # read through the capability
+    mv   a0, s0
+    li   a1, 4
+    li   a2, 0xCD
+    menter MR_CAP_STORE
+    halt
+""", base=0x1000)
+        assert m.reg("s1") == 0xAB
+        assert m.read_word(0x8004) == 0xCD
+        assert m.reg("s11") == 0
+
+    def test_bounds_enforced(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x8000
+    li   a1, 64
+    li   a2, 3
+    menter MR_CAP_CREATE
+    li   a1, 64              # offset == length: out of bounds
+    menter MR_CAP_LOAD
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_partial_word_at_end_rejected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x8000
+    li   a1, 62              # not a full word at offset 60
+    li   a2, 3
+    menter MR_CAP_CREATE
+    li   a1, 60
+    menter MR_CAP_LOAD
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_write_permission_enforced(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x8000
+    li   a1, 64
+    li   a2, 1               # read-only capability
+    menter MR_CAP_CREATE
+    li   a1, 0
+    li   a2, 5
+    menter MR_CAP_STORE
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_minting_requires_kernel(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   ra, user
+    menter MR_KEXIT
+user:
+    li   a0, 0x8000
+    li   a1, 64
+    li   a2, 3
+    menter MR_CAP_CREATE
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_revocation(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 0x8000
+    li   a1, 64
+    li   a2, 3
+    menter MR_CAP_CREATE
+    mv   s0, a0
+    menter MR_CAP_REVOKE     # a0 still the index
+    mv   a0, s0
+    li   a1, 0
+    menter MR_CAP_LOAD       # revoked -> fault
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_bad_index_rejected(self):
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    li   a0, 5               # no capability 5 exists
+    li   a1, 0
+    menter MR_CAP_LOAD
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+
+class TestEnclave:
+    ENCLAVE_VA = 0x9000
+
+    def _m(self):
+        return machine(make_enclave_routines())
+
+    def test_enter_exit_and_measurement(self):
+        m = self._m()
+        m.write_word(0x9000, 100)
+        m.write_word(0x9004, 23)
+        m.load_and_run(f"_start:{FAULT_STUB}" + f"""
+    li   a0, enclave_entry
+    li   a1, {self.ENCLAVE_VA:#x}
+    li   a2, 1               # one page
+    li   a3, 6               # page key for enclave pages
+    menter MR_ECREATE
+    li   ra, user
+    menter MR_KEXIT
+user:
+    menter MR_EENTER
+back:
+    mv   s1, a0              # result from the enclave
+    menter MR_EREPORT
+    mv   s2, a0              # measurement
+    halt
+enclave_entry:
+    menter MR_PRIV_GET
+    mv   s0, a0              # level inside the enclave
+    li   a0, 0x777
+    menter MR_EEXIT
+""", base=0x1000, max_instructions=200_000)
+        assert m.reg("s0") == ENCLAVE_LEVEL
+        assert m.reg("s1") == 0x777
+        assert m.reg("s2") != 0          # measurement covered the pages
+        assert m.reg("s11") == 0
+
+    def test_eenter_from_kernel_rejected(self):
+        # Only user level enters the enclave in this policy.
+        m = self._m()
+        m.load_and_run("_start:" + FAULT_STUB + """
+    menter MR_EENTER         # still kernel level -> fault
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_key_locked_outside_enclave(self):
+        m = self._m()
+        m.load_and_run(f"_start:{FAULT_STUB}" + f"""
+    li   a0, 0x9100
+    li   a1, {self.ENCLAVE_VA:#x}
+    li   a2, 1
+    li   a3, 6
+    menter MR_ECREATE
+    halt
+""", base=0x1000)
+        # ecreate locked key 6 in the PKR
+        assert m.core.tlb.pkr == pack_pkr(disabled_keys=[6])

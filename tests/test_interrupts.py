@@ -1,0 +1,189 @@
+"""Interrupt delivery on both machines, WFI, non-interruptible mroutines."""
+
+import pytest
+
+from repro import MRoutine, build_metal_machine, build_trap_machine
+from repro.cpu.exceptions import Cause
+
+
+def metal_with_irq_handler(extra_source="", count_addr=0x3F00):
+    """Metal machine whose timer interrupt increments a counter."""
+    handler = MRoutine(name="tick", entry=0, source=f"""
+        wmr  m10, t0
+        wmr  m11, t1
+        li   t0, {count_addr:#x}
+        mpld t1, 0(t0)
+        addi t1, t1, 1
+        mpst t1, 0(t0)
+        # stop the timer interrupt (write CTRL=0) so it does not refire
+        li   t0, TIMER_CTRL
+        mpst zero, 0(t0)
+        {extra_source}
+        rmr  t1, m11
+        rmr  t0, m10
+        mexit
+    """, mregs=(10, 11))
+    enable = MRoutine(name="irq_on", entry=1, source="""
+        li   t0, CAUSE_INTERRUPT_TIMER
+        li   t1, MR_TICK
+        mivec t0, t1
+        li   t0, 1
+        mintc t0
+        mexit
+    """)
+    return build_metal_machine([handler, enable], with_caches=False)
+
+
+class TestMetalInterrupts:
+    def test_timer_interrupt_delivered_to_mroutine(self):
+        m = metal_with_irq_handler()
+        m.timer.compare = 200
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    menter MR_IRQ_ON
+spin:
+    li   t2, 0x3F00
+    lw   t3, 0(t2)
+    beqz t3, spin
+    halt
+""", max_instructions=100_000)
+        assert m.read_word(0x3F00) == 1
+        assert m.core.metal.stats.deliveries.get(Cause.interrupt(0)) == 1
+
+    def test_interrupts_masked_without_mintc(self):
+        m = metal_with_irq_handler()
+        m.route_cause(Cause.interrupt(0), "tick")
+        # interrupts NOT enabled: deliveries never happen
+        m.timer.compare = 10
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    li   t0, 500
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    halt
+""", max_instructions=10_000)
+        assert m.read_word(0x3F00) == 0
+
+    def test_mroutines_are_not_interruptible(self):
+        # An mroutine spinning while an interrupt is pending must finish
+        # before delivery (paper §2.1).
+        spin = MRoutine(name="spin", entry=2, source="""
+            li   t5, 300
+sloop:
+            addi t5, t5, -1
+            bnez t5, sloop
+            li   t6, 1         # marker: mroutine completed
+            mexit
+        """)
+        handler = MRoutine(name="tick", entry=0, source="""
+            # handler observes t6: must be 1 if mroutine finished first
+            mv   t4, t6
+            li   t0, TIMER_CTRL
+            mpst zero, 0(t0)
+            mexit
+        """)
+        enable = MRoutine(name="irq_on", entry=1, source="""
+            li   t0, CAUSE_INTERRUPT_TIMER
+            li   t1, MR_TICK
+            mivec t0, t1
+            li   t0, 1
+            mintc t0
+            mexit
+        """)
+        m = build_metal_machine([spin, handler, enable], with_caches=False)
+        m.timer.compare = 100  # fires while `spin` runs (spin ≈ cycles 30-900)
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    menter MR_IRQ_ON
+    menter MR_SPIN
+    nop
+    nop
+    halt
+""", max_instructions=10_000)
+        assert m.reg("t4") == 1  # delivery happened after the mroutine
+
+    def test_wfi_wakes_on_interrupt(self):
+        m = metal_with_irq_handler()
+        m.timer.compare = 400
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    menter MR_IRQ_ON
+    wfi
+    li   a0, 1
+    halt
+""", max_instructions=10_000)
+        assert m.reg("a0") == 1
+        assert m.read_word(0x3F00) == 1
+        # the machine slept: cycles >= the timer compare value
+        assert m.cycles >= 400
+
+
+class TestTrapInterrupts:
+    def test_timer_interrupt_to_mtvec(self):
+        m = build_trap_machine(with_caches=False)
+        m.timer.compare = 150
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    li   t0, handler
+    csrrw zero, CSR_MTVEC, t0
+    li   t0, MSTATUS_MIE
+    csrrs zero, CSR_MSTATUS, t0
+spin:
+    j    spin
+handler:
+    csrrs a0, CSR_MCAUSE, zero
+    halt
+""", max_instructions=10_000)
+        assert m.reg("a0") == 16  # INTERRUPT_BASE + timer line 0
+
+    def test_interrupts_respect_mie(self):
+        m = build_trap_machine(with_caches=False)
+        m.timer.compare = 10
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    li   t0, handler
+    csrrw zero, CSR_MTVEC, t0
+    li   t0, 300
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    li   a0, 7
+    halt
+handler:
+    li   a0, 1
+    halt
+""", max_instructions=10_000)
+        assert m.reg("a0") == 7  # never delivered: MIE clear
+
+    def test_mret_restores_interrupted_context(self):
+        m = build_trap_machine(with_caches=False)
+        m.timer.compare = 100
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    li   t0, handler
+    csrrw zero, CSR_MTVEC, t0
+    li   t0, MSTATUS_MIE
+    csrrs zero, CSR_MSTATUS, t0
+    li   a0, 0
+spin:
+    addi a0, a0, 1
+    li   t1, 100000
+    bltu a0, t1, spin
+    halt
+handler:
+    # stop the timer and return to the loop
+    li   t2, TIMER_CTRL
+    sw   zero, 0(t2)
+    li   a1, 1
+    mret
+""", max_instructions=1_000_000)
+        assert m.reg("a1") == 1           # handler ran
+        assert m.reg("a0") == 100000      # loop completed afterwards

@@ -1,0 +1,40 @@
+"""The generated ISA reference must stay complete and in sync."""
+
+import pathlib
+
+from repro.isa.opcodes import SPECS
+from repro.isa.reference import SEMANTICS, coverage_check, render_markdown
+
+
+class TestReferenceCompleteness:
+    def test_every_mnemonic_has_semantics(self):
+        missing_sem, missing_grp = coverage_check()
+        assert missing_sem == []
+        assert missing_grp == []
+
+    def test_no_stale_semantics(self):
+        stale = sorted(set(SEMANTICS) - set(SPECS))
+        assert stale == []
+
+    def test_render_contains_every_mnemonic(self):
+        text = render_markdown()
+        for mnemonic in SPECS:
+            assert f"`{mnemonic} " in text, mnemonic
+
+    def test_metal_only_marked(self):
+        text = render_markdown()
+        for line in text.splitlines():
+            if line.startswith("| `mexit "):
+                assert "| Metal |" in line
+            if line.startswith("| `menter "):
+                assert "| any |" in line
+
+
+class TestCheckedInCopy:
+    def test_docs_isa_md_is_current(self):
+        path = pathlib.Path(__file__).parent.parent / "docs" / "ISA.md"
+        assert path.exists(), "regenerate: python -m repro.isa.reference > docs/ISA.md"
+        assert path.read_text().strip() == render_markdown().strip(), (
+            "docs/ISA.md is stale — regenerate with "
+            "`python -m repro.isa.reference > docs/ISA.md`"
+        )

@@ -1,0 +1,205 @@
+"""Boot-time loader and static verifier tests (paper §2.1)."""
+
+import pytest
+
+from repro.errors import MroutineLoadError, MroutineVerifyError
+from repro.metal import MRoutine, Mram, load_mroutines, verify_mroutine
+from repro.metal.verifier import verify_or_raise
+
+
+def routine(name="r", entry=0, source="mexit\n", **kw):
+    return MRoutine(name=name, entry=entry, source=source, **kw)
+
+
+class TestLoaderLayout:
+    def test_entries_and_symbols(self):
+        image = load_mroutines([
+            routine("alpha", 1),
+            routine("beta", 2, source="menter_target:\n    mexit\n"),
+        ])
+        assert image.entry_of("alpha") == 1
+        assert image.symbols["MR_ALPHA"] == 1
+        assert image.symbols["MR_BETA"] == 2
+        assert image.entry_offset(2) == image.routines["beta"].code_offset
+
+    def test_data_allocation_sequential(self):
+        image = load_mroutines([
+            routine("a", 0, data_words=4),
+            routine("b", 1, data_words=2),
+        ])
+        assert image.data_offset_of("a") == 0
+        assert image.data_offset_of("b") == 16
+        assert image.symbols["B_DATA"] == 16
+
+    def test_data_init(self):
+        image = load_mroutines([
+            routine("a", 0, data_words=2, data_init=(0xAA, 0xBB)),
+        ])
+        assert image.mram.load_word(0) == 0xAA
+        assert image.mram.load_word(4) == 0xBB
+
+    def test_routine_at(self):
+        image = load_mroutines([routine("a", 0), routine("b", 1)])
+        b = image.routines["b"]
+        assert image.routine_at(b.code_offset).name == "b"
+        assert image.routine_at(0x7FF0) is None
+
+
+class TestLoaderConstraints:
+    def test_duplicate_entry(self):
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([routine("a", 3), routine("b", 3)])
+
+    def test_duplicate_name(self):
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([routine("a", 0), routine("a", 1)])
+
+    def test_entry_out_of_range(self):
+        with pytest.raises(MroutineLoadError):
+            routine("a", 64)
+
+    def test_too_many_routines(self):
+        routines = [routine(f"r{i}", i) for i in range(64)]
+        image = load_mroutines(routines)
+        assert len(image.routines) == 64
+        with pytest.raises(MroutineLoadError):
+            load_mroutines(routines + [routine("extra", 0)])
+
+    def test_mreg_ownership_conflict(self):
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([
+                routine("a", 0, mregs=(4,)),
+                routine("b", 1, mregs=(4,)),
+            ])
+
+    def test_shared_mregs_allowed(self):
+        image = load_mroutines([
+            routine("a", 0, shared_mregs=(4,)),
+            routine("b", 1, shared_mregs=(4,)),
+        ])
+        assert len(image.routines) == 2
+
+    def test_hardware_reserved_mregs(self):
+        for reserved in (24, 28, 31):
+            with pytest.raises(MroutineLoadError):
+                load_mroutines([routine("a", 0, mregs=(reserved,))])
+
+    def test_code_segment_exhaustion(self):
+        big = "nop\n" * 100 + "mexit\n"
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([routine("a", 0, source=big)],
+                           mram=Mram(code_bytes=64))
+
+    def test_data_segment_exhaustion(self):
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([routine("a", 0, data_words=64)],
+                           mram=Mram(data_bytes=64))
+
+    def test_assembly_error_reported_with_routine_name(self):
+        with pytest.raises(MroutineLoadError) as err:
+            load_mroutines([routine("broken", 0, source="frob x\nmexit\n")])
+        assert "broken" in str(err.value)
+
+
+class TestVerifier:
+    def _verify(self, source, **kw):
+        r = routine("t", 0, source=source, **kw)
+        image_kw = {}
+        load = lambda: load_mroutines([r], **image_kw)  # noqa: E731
+        return load
+
+    def test_missing_exit_rejected(self):
+        with pytest.raises(MroutineVerifyError):
+            load_mroutines([routine("t", 0, source="nop\n")])
+
+    def test_mraise_counts_as_exit(self):
+        image = load_mroutines(
+            [routine("t", 0, source="li t0, 11\nmraise t0\n")]
+        )
+        assert "t" in image.routines
+
+    def test_nested_menter_rejected(self):
+        with pytest.raises(MroutineVerifyError):
+            load_mroutines([routine("t", 0, source="menter 0\nmexit\n")])
+
+    def test_baseline_instructions_rejected(self):
+        for bad in ("ecall", "ebreak", "mret", "wfi", "halt",
+                    "csrrw zero, 0x300, zero"):
+            with pytest.raises(MroutineVerifyError):
+                load_mroutines([routine("t", 0, source=f"{bad}\nmexit\n")])
+
+    def test_escaping_branch_rejected(self):
+        # branch to +0x100 escapes a 2-instruction routine
+        with pytest.raises(MroutineVerifyError):
+            load_mroutines([routine("t", 0, source="beq a0, a0, 0x100\nmexit\n")])
+
+    def test_local_branch_allowed(self):
+        image = load_mroutines([routine("t", 0, source="""
+            beqz a0, skip
+            nop
+        skip:
+            mexit
+        """)])
+        assert "t" in image.routines
+
+    def test_jalr_requires_declaration(self):
+        src = "jalr zero, 0(t0)\nmexit\n"
+        with pytest.raises(MroutineVerifyError):
+            load_mroutines([routine("t", 0, source=src)])
+        image = load_mroutines(
+            [routine("t", 0, source=src, allow_dynamic_jumps=True)]
+        )
+        assert "t" in image.routines
+
+    def test_constant_data_access_outside_allocation(self):
+        src = "mld t0, 64(zero)\nmexit\n"
+        with pytest.raises(MroutineVerifyError):
+            load_mroutines([routine("t", 0, source=src, data_words=2)])
+
+    def test_constant_data_access_inside_allocation(self):
+        src = "mld t0, T_DATA+4(zero)\nmexit\n"
+        image = load_mroutines([routine("t", 0, source=src, data_words=2)])
+        assert "t" in image.routines
+
+    def test_shared_data_grants_access(self):
+        owner = routine("owner", 0, data_words=4)
+        user = routine(
+            "user", 1, source="mld t0, OWNER_DATA(zero)\nmexit\n",
+            shared_data=("owner",),
+        )
+        image = load_mroutines([owner, user])
+        assert "user" in image.routines
+
+    def test_shared_data_unknown_routine(self):
+        with pytest.raises(MroutineLoadError):
+            load_mroutines([
+                routine("u", 0, source="mexit\n", shared_data=("ghost",)),
+            ])
+
+    def test_dynamic_data_access_not_statically_checked(self):
+        # rs1 != zero cannot be checked statically; the verifier lets it
+        # pass and the runtime bounds-check catches violations instead.
+        src = "mld t0, 0(t1)\nmexit\n"
+        image = load_mroutines([routine("t", 0, source=src)])
+        assert "t" in image.routines
+
+    def test_report_object(self):
+        r = routine("t", 0, source="nop\n")
+        r.code_words = [0x13]  # nop, no exit
+        report = verify_mroutine(r)
+        assert not report.ok
+        assert report.instruction_count == 1
+        assert any("no mexit" in p for p in report.problems)
+
+    def test_verify_or_raise_ok(self):
+        r = routine("t", 0)
+        r.code_words = [0x100B + (1 << 12)]  # mexit encoding via loader
+        image = load_mroutines([routine("ok", 0)])
+        ok = image.routines["ok"]
+        assert verify_or_raise(ok).ok
+
+    def test_empty_routine_rejected(self):
+        r = routine("t", 0)
+        r.code_words = []
+        report = verify_mroutine(r)
+        assert not report.ok

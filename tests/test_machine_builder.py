@@ -1,0 +1,154 @@
+"""Machine builder and composition tests."""
+
+import pytest
+
+from repro import (
+    MachineConfig,
+    MRoutine,
+    TimingModel,
+    build_metal_machine,
+    build_palcode_machine,
+    build_trap_machine,
+    palcode_timing,
+)
+
+
+NOOP = [MRoutine(name="noop", entry=0, source="mexit\n")]
+
+
+class TestConfigs:
+    def test_engine_selection(self):
+        from repro.cpu import FunctionalSimulator, PipelineSimulator
+
+        f = build_trap_machine(engine="functional")
+        p = build_trap_machine(engine="pipeline")
+        assert isinstance(f.sim, FunctionalSimulator)
+        assert isinstance(p.sim, PipelineSimulator)
+        assert not isinstance(f.sim, PipelineSimulator)
+
+    def test_bad_engine(self):
+        with pytest.raises(ValueError):
+            build_trap_machine(engine="quantum")
+
+    def test_cache_toggle(self):
+        with_c = build_trap_machine(with_caches=True)
+        without = build_trap_machine(with_caches=False)
+        assert with_c.core.icache is not None
+        assert without.core.icache is None
+
+    def test_ram_size(self):
+        m = build_trap_machine(ram_bytes=1 << 16)
+        assert m.ram.size == 1 << 16
+
+    def test_symbol_environment(self):
+        m = build_metal_machine(NOOP)
+        for sym in ("CONSOLE_TX", "CAUSE_ECALL", "MR_NOOP", "PTE_R",
+                    "CSR_MTVEC", "IRQ_LINE_NIC", "PRIV_USER"):
+            assert sym in m.symbols, sym
+
+    def test_extra_symbols(self):
+        m = build_trap_machine(extra_symbols={"ANSWER": 42})
+        prog = m.assemble("li a0, ANSWER\nhalt\n")
+        assert prog.size == 12
+
+    def test_trap_machine_has_no_metal(self):
+        m = build_trap_machine()
+        assert m.core.metal is None
+        assert m.metal_image is None
+
+
+class TestDevicesWired:
+    def test_device_roster(self):
+        m = build_trap_machine()
+        names = [d.name for d in m.bus.devices]
+        assert names == ["console", "timer", "nic", "blockdev"]
+
+    def test_nic_dma_bus_wired(self):
+        m = build_trap_machine()
+        assert m.nic.bus is m.bus
+        assert m.blockdev.bus is m.bus
+
+    def test_irq_lines(self):
+        m = build_trap_machine()
+        m.timer.compare = 0
+        m.timer.irq_enabled = True
+        assert m.irq.highest_pending() == 0
+
+
+class TestPalcode:
+    def test_palcode_timing_shape(self):
+        t = palcode_timing()
+        assert t.decode_replacement is False
+        assert t.mram_fetch > TimingModel().mram_fetch
+
+    def test_noop_call_near_18_cycles(self):
+        """Calibration check: the §5 Alpha figure (~18-cycle no-op call)."""
+        def per_call(machine):
+            loop = """
+_start:
+    li   s0, 500
+loop:
+    menter MR_NOOP
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+"""
+            empty = """
+_start:
+    li   s0, 500
+loop:
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+"""
+            m1 = machine()
+            m1.load_and_run(loop)
+            m2 = machine()
+            m2.load_and_run(empty)
+            return (m1.cycles - m2.cycles) / 500
+
+        # Warm caches: the comparison isolates transition cost, not the
+        # caller's own fetch behaviour.
+        pal = per_call(lambda: build_palcode_machine(
+            [MRoutine(name="noop", entry=0, source="mexit\n")],
+        ))
+        metal = per_call(lambda: build_metal_machine(
+            [MRoutine(name="noop", entry=0, source="mexit\n")],
+        ))
+        assert 15 <= pal <= 21       # "approximately 18 cycles"
+        assert metal <= 3            # "virtually zero overhead"
+        assert pal / metal >= 5      # Metal is an order cheaper
+
+
+class TestMachineHelpers:
+    def test_reg_accessors(self):
+        m = build_trap_machine()
+        m.set_reg("a0", 9)
+        assert m.reg("a0") == 9
+
+    def test_memory_helpers(self):
+        m = build_trap_machine()
+        m.write_word(0x100, 0x1234)
+        assert m.read_word(0x100) == 0x1234
+        m.write_bytes(0x200, b"xyz")
+        assert m.read_bytes(0x200, 3) == b"xyz"
+
+    def test_inventory_metal(self):
+        m = build_metal_machine(NOOP)
+        inv = m.inventory()
+        assert inv["mroutines"]["noop"]["entry"] == 0
+        assert inv["mreg_count"] == 32
+
+    def test_inventory_trap(self):
+        inv = build_trap_machine().inventory()
+        assert "mroutines" not in inv
+
+    def test_load_and_run_starts_at_start_label(self):
+        m = build_trap_machine()
+        m.load_and_run("""
+    nop
+_start:
+    li a0, 3
+    halt
+""", base=0x1000)
+        assert m.reg("a0") == 3

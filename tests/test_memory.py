@@ -1,0 +1,124 @@
+"""Physical memory, bus routing and MMIO base-class tests."""
+
+import pytest
+
+from repro.errors import AlignmentError, BusError
+from repro.mem import MemoryBus, MmioRegisterBank, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_little_endian_word(self):
+        ram = PhysicalMemory(64)
+        ram.write_u32(0, 0x11223344)
+        assert ram.read_u8(0) == 0x44
+        assert ram.read_u8(3) == 0x11
+        assert ram.read_u16(0) == 0x3344
+
+    def test_based_region(self):
+        ram = PhysicalMemory(0x100, base=0x8000)
+        ram.write_u32(0x8000, 7)
+        assert ram.read_u32(0x8000) == 7
+        assert ram.contains(0x80FF)
+        assert not ram.contains(0x8100)
+
+    def test_out_of_bounds(self):
+        ram = PhysicalMemory(16)
+        with pytest.raises(BusError):
+            ram.read_u32(16)
+        with pytest.raises(BusError):
+            ram.read_u32(13)  # straddles the end
+        with pytest.raises(BusError):
+            ram.write_u8(-1, 0)
+
+    def test_bulk(self):
+        ram = PhysicalMemory(32)
+        ram.write_bytes(4, b"hello")
+        assert ram.read_bytes(4, 5) == b"hello"
+
+    def test_fill(self):
+        ram = PhysicalMemory(8)
+        ram.fill(0xAB)
+        assert ram.read_bytes(0, 8) == b"\xab" * 8
+
+    def test_value_truncation(self):
+        ram = PhysicalMemory(8)
+        ram.write_u32(0, 0x1_FFFF_FFFF)
+        assert ram.read_u32(0) == 0xFFFFFFFF
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+
+class TestBus:
+    def test_routing_two_regions(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        bus.attach_ram(0x8000, 0x1000)
+        bus.write_u32(0x10, 1)
+        bus.write_u32(0x8010, 2)
+        assert bus.read_u32(0x10) == 1
+        assert bus.read_u32(0x8010) == 2
+
+    def test_unmapped_raises(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x100)
+        with pytest.raises(BusError):
+            bus.read_u32(0x4000)
+
+    def test_overlap_rejected(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        with pytest.raises(BusError):
+            bus.attach_ram(0x800, 0x1000)
+
+    def test_device_routing_and_is_device(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        dev = MmioRegisterBank(0xF000_0000, nregs=4)
+        bus.attach_device(dev)
+        bus.write_u32(0xF000_0004, 99)
+        assert bus.read_u32(0xF000_0004) == 99
+        assert bus.is_device(0xF000_0000)
+        assert not bus.is_device(0x10)
+
+    def test_bulk_to_device_rejected(self):
+        bus = MemoryBus()
+        dev = MmioRegisterBank(0x1000, nregs=4)
+        bus.attach_device(dev)
+        with pytest.raises(BusError):
+            bus.write_bytes(0x1000, b"abcd")
+
+    def test_tick_fanout(self):
+        bus = MemoryBus()
+
+        class Ticker(MmioRegisterBank):
+            ticks = 0
+
+            def tick(self, cycles):
+                self.ticks += cycles
+
+        dev = Ticker(0x1000, nregs=1)
+        bus.attach_device(dev)
+        bus.tick(5)
+        bus.tick(3)
+        assert dev.ticks == 8
+
+
+class TestMmioBase:
+    def test_subword_access_rejected(self):
+        dev = MmioRegisterBank(0, nregs=2)
+        with pytest.raises(AlignmentError):
+            dev.read_u8(0)
+        with pytest.raises(AlignmentError):
+            dev.write_u16(0, 1)
+
+    def test_misaligned_word_rejected(self):
+        dev = MmioRegisterBank(0, nregs=2)
+        with pytest.raises(AlignmentError):
+            dev.read_u32(2)
+
+    def test_unknown_register(self):
+        dev = MmioRegisterBank(0, nregs=1)
+        with pytest.raises(BusError):
+            dev.read_u32(0x10)

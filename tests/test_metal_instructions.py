@@ -1,0 +1,301 @@
+"""The Metal instruction extension end to end (paper Table 1 + §2.3)."""
+
+import pytest
+
+from repro import MRoutine, build_metal_machine
+from repro.errors import GuestPanic
+
+
+def machine_with(routines, **kw):
+    kw.setdefault("with_caches", False)
+    return build_metal_machine(routines, **kw)
+
+
+class TestTable1:
+    def test_menter_passes_args_in_gprs(self):
+        # GPRs are shared across modes: that's how arguments flow (paper §2.1)
+        double = MRoutine(name="double", entry=7, source="""
+            add  a0, a0, a0
+            mexit
+        """)
+        m = machine_with([double])
+        m.load_and_run("""
+_start:
+    li   a0, 21
+    menter MR_DOUBLE
+    halt
+""")
+        assert m.reg("a0") == 42
+
+    def test_m31_holds_return_address(self):
+        grab = MRoutine(name="grab", entry=0, source="""
+            rmr  a1, m31
+            mexit
+        """)
+        m = machine_with([grab])
+        prog = m.assemble("""
+_start:
+    menter MR_GRAB
+after:
+    halt
+""", base=0x1000)
+        m.load(prog)
+        m.core.pc = 0x1000
+        m.run()
+        assert m.reg("a1") == prog.symbols["after"]
+
+    def test_rmr_wmr_roundtrip(self):
+        r = MRoutine(name="r", entry=0, source="""
+            wmr  m10, a0
+            rmr  a1, m10
+            mexit
+        """, mregs=(10,))
+        m = machine_with([r])
+        m.load_and_run("_start:\n    li a0, 0xBEEF\n    menter MR_R\n    halt\n")
+        assert m.reg("a1") == 0xBEEF
+        assert m.mreg(10) == 0xBEEF
+
+    def test_mld_mst_data_segment(self):
+        r = MRoutine(name="r", entry=0, data_words=2, source="""
+            mst  a0, R_DATA+0(zero)
+            mst  a1, R_DATA+4(zero)
+            mld  a2, R_DATA+0(zero)
+            mld  a3, R_DATA+4(zero)
+            mexit
+        """)
+        m = machine_with([r])
+        m.load_and_run("""
+_start:
+    li a0, 11
+    li a1, 22
+    menter MR_R
+    halt
+""")
+        assert m.reg("a2") == 11
+        assert m.reg("a3") == 22
+
+    def test_mld_indexed_addressing(self):
+        r = MRoutine(name="r", entry=0, data_words=4,
+                     data_init=(10, 20, 30, 40), source="""
+            slli t0, a0, 2
+            mld  a1, 0(t0)
+            mexit
+        """)
+        m = machine_with([r])
+        m.load_and_run("_start:\n    li a0, 2\n    menter MR_R\n    halt\n")
+        assert m.reg("a1") == 30
+
+    def test_mexitm_commits_result(self):
+        # Exit-with-result-commit: GPR[m26] := m27 during the exit slot.
+        r = MRoutine(name="r", entry=0, source="""
+            li   t0, 12        # a2's index
+            wmr  m26, t0
+            li   t0, 777
+            wmr  m27, t0
+            li   t0, 5         # t0 ends as 5 ...
+            mexitm             # ... and a2 receives 777 at exit
+        """)
+        m = machine_with([r])
+        m.load_and_run("_start:\n    menter MR_R\n    halt\n")
+        assert m.reg("a2") == 777
+        assert m.reg("t0") == 5
+
+    def test_menter_unknown_entry_is_illegal(self):
+        # entering an entry with no mroutine loaded traps, not crashes
+        skipper = MRoutine(name="skipper", entry=0, source="""
+            rmr  t6, m30
+            addi t6, t6, 4
+            wmr  m31, t6
+            mexit
+        """)
+        m = machine_with([skipper])
+        m.route_cause(1, "skipper")
+        m.load_and_run("""
+_start:
+    menter 55          # nothing loaded there -> ILLEGAL, skipped
+    li   a0, 1
+    halt
+""")
+        assert m.reg("a0") == 1
+        assert m.core.metal.stats.deliveries.get(1) == 1
+
+    def test_mram_runtime_bounds_panic(self):
+        # Dynamic out-of-bounds mld inside an mroutine is a double fault.
+        r = MRoutine(name="r", entry=0, source="""
+            li   t0, 0x10000
+            mld  a0, 0(t0)
+            mexit
+        """)
+        m = machine_with([r])
+        with pytest.raises(GuestPanic):
+            m.load_and_run("_start:\n    menter MR_R\n    halt\n")
+
+
+class TestArchFeatures:
+    def test_direct_physical_access(self):
+        r = MRoutine(name="r", entry=0, source="""
+            mpst a1, 0(a0)
+            mpld a2, 0(a0)
+            mexit
+        """)
+        m = machine_with([r])
+        m.load_and_run("""
+_start:
+    li a0, 0x3000
+    li a1, 0x5555
+    menter MR_R
+    halt
+""")
+        assert m.reg("a2") == 0x5555
+        assert m.read_word(0x3000) == 0x5555
+
+    def test_mgpr_indirect_access(self):
+        r = MRoutine(name="r", entry=0, source="""
+            mgprr t1, a0       # t1 := GPR[a0]
+            addi  t1, t1, 1
+            mgprw a1, t1       # GPR[a1] := t1
+            mexit
+        """)
+        m = machine_with([r])
+        m.load_and_run("""
+_start:
+    li s3, 100        # x19
+    li a0, 19         # read x19
+    li a1, 20         # write x20 (s4)
+    menter MR_R
+    halt
+""")
+        assert m.reg("s4") == 101
+
+    def test_mraise_dispatches_to_handler(self):
+        raiser = MRoutine(name="raiser", entry=0, source="""
+            li   t0, CAUSE_PRIVILEGE
+            mraise t0
+        """)
+        handler = MRoutine(name="handler", entry=1, source="""
+            rmr  a0, m28       # observed cause
+            mexit              # m31 still holds the original menter return
+        """)
+        m = machine_with([raiser, handler])
+        m.route_cause(11, "handler")
+        m.load_and_run("_start:\n    menter MR_RAISER\n    halt\n")
+        assert m.reg("a0") == 11
+
+    def test_mipend_miack(self):
+        r = MRoutine(name="r", entry=0, source="""
+            mipend a0
+            li     t0, 9
+            miack  t0
+            mipend a1
+            mexit
+        """)
+        m = machine_with([r])
+        m.irq.raise_line(9)
+        m.load_and_run("_start:\n    menter MR_R\n    halt\n")
+        assert m.reg("a0") == 1 << 9
+        assert m.reg("a1") == 0
+
+    def test_mtlbw_from_mcode_enables_translation(self):
+        r = MRoutine(name="r", entry=0, source="""
+            mtlbw a0, a1
+            mexit
+        """)
+        m = machine_with([r])
+        m.load_and_run("""
+_start:
+    li  a0, 0x700000           # va, asid 0
+    li  a1, 0x3000 + 1 + 2     # pa | R | W
+    menter MR_R
+    # paging still off: prove the entry exists by turning paging on via
+    # another mroutine would need code mapping; just check host-side.
+    halt
+""")
+        assert m.core.tlb.lookup(0x700) is not None
+
+    def test_micept_from_mcode(self):
+        setup = MRoutine(name="setup", entry=0, source="""
+            micept a0, a1
+            mexit
+        """)
+        handler = MRoutine(name="handler", entry=1, source="""
+            li   t6, 1234      # visible effect; then skip the load
+            mexit
+        """)
+        m = machine_with([setup, handler])
+        m.load_and_run("""
+_start:
+    li   a0, 0x503             # opcode LOAD | funct3 2 | match-funct3
+    li   a1, MR_HANDLER
+    menter MR_SETUP
+    li   t0, 0x3000
+    lw   a2, 0(t0)             # intercepted: skipped, t6 set instead
+    halt
+""")
+        assert m.reg("t6") == 1234
+        assert m.core.metal.intercept.hits == 1
+
+
+class TestInterceptMechanics:
+    def _machine(self):
+        setup = MRoutine(name="setup", entry=0, source="""
+            micept a0, a1
+            mexit
+        """)
+        teardown = MRoutine(name="teardown", entry=2, source="""
+            miceptd a0
+            mexit
+        """)
+        emul = MRoutine(name="emul", entry=1, source="""
+            # emulate the load: rd := mem[rs1+imm] + 1000
+            wmr  m13, t0
+            wmr  m14, t1
+            rmr  t0, m29
+            srai t1, t0, 20
+            rmr  t0, m25
+            add  t0, t0, t1
+            lw   t1, 0(t0)
+            li   t0, 1000
+            add  t1, t1, t0
+            wmr  m27, t1
+            rmr  t0, m29
+            srli t0, t0, 7
+            andi t0, t0, 31
+            wmr  m26, t0
+            rmr  t1, m14
+            rmr  t0, m13
+            mexitm
+        """, mregs=(13, 14))
+        return machine_with([setup, emul, teardown])
+
+    def test_emulating_handler(self):
+        m = self._machine()
+        m.write_word(0x3000, 5)
+        m.load_and_run("""
+_start:
+    li   a0, 0x503
+    li   a1, MR_EMUL
+    menter MR_SETUP
+    li   t2, 0x3000
+    lw   a2, 0(t2)         # emulated: 5 + 1000
+    li   a0, 0x503
+    menter MR_TEARDOWN
+    lw   a3, 0(t2)         # no longer intercepted: raw 5
+    halt
+""")
+        assert m.reg("a2") == 1005
+        assert m.reg("a3") == 5
+
+    def test_mroutines_not_intercepted(self):
+        # The emul handler itself performs lw; it must not self-intercept.
+        m = self._machine()
+        m.write_word(0x3000, 1)
+        m.load_and_run("""
+_start:
+    li   a0, 0x503
+    li   a1, MR_EMUL
+    menter MR_SETUP
+    li   t2, 0x3000
+    lw   a2, 0(t2)
+    halt
+""")
+        assert m.core.metal.intercept.hits == 1

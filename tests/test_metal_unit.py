@@ -1,0 +1,257 @@
+"""MetalUnit, MRAM, MReg and delivery/interception table unit tests."""
+
+import pytest
+
+from repro.errors import (
+    InterceptError,
+    MetalError,
+    MetalModeError,
+    MramError,
+)
+from repro.cpu.exceptions import Cause
+from repro.isa.metal_ops import pack_intercept_spec
+from repro.isa.opcodes import OP_LOAD, OP_STORE
+from repro.metal import (
+    DeliveryTable,
+    InterceptTable,
+    MetalUnit,
+    Mram,
+    MRegFile,
+    MRoutine,
+    load_mroutines,
+)
+
+
+@pytest.fixture
+def unit():
+    routines = [
+        MRoutine(name="first", entry=0, source="mexit\n"),
+        MRoutine(name="second", entry=5, source="nop\nmexit\n"),
+    ]
+    return MetalUnit(load_mroutines(routines))
+
+
+class TestMram:
+    def test_fetch_written_code(self):
+        mram = Mram()
+        mram.write_code(0, [0x13, 0x6F])
+        assert mram.fetch(0) == 0x13
+        assert mram.fetch(4) == 0x6F
+
+    def test_fetch_bounds(self):
+        mram = Mram(code_bytes=64)
+        with pytest.raises(MramError):
+            mram.fetch(64)
+        with pytest.raises(MramError):
+            mram.fetch(2)  # misaligned
+
+    def test_data_roundtrip(self):
+        mram = Mram()
+        mram.store_word(8, 0xCAFEBABE)
+        assert mram.load_word(8) == 0xCAFEBABE
+
+    def test_data_bounds_and_alignment(self):
+        mram = Mram(data_bytes=16)
+        with pytest.raises(MramError):
+            mram.load_word(16)
+        with pytest.raises(MramError):
+            mram.store_word(2, 1)
+
+    def test_code_overflow(self):
+        mram = Mram(code_bytes=8)
+        with pytest.raises(MramError):
+            mram.write_code(4, [1, 2])
+
+    def test_clear(self):
+        mram = Mram()
+        mram.write_code(0, [7])
+        mram.store_word(0, 7)
+        mram.clear()
+        assert mram.fetch(0) == 0
+        assert mram.load_word(0) == 0
+
+
+class TestMRegFile:
+    def test_read_write(self):
+        regs = MRegFile()
+        regs.write(3, 0x123)
+        assert regs.read(3) == 0x123
+
+    def test_truncation(self):
+        regs = MRegFile()
+        regs.write(0, 0x1_0000_0001)
+        assert regs.read(0) == 1
+
+    def test_bounds(self):
+        regs = MRegFile()
+        with pytest.raises(MetalError):
+            regs.read(32)
+        with pytest.raises(MetalError):
+            regs.write(-1, 0)
+
+    def test_snapshot_restore(self):
+        regs = MRegFile()
+        regs.write(1, 42)
+        snap = regs.snapshot()
+        regs.write(1, 0)
+        regs.restore(snap)
+        assert regs[1] == 42
+
+    def test_indexing(self):
+        regs = MRegFile()
+        regs[7] = 9
+        assert regs[7] == 9
+
+
+class TestTransitions:
+    def test_enter_sets_m31_and_mode(self, unit):
+        offset = unit.enter(5, return_pc=0x1234)
+        assert unit.in_metal
+        assert unit.mregs[31] == 0x1234
+        assert offset == unit.image.entry_offset(5)
+
+    def test_enter_unknown_entry(self, unit):
+        with pytest.raises(Exception):
+            unit.enter(9, 0)
+
+    def test_nested_enter_rejected(self, unit):
+        unit.enter(0, 0)
+        with pytest.raises(MetalModeError):
+            unit.enter(0, 0)
+
+    def test_exit_returns_m31(self, unit):
+        unit.enter(0, 0xBEEF)
+        assert unit.exit_metal() == 0xBEEF
+        assert not unit.in_metal
+
+    def test_exit_outside_metal_rejected(self, unit):
+        with pytest.raises(MetalModeError):
+            unit.exit_metal()
+
+    def test_stats(self, unit):
+        unit.enter(0, 0)
+        unit.exit_metal()
+        assert unit.stats.enters == 1
+        assert unit.stats.exits == 1
+
+
+class TestDelivery:
+    def test_exception_latches_hw_mregs(self, unit):
+        unit.delivery.route(Cause.PAGE_FAULT_LOAD, 5)
+        offset = unit.deliver(Cause.PAGE_FAULT_LOAD, epc=0x100, info=0x2000)
+        assert offset == unit.image.entry_offset(5)
+        assert unit.mregs[28] == int(Cause.PAGE_FAULT_LOAD)
+        assert unit.mregs[29] == 0x2000
+        assert unit.mregs[30] == 0x100
+        assert unit.mregs[31] == 0x100  # retry semantics
+
+    def test_intercept_skips_by_default(self, unit):
+        offset = unit.deliver(Cause.INTERCEPT, epc=0x100, info=0xAB,
+                              entry=0, operands=(11, 22))
+        assert offset == unit.image.entry_offset(0)
+        assert unit.mregs[31] == 0x104  # skip semantics
+        assert unit.mregs[25] == 11
+        assert unit.mregs[24] == 22
+
+    def test_unrouted_cause_raises(self, unit):
+        with pytest.raises(MetalError):
+            unit.deliver(Cause.ECALL, epc=0)
+
+    def test_double_fault_rejected(self, unit):
+        unit.delivery.route(Cause.ECALL, 0)
+        unit.enter(0, 0)
+        with pytest.raises(MetalError):
+            unit.deliver(Cause.ECALL, epc=0)
+
+    def test_redispatch_preserves_context(self, unit):
+        unit.delivery.route(Cause.PRIVILEGE, 5)
+        unit.delivery.route(Cause.ECALL, 0)
+        unit.deliver(Cause.ECALL, epc=0x80, info=0x42)
+        offset = unit.redispatch(Cause.PRIVILEGE)
+        assert offset == unit.image.entry_offset(5)
+        assert unit.mregs[28] == int(Cause.PRIVILEGE)
+        assert unit.mregs[30] == 0x80   # EPC preserved
+        assert unit.mregs[29] == 0x42   # info preserved
+
+    def test_redispatch_outside_metal_rejected(self, unit):
+        unit.delivery.route(Cause.PRIVILEGE, 0)
+        with pytest.raises(MetalModeError):
+            unit.redispatch(Cause.PRIVILEGE)
+
+    def test_reset(self, unit):
+        unit.delivery.route(Cause.ECALL, 0)
+        unit.enter(0, 0)
+        unit.reset()
+        assert not unit.in_metal
+        assert unit.delivery.handler_for(Cause.ECALL) is None
+
+
+class TestDeliveryTable:
+    def test_route_unroute(self):
+        table = DeliveryTable()
+        table.route(3, 7)
+        assert table.handler_for(3) == 7
+        table.unroute(3)
+        assert table.handler_for(3) is None
+
+    def test_require_handler(self):
+        table = DeliveryTable()
+        with pytest.raises(MetalError):
+            table.require_handler(9)
+
+    def test_routed_causes_sorted(self):
+        table = DeliveryTable()
+        table.route(9, 1)
+        table.route(2, 1)
+        assert table.routed_causes == [2, 9]
+
+
+class TestInterceptTable:
+    def test_wildcard_matches_all_funct3(self):
+        table = InterceptTable()
+        table.enable(pack_intercept_spec(OP_LOAD), entry=3)
+        lw = 0x0002A303    # funct3=2
+        lb = lw & ~0x7000  # funct3=0
+        assert table.match(lw) == 3
+        assert table.match(lb) == 3
+
+    def test_exact_beats_wildcard(self):
+        table = InterceptTable()
+        table.enable(pack_intercept_spec(OP_LOAD), entry=1)
+        table.enable(pack_intercept_spec(OP_LOAD, funct3=2), entry=2)
+        lw = 0x0002A303
+        assert table.match(lw) == 2
+
+    def test_non_matching_opcode(self):
+        table = InterceptTable()
+        table.enable(pack_intercept_spec(OP_STORE), entry=1)
+        assert table.match(0x0002A303) is None
+
+    def test_disable(self):
+        table = InterceptTable()
+        spec = pack_intercept_spec(OP_LOAD, funct3=2)
+        table.enable(spec, entry=1)
+        table.disable(spec)
+        assert table.match(0x0002A303) is None
+        assert table.empty
+
+    def test_cam_capacity(self):
+        table = InterceptTable(slots=2)
+        table.enable(pack_intercept_spec(0x03, 0), 1)
+        table.enable(pack_intercept_spec(0x03, 1), 1)
+        with pytest.raises(InterceptError):
+            table.enable(pack_intercept_spec(0x03, 2), 1)
+
+    def test_reenable_same_key_not_counted_twice(self):
+        table = InterceptTable(slots=1)
+        spec = pack_intercept_spec(0x03, 2)
+        table.enable(spec, 1)
+        table.enable(spec, 2)  # update in place
+        assert table.match(0x0002A303) == 2
+
+    def test_hit_counter(self):
+        table = InterceptTable()
+        table.enable(pack_intercept_spec(OP_LOAD), 1)
+        table.match(0x0002A303)
+        table.match(0x0002A303)
+        assert table.hits == 2

@@ -1,0 +1,152 @@
+"""Coverage for smaller behaviours: KEY_FAULT cause, verifier fuzz,
+program/disassembly helpers, nested machine inventory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Cause,
+    MRoutine,
+    build_metal_machine,
+    build_nested_metal_machine,
+)
+from repro.asm import assemble
+from repro.isa.disasm import disassemble_block
+from repro.metal.mroutine import MRoutine as MR
+from repro.metal.verifier import verify_mroutine
+
+
+class TestKeyFaultCause:
+    def test_key_fault_distinct_from_page_fault(self):
+        """A page-key denial must not look like a refillable page fault."""
+        from repro.isa.metal_ops import pack_pkr
+        from repro.mmu.types import TlbEntry
+
+        grab = MRoutine(name="grab", entry=0, source="""
+            rmr  s0, m28       # observed cause
+            rmr  t0, m30
+            addi t0, t0, 4
+            wmr  m31, t0       # skip the faulting store
+            mexit
+        """)
+        m = build_metal_machine([grab], with_caches=False)
+        m.route_cause(Cause.KEY_FAULT, "grab")
+        m.core.tlb.insert(TlbEntry(vpn=0x700, ppn=0x80, perms=3, key=4,
+                                   global_=True))
+        m.core.tlb.insert(TlbEntry(vpn=1, ppn=1, perms=7, global_=True))
+        m.core.tlb.pkr = pack_pkr(write_disabled_keys=[4])
+        m.core.tlb.enabled = True
+        m.load_and_run("""
+_start:
+    li   t1, 0x700000
+    sw   t1, 0(t1)          # write-disabled key -> KEY_FAULT
+    halt
+""", base=0x1000)
+        assert m.reg("s0") == int(Cause.KEY_FAULT)
+
+    def test_cause_symbol_available_to_asm(self):
+        prog = assemble("addi a0, zero, CAUSE_KEY_FAULT",
+                        symbols={"CAUSE_KEY_FAULT": int(Cause.KEY_FAULT)})
+        assert prog.size == 4
+
+
+@given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=0, max_size=64))
+@settings(max_examples=150)
+def test_verifier_never_crashes_on_garbage(words):
+    """The verifier must report, not raise, for arbitrary code images."""
+    routine = MR(name="fuzz", entry=0, source="mexit\n")
+    routine.code_words = list(words)
+    routine.data_offset = 0
+    report = verify_mroutine(routine, allowed_data_ranges=[(0, 64)])
+    assert report.instruction_count == len(words)
+    if not words:
+        assert not report.ok
+
+
+class TestProgramHelpers:
+    def test_word_at(self):
+        prog = assemble(".word 0xAABBCCDD, 0x11223344", base=0x100)
+        assert prog.word_at(0x104) == 0x11223344
+
+    def test_end_and_size(self):
+        prog = assemble("nop\nnop\n", base=0x10)
+        assert prog.size == 8
+        assert prog.end == 0x18
+
+    def test_symbol_lookup(self):
+        prog = assemble("x:\n nop\n")
+        assert prog.symbol("x") == 0
+        with pytest.raises(KeyError):
+            prog.symbol("missing")
+
+    def test_disassemble_block_data_fallback(self):
+        text = disassemble_block([0x00000013, 0xFFFFFFFF], base_addr=0x40)
+        lines = text.splitlines()
+        assert "addi" in lines[0]
+        assert ".word 0xffffffff" in lines[1]
+        assert lines[1].startswith("00000044:")
+
+
+class TestNestedMachine:
+    def test_builder_and_inventory(self):
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        m = build_nested_metal_machine([noop], layer_names=("vmm", "os"))
+        assert m.name == "nested-metal"
+        inv = m.inventory()
+        assert "noop" in inv["mroutines"]
+        assert len(m.core.metal.layers) == 2
+
+    def test_base_delivery_is_layer_zero(self):
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        m = build_nested_metal_machine([noop])
+        unit = m.core.metal
+        assert unit.delivery is unit.layers[0].delivery
+
+    def test_menter_still_works_in_layered_machine(self):
+        double = MRoutine(name="double", entry=0,
+                          source="add a0, a0, a0\nmexit\n")
+        m = build_nested_metal_machine([double])
+        m.load_and_run("_start:\n    li a0, 4\n    menter MR_DOUBLE\n    halt\n")
+        assert m.reg("a0") == 8
+
+
+class TestMachineReset:
+    def test_reset_clears_architectural_state(self):
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        m = build_metal_machine([noop], with_caches=False)
+        m.load_and_run("_start:\n    li a0, 5\n    menter MR_NOOP\n    halt\n")
+        assert m.core.halted
+        m.reset(pc=0x1000)
+        assert m.core.pc == 0x1000
+        assert not m.core.halted
+        assert m.reg("a0") == 0
+        assert not m.core.metal.in_metal
+        # memory persists across reset
+        assert m.read_word(0x1000) != 0
+
+    def test_rerun_after_reset(self):
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        m = build_metal_machine([noop], with_caches=False)
+        m.load_and_run("_start:\n    li a0, 7\n    halt\n")
+        m.reset(pc=0x1000)
+        m.run()
+        assert m.reg("a0") == 7
+
+
+class TestRegisterNames:
+    def test_reg_name_num_roundtrip(self):
+        from repro.isa.registers import reg_name, reg_num
+
+        for i in range(32):
+            assert reg_num(reg_name(i)) == i
+        assert reg_num("x17") == reg_num("a7") == 17
+
+    def test_mreg_helpers(self):
+        from repro.errors import IsaError
+        from repro.isa.registers import mreg_name, mreg_num
+
+        assert mreg_num(mreg_name(31)) == 31
+        with pytest.raises(IsaError):
+            mreg_num("m32")
+        with pytest.raises(IsaError):
+            mreg_name(32)

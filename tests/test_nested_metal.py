@@ -1,0 +1,233 @@
+"""§3.5 "Nested Metal" tests: layered interception and delivery."""
+
+import pytest
+
+from repro import MRoutine, build_nested_metal_machine, Cause
+from repro.errors import NestedMetalError
+from repro.isa.metal_ops import pack_intercept_spec
+from repro.isa.opcodes import OP_LOAD
+from repro.metal.nested import MetalLayer
+
+ICEPT_LW = pack_intercept_spec(OP_LOAD, funct3=2)
+
+
+def routines():
+    """Markers: each layer's handler stamps a register and skips (app/os) or
+    replays (os_replay) the intercepted instruction."""
+    return [
+        MRoutine(name="app_icpt", entry=0, source="""
+            li   t4, 1           # app layer saw it (skip semantics)
+            mexit
+        """),
+        MRoutine(name="os_icpt", entry=1, source="""
+            li   t5, 1           # os layer saw it (skip semantics)
+            mexit
+        """),
+        MRoutine(name="os_replay", entry=2, source="""
+            li   t5, 1
+            wmr  m9, t0          # transparent: spill t0
+            rmr  t0, m30
+            wmr  m31, t0         # replay the intercepted instruction
+            rmr  t0, m9
+            mexit
+        """, shared_mregs=(9,)),
+        MRoutine(name="vmm_icpt", entry=3, source="""
+            li   t6, 1           # vmm layer saw it
+            mexit
+        """),
+        # Interrupt chain convention for these tests: the first handler in
+        # the chain parks the interrupted t0 in m11; the terminal handler
+        # restores it before mexit.
+        MRoutine(name="irq_vmm", entry=4, source="""
+            li   s2, 1           # vmm interrupt handler
+            wmr  m11, t0         # park interrupted t0 for the chain
+            rmr  t0, m28
+            mraise t0            # propagate the interrupt one layer up
+        """, shared_mregs=(11,)),
+        MRoutine(name="irq_os", entry=5, source="""
+            li   s3, 1           # terminal handler of the chain
+            li   t0, TIMER_CTRL
+            mpst zero, 0(t0)     # stop the timer
+            rmr  t0, m11         # restore the interrupted t0
+            mexit
+        """, shared_mregs=(11,)),
+        MRoutine(name="irq_direct", entry=7, source="""
+            li   s3, 1           # single-layer handler (parks + restores)
+            wmr  m11, t0
+            li   t0, TIMER_CTRL
+            mpst zero, 0(t0)
+            rmr  t0, m11
+            mexit
+        """, shared_mregs=(11,)),
+        MRoutine(name="noop", entry=6, source="mexit\n"),
+    ]
+
+
+@pytest.fixture
+def machine():
+    return build_nested_metal_machine(routines(), with_caches=False)
+
+
+def layer(machine, name):
+    unit = machine.core.metal
+    return unit.layers[unit.layer_index(name)]
+
+
+class TestLayerManagement:
+    def test_initial_layers(self, machine):
+        unit = machine.core.metal
+        assert [l.name for l in unit.layers] == ["vmm", "os", "app"]
+
+    def test_push_pop(self, machine):
+        unit = machine.core.metal
+        unit.push_layer("plugin")
+        assert unit.layers[-1].name == "plugin"
+        assert unit.pop_layer().name == "plugin"
+
+    def test_duplicate_push_rejected(self, machine):
+        with pytest.raises(NestedMetalError):
+            machine.core.metal.push_layer("os")
+
+    def test_cannot_pop_base(self, machine):
+        unit = machine.core.metal
+        unit.pop_layer()
+        unit.pop_layer()
+        with pytest.raises(NestedMetalError):
+            unit.pop_layer()
+
+    def test_swap_layer_context_switch(self, machine):
+        """The paper's context switch: an OS swaps per-process app tables."""
+        unit = machine.core.metal
+        entry = unit.image.entry_of("app_icpt")
+        process_a = MetalLayer("x")
+        process_a.intercept.enable(ICEPT_LW, entry)
+        old = unit.swap_layer("app", process_a)
+        assert not unit.layers[2].intercept.empty
+        unit.swap_layer("app", old)
+        assert unit.layers[2].intercept.empty
+
+
+class TestLayeredInterception:
+    def test_higher_layer_intercepts_first(self, machine):
+        unit = machine.core.metal
+        layer(machine, "os").intercept.enable(ICEPT_LW, unit.image.entry_of("os_icpt"))
+        layer(machine, "app").intercept.enable(ICEPT_LW, unit.image.entry_of("app_icpt"))
+        machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)
+    halt
+""")
+        assert machine.reg("t4") == 1   # app (higher) handled it
+        assert machine.reg("t5") == 0   # os never saw it (app skipped)
+
+    def test_replay_propagates_downward(self, machine):
+        # os replays -> the replayed instruction must go to vmm, not os again
+        unit = machine.core.metal
+        layer(machine, "os").intercept.enable(ICEPT_LW, unit.image.entry_of("os_replay"))
+        layer(machine, "vmm").intercept.enable(ICEPT_LW, unit.image.entry_of("vmm_icpt"))
+        machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)
+    halt
+""")
+        assert machine.reg("t5") == 1   # os handled first
+        assert machine.reg("t6") == 1   # replay fell through to vmm
+
+    def test_replay_without_lower_match_executes(self, machine):
+        unit = machine.core.metal
+        layer(machine, "os").intercept.enable(ICEPT_LW, unit.image.entry_of("os_replay"))
+        machine.write_word(0x3000, 0x99)
+        machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)
+    halt
+""")
+        assert machine.reg("t5") == 1
+        assert machine.reg("a0") == 0x99  # replayed instruction ran for real
+
+    def test_replay_state_expires_after_pc_moves(self, machine):
+        unit = machine.core.metal
+        layer(machine, "os").intercept.enable(ICEPT_LW, unit.image.entry_of("os_replay"))
+        machine.write_word(0x3000, 7)
+        machine.load_and_run("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)       # intercept + replay
+    lw   a1, 0(t0)       # new PC: intercepted again
+    halt
+""")
+        assert unit.intercept.hits == 2
+        assert machine.reg("a0") == 7
+        assert machine.reg("a1") == 7
+
+
+class TestLayeredDelivery:
+    def test_interrupt_starts_at_lowest_layer(self, machine):
+        unit = machine.core.metal
+        cause = Cause.interrupt(0)
+        layer(machine, "vmm").delivery.route(cause, unit.image.entry_of("irq_direct"))
+        layer(machine, "os").delivery.route(cause, unit.image.entry_of("noop"))
+        unit.delivery.interrupts_enabled = True
+        machine.timer.compare = 100
+        machine.timer.irq_enabled = True
+        machine.load_and_run("""
+_start:
+    li   t0, 400
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    halt
+""", max_instructions=10_000)
+        assert machine.reg("s3") == 1  # the vmm's (lowest) handler ran
+
+    def test_interrupt_propagates_upward_via_mraise(self, machine):
+        unit = machine.core.metal
+        cause = Cause.interrupt(0)
+        layer(machine, "vmm").delivery.route(cause, unit.image.entry_of("irq_vmm"))
+        layer(machine, "os").delivery.route(cause, unit.image.entry_of("irq_os"))
+        unit.delivery.interrupts_enabled = True
+        machine.timer.compare = 100
+        machine.timer.irq_enabled = True
+        machine.load_and_run("""
+_start:
+    li   t0, 400
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    halt
+""", max_instructions=10_000)
+        assert machine.reg("s2") == 1  # vmm saw it first
+        assert machine.reg("s3") == 1  # then propagated up to the os
+
+    def test_propagation_past_top_fails(self, machine):
+        unit = machine.core.metal
+        cause = Cause.interrupt(0)
+        layer(machine, "vmm").delivery.route(cause, unit.image.entry_of("irq_vmm"))
+        unit.delivery.interrupts_enabled = True
+        machine.timer.compare = 50
+        machine.timer.irq_enabled = True
+        with pytest.raises(NestedMetalError):
+            machine.load_and_run("""
+_start:
+    li   t0, 400
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    halt
+""", max_instructions=10_000)
+
+    def test_exception_goes_to_highest_routing_layer(self, machine):
+        unit = machine.core.metal
+        # both vmm and os route ILLEGAL; the os (higher) must win
+        layer(machine, "vmm").delivery.route(Cause.ILLEGAL_INSTRUCTION,
+                                             unit.image.entry_of("irq_vmm"))
+        layer(machine, "os").delivery.route(Cause.ILLEGAL_INSTRUCTION,
+                                            unit.image.entry_of("noop"))
+        assert unit._route_layer(Cause.ILLEGAL_INSTRUCTION) == unit.layer_index("os")
+
+    def test_unrouted_cause_raises(self, machine):
+        with pytest.raises(NestedMetalError):
+            machine.core.metal.deliver(Cause.ECALL, epc=0)

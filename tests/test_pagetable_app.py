@@ -1,0 +1,232 @@
+"""§3.2 application tests: custom radix page tables + mroutine TLB refill."""
+
+import pytest
+
+from repro import build_metal_machine, Cause
+from repro.mcode.pagetable import (
+    PTE_G,
+    PTE_R,
+    PTE_U,
+    PTE_W,
+    PTE_X,
+    PageTableBuilder,
+    make_pagetable_routines,
+)
+from repro.errors import ReproError
+
+MAILBOX = 0x2F00
+FAULT_ENTRY = 0x1040
+PT_POOL = 0x100000
+
+
+def vm_machine():
+    m = build_metal_machine(
+        make_pagetable_routines(MAILBOX, FAULT_ENTRY), with_caches=False,
+    )
+    m.route_page_faults()
+    return m
+
+
+def standard_tables(m):
+    pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+    # identity-map kernel/user code+data, global supervisor+user
+    pt.map_range(0x0, 0x0, 0x10000,
+                 flags=PTE_R | PTE_W | PTE_X | PTE_U | PTE_G)
+    return pt
+
+
+BOOT = f"""
+_start:
+    j    boot
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s10, 1              # forwarded-fault marker
+    li   t0, {MAILBOX:#x}
+    lw   s8, 0(t0)           # faulting VA
+    lw   s9, 8(t0)           # cause
+    halt
+boot:
+    li   a0, {PT_POOL:#x}
+    li   a1, 0
+    menter MR_PTROOT_SET
+    li   a0, 1
+    menter MR_PAGING_CTL
+"""
+
+
+class TestBuilder:
+    def test_map_unmap(self):
+        m = vm_machine()
+        pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+        pt.map(0x400000, 0x9000, flags=PTE_R)
+        l1 = m.read_word(pt.root + 4 * (0x400000 >> 22))
+        assert l1 & 1
+        pt.unmap(0x400000)
+        l2_base = l1 & 0xFFFFF000
+        assert m.read_word(l2_base + 4 * ((0x400000 >> 12) & 0x3FF)) == 0
+
+    def test_pool_exhaustion(self):
+        m = vm_machine()
+        pt = PageTableBuilder(m.bus, pool_base=PT_POOL, pool_bytes=8192)
+        pt.map(0x0, 0x0)  # allocates the one available L2 table
+        with pytest.raises(ReproError):
+            pt.map(0x80000000, 0x0)  # needs a second L2 table
+
+    def test_protect_requires_mapping(self):
+        m = vm_machine()
+        pt = PageTableBuilder(m.bus, pool_base=PT_POOL)
+        with pytest.raises(ReproError):
+            pt.protect(0x123000, PTE_R)
+
+
+class TestWalkerRefill:
+    def test_store_load_through_walker(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_W | PTE_G)
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    li   t1, 0xFEED
+    sw   t1, 0(t0)           # store fault -> walker refill -> retry
+    lw   a0, 0(t0)
+    halt
+""")
+        assert m.reg("a0") == 0xFEED
+        assert m.read_word(0x80000) == 0xFEED
+        # two refills: fetch fault for the code page, store fault for data
+        assert m.core.metal.stats.deliveries.get(int(Cause.PAGE_FAULT_STORE)) == 1
+
+    def test_refill_count_matches_pages_touched(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        for i in range(8):
+            pt.map(0x400000 + i * 4096, 0x80000 + i * 4096,
+                   flags=PTE_R | PTE_W | PTE_G)
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    li   t2, 8
+touch:
+    lw   t1, 0(t0)
+    li   t3, 0x1000
+    add  t0, t0, t3
+    addi t2, t2, -1
+    bnez t2, touch
+    halt
+""")
+        assert m.core.metal.stats.deliveries.get(int(Cause.PAGE_FAULT_LOAD)) == 8
+
+    def test_second_touch_hits_tlb(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_G)
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    lw   t1, 0(t0)
+    lw   t2, 0(t0)
+    lw   t3, 0(t0)
+    halt
+""")
+        assert m.core.metal.stats.deliveries.get(int(Cause.PAGE_FAULT_LOAD)) == 1
+
+
+class TestFaultForwarding:
+    def test_unmapped_page_forwards_to_os(self):
+        m = vm_machine()
+        standard_tables(m)
+        m.load_and_run(BOOT + """
+    li   t0, 0x700000        # never mapped
+    lw   t1, 0(t0)
+    halt
+""")
+        assert m.reg("s10") == 1
+        assert m.reg("s8") == 0x700000
+        assert m.reg("s9") == int(Cause.PAGE_FAULT_LOAD)
+
+    def test_protection_violation_forwards(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_G)  # read-only
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    lw   t1, 0(t0)           # fine (refill)
+    sw   t1, 0(t0)           # write to read-only -> forwarded
+    halt
+""")
+        assert m.reg("s10") == 1
+        assert m.reg("s9") == int(Cause.PAGE_FAULT_STORE)
+
+    def test_execute_from_noexec_forwards(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_G)  # no X
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    jr   t0                  # fetch fault on a no-exec page
+    halt
+""")
+        assert m.reg("s10") == 1
+        assert m.reg("s9") == int(Cause.PAGE_FAULT_FETCH)
+
+
+class TestVmManagement:
+    def test_vm_inval_forces_rewalk(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_W | PTE_G)
+        m.load_and_run(BOOT + """
+    li   t0, 0x400000
+    lw   t1, 0(t0)           # refill #1
+    li   a0, 0x400000        # packed va|asid
+    menter MR_VM_INVAL
+    lw   t1, 0(t0)           # refill #2
+    halt
+""")
+        assert m.core.metal.stats.deliveries.get(int(Cause.PAGE_FAULT_LOAD)) == 2
+
+    def test_ptroot_set_requires_kernel(self):
+        m = vm_machine()
+        # also load the privilege routines to drop to user level
+        from repro.mcode.privilege import make_kernel_user_routines
+
+        routines = (make_pagetable_routines(MAILBOX, FAULT_ENTRY)
+                    + make_kernel_user_routines(0x2E00, FAULT_ENTRY))
+        m = build_metal_machine(routines, with_caches=False)
+        m.route_page_faults()
+        m.route_cause(Cause.PRIVILEGE, "priv_fault")
+        m.load_and_run(f"""
+_start:
+    j    go
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s0, 1
+    halt
+go:
+    li   ra, user
+    menter MR_KEXIT
+user:
+    li   a0, {PT_POOL:#x}
+    li   a1, 0
+    menter MR_PTROOT_SET     # user level -> privilege violation
+    halt
+""", base=0x1000)
+        assert m.reg("s0") == 1
+
+    def test_asid_switch_via_ptroot(self):
+        m = vm_machine()
+        pt = standard_tables(m)
+        pt.map(0x400000, 0x80000, flags=PTE_R | PTE_W)  # asid 0, non-global
+        m.write_word(0x80000, 0x111)
+        m.load_and_run(BOOT + f"""
+    li   t0, 0x400000
+    lw   s0, 0(t0)           # asid 0 mapping
+    # switch to asid 1 with the same table (entry tagged asid 1 now)
+    li   a0, {PT_POOL:#x}
+    li   a1, 1
+    menter MR_PTROOT_SET
+    li   t0, 0x400000
+    lw   s1, 0(t0)           # miss (asid 1) -> refill with asid 1
+    halt
+""")
+        assert m.reg("s0") == 0x111
+        assert m.reg("s1") == 0x111
+        assert m.core.metal.stats.deliveries.get(int(Cause.PAGE_FAULT_LOAD)) == 2

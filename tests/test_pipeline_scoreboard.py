@@ -1,0 +1,142 @@
+"""Direct unit tests of the pipeline scoreboard (hand-computed schedules)."""
+
+import pytest
+
+from repro.cpu.executor import StepInfo
+from repro.cpu.pipeline import PipelineTimer
+from repro.cpu.timing import TimingModel
+from repro.isa.instruction import InstrClass
+
+
+def step(pc=0, mnemonic="addi", cls=InstrClass.ALU_IMM, fetch=1, mem=0,
+         rd=0, reads=(), control=None, is_load=False):
+    return StepInfo(
+        pc=pc, next_pc=pc + 4, mnemonic=mnemonic, cls=cls,
+        fetch_latency=fetch, mem_latency=mem, rd=rd, reads=reads,
+        control=control, is_load=is_load,
+    )
+
+
+def timer(**overrides):
+    return PipelineTimer(TimingModel(mem_latency=1, **overrides))
+
+
+class TestSteadyState:
+    def test_single_instruction_takes_pipeline_depth(self):
+        t = timer()
+        t.note(step())
+        # IF=1, ID=2, EX=3, MEM=4, WB=5
+        assert t.cycles == 5
+
+    def test_back_to_back_alu_one_per_cycle(self):
+        t = timer()
+        for i in range(10):
+            t.note(step(pc=4 * i))
+        # depth 5 + 9 more retires
+        assert t.cycles == 5 + 9
+
+    def test_forwarding_hides_alu_dependency(self):
+        t = timer()
+        t.note(step(rd=5))
+        t.note(step(reads=(5,)))
+        assert t.cycles == 6  # no stall
+
+    def test_load_use_one_bubble(self):
+        t = timer()
+        t.note(step(mnemonic="lw", cls=InstrClass.LOAD, mem=1, rd=5,
+                    is_load=True))
+        t.note(step(reads=(5,)))
+        assert t.cycles == 7  # one bubble vs the ALU case
+        assert t.stall_load_use == 1
+
+    def test_spacer_hides_load_use(self):
+        t = timer()
+        t.note(step(mnemonic="lw", cls=InstrClass.LOAD, mem=1, rd=5,
+                    is_load=True))
+        t.note(step(rd=6))
+        t.note(step(reads=(5,)))
+        assert t.stall_load_use == 0
+
+
+class TestLatencies:
+    def test_fetch_latency_occupies_if(self):
+        t = timer()
+        t.note(step(fetch=5))
+        assert t.cycles == 5 + 4  # IF takes 5 cycles, then 4 more stages
+
+    def test_mem_latency_occupies_mem(self):
+        t = timer()
+        t.note(step(mnemonic="lw", cls=InstrClass.LOAD, mem=10, rd=5,
+                    is_load=True))
+        assert t.cycles == 3 + 10 + 1  # IF,ID,EX + MEM(10) + WB
+
+    def test_muldiv_extends_ex(self):
+        t = timer(mul_extra=2)
+        t.note(step(mnemonic="mul", cls=InstrClass.MULDIV, rd=5))
+        assert t.cycles == 5 + 2
+
+    def test_div_uses_div_extra(self):
+        t = timer(div_extra=15)
+        t.note(step(mnemonic="div", cls=InstrClass.MULDIV, rd=5))
+        assert t.cycles == 5 + 15
+
+
+class TestControlFlow:
+    def test_taken_branch_two_bubbles(self):
+        t = timer()
+        t.note(step(mnemonic="beq", cls=InstrClass.BRANCH, control="branch"))
+        t.note(step(pc=100))
+        # redirect at EX end (cycle 3): next IF starts at 4 instead of 2
+        assert t.stall_control == 2
+
+    def test_jal_one_bubble(self):
+        t = timer()
+        t.note(step(mnemonic="jal", cls=InstrClass.JAL, control="jal", rd=1))
+        t.note(step(pc=100))
+        assert t.stall_control == 1
+
+    def test_menter_zero_bubbles_with_replacement(self):
+        t = timer()
+        t.note(step(mnemonic="menter", cls=InstrClass.METAL, control="menter"))
+        t.note(step(pc=0))
+        assert t.stall_control == 0
+
+    def test_menter_costs_redirect_without_replacement(self):
+        t = timer(decode_replacement=False, transition_redirect=4)
+        t.note(step(mnemonic="menter", cls=InstrClass.METAL, control="menter"))
+        t.note(step(pc=0))
+        assert t.stall_control > 0
+
+    def test_not_taken_branch_free(self):
+        t = timer()
+        t.note(step(mnemonic="beq", cls=InstrClass.BRANCH, control=None))
+        t.note(step(pc=4))
+        assert t.stall_control == 0
+
+
+class TestEvents:
+    def test_trap_charges_flush(self):
+        t = timer(trap_flush=4)
+        t.note(step())
+        before = t.cycles
+        t.note_trap(metal=False)
+        t.note(step(pc=0x80))
+        assert t.cycles > before + 1
+
+    def test_metal_delivery_cheaper_than_trap(self):
+        a = timer(trap_flush=6, delivery_redirect=2)
+        a.note(step())
+        a.note_trap(metal=False)
+        a.note(step(pc=0x80))
+        b = timer(trap_flush=6, delivery_redirect=2)
+        b.note(step())
+        b.note_trap(metal=True)
+        b.note(step(pc=0x80))
+        assert b.cycles < a.cycles
+
+    def test_note_event_shifts_everything(self):
+        t = timer()
+        t.note(step())
+        t.note_event(100)
+        t.note(step(pc=4))
+        assert t.cycles >= 106

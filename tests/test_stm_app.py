@@ -1,0 +1,285 @@
+"""§3.3 application tests: interception-driven STM (TL2-lite)."""
+
+import pytest
+
+from repro import build_metal_machine
+from repro.mcode.stm import RS_MAX, WS_MAX, StmHost, make_stm_routines
+
+CLOCK = 0x20000
+LOCKS = 0x21000
+
+
+@pytest.fixture
+def stm():
+    m = build_metal_machine(make_stm_routines(CLOCK, LOCKS), with_caches=False)
+    return m, StmHost(m, CLOCK, LOCKS)
+
+
+TX_PROLOGUE = """
+_start:
+    li   s0, 0               # attempt counter
+retry:
+    addi s0, s0, 1
+    li   a0, onabort
+    menter MR_TSTART
+"""
+
+
+class TestCommitPath:
+    def test_simple_increment(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 41)
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    menter MR_TCOMMIT
+    beqz a0, retry
+    j    done
+onabort:
+    j    retry
+done:
+    li   t0, 0x30000
+    lw   a1, 0(t0)
+    halt
+""")
+        assert m.reg("a1") == 42
+        assert host.commits == 1
+        assert host.aborts == 0
+
+    def test_writes_invisible_until_commit(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 1)
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    li   t1, 99
+    sw   t1, 0(t0)           # buffered, not yet in memory
+    menter MR_TABORT
+    li   t0, 0x30000
+    lw   a1, 0(t0)           # after abort: original value
+    j    done
+onabort:
+    j    done
+done:
+    halt
+""")
+        assert m.reg("a1") == 1
+        assert host.aborts == 1
+        assert host.commits == 0
+
+    def test_read_your_writes(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 5)
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    li   t1, 77
+    sw   t1, 0(t0)
+    lw   a1, 0(t0)           # must see the buffered 77
+    mv   s1, a1
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    j    done
+done:
+    halt
+""")
+        assert m.reg("s1") == 77
+        assert host.commits == 1
+
+    def test_last_write_wins(self, stm):
+        m, host = stm
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   t1, 2
+    sw   t1, 0(t0)
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    j    retry
+done:
+    halt
+""")
+        assert m.read_word(0x30000) == 2
+
+    def test_multi_location_atomicity(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 10)
+        m.write_word(0x30004, 20)
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    lw   t1, 0(t0)
+    lw   t2, 4(t0)
+    add  t3, t1, t2
+    sw   t3, 0(t0)
+    sw   t3, 4(t0)
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    j    retry
+done:
+    halt
+""")
+        assert m.read_word(0x30000) == 30
+        assert m.read_word(0x30004) == 30
+        assert host.commits == 1
+
+    def test_interception_off_after_commit(self, stm):
+        m, _ = stm
+        m.load_and_run(TX_PROLOGUE + """
+    li   t0, 0x30000
+    li   t1, 7
+    sw   t1, 0(t0)
+    menter MR_TCOMMIT
+    mv   s1, a0
+    # plain (non-transactional) accesses after commit.  tcommit clobbers
+    # t0-t5 (explicit-call ABI), so reload the address.
+    li   t0, 0x30000
+    li   t1, 8
+    sw   t1, 0(t0)
+    lw   a1, 0(t0)
+    j    done
+onabort:
+    j    retry
+done:
+    halt
+""")
+        hits_after = m.core.metal.intercept.hits
+        assert m.reg("a1") == 8
+        assert m.core.metal.intercept.empty
+        assert hits_after == 1  # only the in-transaction store
+
+
+class TestConflicts:
+    def test_commit_validation_conflict(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 1)
+        # A "remote core" bumps the stripe version after the tx snapshot:
+        # run the tx up to just before tcommit, then inject, then resume.
+        prog = m.assemble(TX_PROLOGUE + """
+    li   t0, 0x30000
+    lw   t1, 0(t0)
+pause:
+    nop                      # host injects the remote write here
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    menter MR_TCOMMIT
+    beqz a0, retry
+    j    done
+onabort:
+    j    retry
+done:
+    li   t0, 0x30000
+    lw   a1, 0(t0)
+    halt
+""", base=0x1000)
+        m.load(prog)
+        m.core.pc = 0x1000
+        pause = prog.symbols["pause"]
+        first = True
+        # Step until the first arrival at `pause`, inject, then run on.
+        while m.core.pc != pause or m.core.in_metal:
+            m.sim.step()
+        host.remote_write(0x30000, 100)
+        m.run(max_instructions=1_000_000)
+        assert host.aborts >= 1
+        assert host.commits == 1
+        assert m.reg("a1") == 101  # retried on top of the remote value
+
+    def test_read_conflict_aborts_inline(self, stm):
+        m, host = stm
+        m.write_word(0x30000, 1)
+        m.write_word(0x30004, 2)
+        prog = m.assemble(TX_PROLOGUE + """
+    li   t0, 0x30000
+    lw   t1, 0(t0)           # read-set entry for 0x30000
+pause:
+    nop
+    lw   t2, 0(t0)           # version now > rv -> inline abort
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    li   s5, 1               # abort continuation reached
+    j    done
+done:
+    halt
+""", base=0x1000)
+        m.load(prog)
+        m.core.pc = 0x1000
+        pause = prog.symbols["pause"]
+        while m.core.pc != pause or m.core.in_metal:
+            m.sim.step()
+        host.remote_write(0x30000, 50)
+        m.run(max_instructions=100_000)
+        assert m.reg("s5") == 1
+        assert host.aborts == 1
+
+
+class TestCapacity:
+    def test_write_set_overflow_aborts(self, stm):
+        m, host = stm
+        m.load_and_run(TX_PROLOGUE + f"""
+    li   t0, 0x30000
+    li   t2, {WS_MAX + 1}
+fill:
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t2, t2, -1
+    bnez t2, fill
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    li   s5, 1
+    j    done
+done:
+    halt
+""")
+        assert m.reg("s5") == 1
+        assert host.aborts == 1
+
+    def test_read_set_overflow_aborts(self, stm):
+        m, host = stm
+        m.load_and_run(TX_PROLOGUE + f"""
+    li   t0, 0x30000
+    li   t2, {RS_MAX + 1}
+fill:
+    lw   t3, 0(t0)
+    addi t0, t0, 4
+    addi t2, t2, -1
+    bnez t2, fill
+    menter MR_TCOMMIT
+    j    done
+onabort:
+    li   s5, 1
+    j    done
+done:
+    halt
+""")
+        assert m.reg("s5") == 1
+        assert host.aborts == 1
+
+    def test_max_capacity_commit_succeeds(self, stm):
+        m, host = stm
+        m.load_and_run(TX_PROLOGUE + f"""
+    li   t0, 0x30000
+    li   t2, {WS_MAX}
+fill:
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t2, t2, -1
+    bnez t2, fill
+    menter MR_TCOMMIT
+    mv   s1, a0
+    j    done
+onabort:
+    j    done
+done:
+    halt
+""", max_instructions=2_000_000)
+        assert m.reg("s1") == 1
+        assert host.commits == 1
+        # all words landed
+        assert m.read_word(0x30000) == WS_MAX
+        assert m.read_word(0x30000 + 4 * (WS_MAX - 1)) == 1

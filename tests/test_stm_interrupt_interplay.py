@@ -1,0 +1,124 @@
+"""Composition hazard the paper's §3.5 (Nested Metal) motivates: what if an
+interrupt fires *inside* a transaction?
+
+With base (non-nested) Metal, the interrupt handler's own loads/stores in
+normal mode would be intercepted into the transaction — the layering
+problem the paper describes.  The §3.3-compatible mitigation is to defer
+interrupts for the duration of the transaction (transactions are short and
+bounded by the RS/WS capacity, like mroutines themselves); these tests pin
+both the hazard and the mitigation.
+"""
+
+import pytest
+
+from repro import MRoutine, build_metal_machine, Cause
+from repro.mcode.stm import StmHost, make_stm_routines
+
+CLOCK = 0x20000
+LOCKS = 0x21000
+
+#: tstart variant that also defers interrupts until commit/abort.
+TSTART_NOIRQ = MRoutine(name="tstart_noirq", entry=33, source="""
+tstart_noirq:
+    mintc zero               # defer interrupts for the transaction
+    mexit
+""", shared_data=("tstart",))
+
+IRQ_ON = MRoutine(name="irq_on", entry=34, source="""
+irq_on:
+    li   t0, CAUSE_INTERRUPT_TIMER
+    li   t1, MR_TICK
+    mivec t0, t1
+    li   t0, 1
+    mintc t0
+    mexit
+""")
+
+#: Timer handler: writes a flag in normal-mode memory... via mpst so it is
+#: NOT intercepted (handlers that must not join transactions use physical
+#: stores — or nested Metal).
+TICK = MRoutine(name="tick", entry=35, source="""
+tick:
+    wmr  m9, t0
+    li   t0, TIMER_CTRL
+    mpst zero, 0(t0)         # stop the timer
+    li   t0, 0x3F00
+    mpst t0, 0(t0)           # mark: interrupt handled
+    rmr  t0, m9
+    mexit
+""", shared_mregs=(9,))
+
+
+def machine():
+    routines = make_stm_routines(CLOCK, LOCKS) + [TSTART_NOIRQ, IRQ_ON, TICK]
+    return build_metal_machine(routines, with_caches=False)
+
+
+TX_BODY = """
+    li   t0, 0x30000
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+"""
+
+
+class TestDeferredInterrupts:
+    def test_transaction_with_interrupts_deferred(self):
+        """mintc-off during the tx: the interrupt waits, the tx commits
+        cleanly, the interrupt is delivered right after."""
+        m = machine()
+        host = StmHost(m, CLOCK, LOCKS)
+        m.timer.compare = 150    # fires mid-transaction
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    menter MR_IRQ_ON
+    li   a0, onabort
+    menter MR_TSTART
+    menter MR_TSTART_NOIRQ   # defer interrupts inside the tx
+""" + TX_BODY + """
+    menter MR_TCOMMIT
+    mv   s1, a0
+    menter MR_IRQ_ON         # re-enable: the deferred interrupt lands now
+    li   t2, 400
+spin:
+    addi t2, t2, -1
+    bnez t2, spin
+    halt
+onabort:
+    j    onabort
+""", max_instructions=100_000)
+        assert m.reg("s1") == 1              # committed
+        assert host.commits == 1
+        assert m.read_word(0x3F00) != 0      # interrupt delivered afterwards
+        # the tx contains exactly its own accesses: 1 read + 1 write
+        assert m.core.metal.intercept.hits == 2
+
+    def test_interrupt_inside_transaction_pollutes_it(self):
+        """Without deferral: the handler runs mid-tx; any normal-mode
+        loads/stores it performed would be intercepted (the hazard).  Our
+        handler uses physical stores, so the transaction still commits —
+        but the delivery itself is observable mid-transaction."""
+        m = machine()
+        host = StmHost(m, CLOCK, LOCKS)
+        m.timer.compare = 150
+        m.timer.irq_enabled = True
+        m.load_and_run("""
+_start:
+    menter MR_IRQ_ON
+    li   a0, onabort
+    menter MR_TSTART
+    li   t2, 200
+spin:
+    addi t2, t2, -1          # stretch the transaction window
+    bnez t2, spin
+""" + TX_BODY + """
+    menter MR_TCOMMIT
+    mv   s1, a0
+    halt
+onabort:
+    j    onabort
+""", max_instructions=100_000)
+        assert m.read_word(0x3F00) != 0      # delivered during the tx
+        assert m.reg("s1") == 1              # still committed (phys stores)
+        assert host.commits == 1

@@ -1,0 +1,189 @@
+"""Software-managed TLB tests: ASIDs, page keys, permissions, eviction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.metal_ops import (
+    PERM_R,
+    PERM_U,
+    PERM_W,
+    PERM_X,
+    pack_pkr,
+    pack_tlb_pa,
+    pack_tlb_va,
+    unpack_tlb_pa,
+    unpack_tlb_va,
+)
+from repro.mmu import AccessType, Tlb, TlbEntry, TranslationFault
+from repro.mmu.types import FaultKind
+
+
+def entry(vpn, ppn, **kw):
+    kw.setdefault("perms", PERM_R | PERM_W | PERM_X)
+    return TlbEntry(vpn=vpn, ppn=ppn, **kw)
+
+
+def make_tlb(entries=4, enabled=True):
+    tlb = Tlb(entries)
+    tlb.enabled = enabled
+    return tlb
+
+
+class TestTranslation:
+    def test_identity_when_disabled(self):
+        tlb = make_tlb(enabled=False)
+        assert tlb.translate(0x12345678, AccessType.LOAD) == 0x12345678
+
+    def test_basic_translation(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=0x400, ppn=0x80))
+        assert tlb.translate(0x400123, AccessType.LOAD) == 0x80123
+
+    def test_miss_raises(self):
+        tlb = make_tlb()
+        with pytest.raises(TranslationFault) as err:
+            tlb.translate(0x1000, AccessType.FETCH)
+        assert err.value.kind is FaultKind.MISS
+        assert err.value.va == 0x1000
+
+    def test_permission_fault_per_access(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, perms=PERM_R))
+        assert tlb.translate(0x1000, AccessType.LOAD) == 0x1000
+        for access in (AccessType.STORE, AccessType.FETCH):
+            with pytest.raises(TranslationFault) as err:
+                tlb.translate(0x1000, access)
+            assert err.value.kind is FaultKind.PROTECTION
+
+    def test_user_bit(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, perms=PERM_R))          # supervisor
+        tlb.insert(entry(vpn=2, ppn=2, perms=PERM_R | PERM_U))  # user ok
+        assert tlb.translate(0x2000, AccessType.LOAD, user=True) == 0x2000
+        with pytest.raises(TranslationFault):
+            tlb.translate(0x1000, AccessType.LOAD, user=True)
+        # supervisor can read the supervisor page
+        assert tlb.translate(0x1000, AccessType.LOAD, user=False) == 0x1000
+
+
+class TestAsid:
+    def test_asid_isolation(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=5, ppn=10, asid=1))
+        tlb.insert(entry(vpn=5, ppn=20, asid=2))
+        tlb.current_asid = 1
+        assert tlb.translate(0x5000, AccessType.LOAD) >> 12 == 10
+        tlb.current_asid = 2
+        assert tlb.translate(0x5000, AccessType.LOAD) >> 12 == 20
+
+    def test_global_matches_any_asid(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=7, ppn=7, global_=True, asid=0))
+        tlb.current_asid = 99
+        assert tlb.translate(0x7000, AccessType.LOAD) == 0x7000
+
+    def test_flush_by_asid_keeps_globals(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, asid=3))
+        tlb.insert(entry(vpn=2, ppn=2, global_=True))
+        dropped = tlb.flush(asid=3)
+        assert dropped == 1
+        assert len(tlb) == 1
+
+
+class TestPageKeys:
+    def test_key_access_disable(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, key=4))
+        tlb.pkr = pack_pkr(disabled_keys=[4])
+        with pytest.raises(TranslationFault) as err:
+            tlb.translate(0x1000, AccessType.LOAD)
+        assert err.value.kind is FaultKind.KEY
+        tlb.pkr = pack_pkr()
+        assert tlb.translate(0x1000, AccessType.LOAD) == 0x1000
+
+    def test_key_write_disable_allows_reads(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, key=2))
+        tlb.pkr = pack_pkr(write_disabled_keys=[2])
+        assert tlb.translate(0x1000, AccessType.LOAD) == 0x1000
+        with pytest.raises(TranslationFault):
+            tlb.translate(0x1000, AccessType.STORE)
+
+    def test_key_zero_never_checked(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1, key=0))
+        tlb.pkr = 0xFFFFFFFF
+        assert tlb.translate(0x1000, AccessType.LOAD) == 0x1000
+
+    def test_batch_permission_flip(self):
+        """The §2.3 selling point: one PKR write flips many pages."""
+        tlb = make_tlb(entries=16)
+        for vpn in range(8):
+            tlb.insert(entry(vpn=vpn + 1, ppn=vpn + 1, key=5))
+        tlb.pkr = pack_pkr(disabled_keys=[5])
+        faults = 0
+        for vpn in range(8):
+            try:
+                tlb.translate((vpn + 1) << 12, AccessType.LOAD)
+            except TranslationFault:
+                faults += 1
+        assert faults == 8
+
+
+class TestManagement:
+    def test_insert_replaces_same_vpn(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1))
+        tlb.insert(entry(vpn=1, ppn=9))
+        assert len(tlb) == 1
+        assert tlb.translate(0x1000, AccessType.LOAD) >> 12 == 9
+
+    def test_round_robin_eviction(self):
+        tlb = make_tlb(entries=2)
+        tlb.insert(entry(vpn=1, ppn=1))
+        tlb.insert(entry(vpn=2, ppn=2))
+        tlb.insert(entry(vpn=3, ppn=3))  # evicts vpn=1
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(2) is not None
+
+    def test_invalidate(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1))
+        assert tlb.invalidate(1, 0) is True
+        assert tlb.invalidate(1, 0) is False
+
+    def test_stats(self):
+        tlb = make_tlb()
+        tlb.insert(entry(vpn=1, ppn=1))
+        tlb.translate(0x1000, AccessType.LOAD)
+        try:
+            tlb.translate(0x2000, AccessType.LOAD)
+        except TranslationFault:
+            pass
+        assert (tlb.hits, tlb.misses) == (1, 1)
+
+
+class TestOperandPacking:
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 255))
+    def test_va_pack_roundtrip(self, va, asid):
+        vpn, got_asid = unpack_tlb_va(pack_tlb_va(va, asid))
+        assert vpn == (va >> 12)
+        assert got_asid == asid
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0x1F), st.integers(0, 15))
+    def test_pa_pack_roundtrip(self, pa, perms, key):
+        ppn, got_perms, got_key = unpack_tlb_pa(pack_tlb_pa(pa, perms, key))
+        assert ppn == pa >> 12
+        assert got_perms == perms
+        assert got_key == key
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 3)),
+                min_size=1, max_size=120))
+def test_capacity_never_exceeded(ops):
+    tlb = Tlb(8)
+    tlb.enabled = True
+    for vpn, asid in ops:
+        tlb.insert(TlbEntry(vpn=vpn, ppn=vpn, asid=asid, perms=PERM_R))
+    assert len(tlb) <= 8

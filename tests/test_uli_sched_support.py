@@ -1,0 +1,134 @@
+"""Direct tests of the ULI scheduler-support mroutines (uli_kinfo/uli_kset)
+and layered-machine dynamics during execution."""
+
+import pytest
+
+from repro import Cause, MRoutine, build_metal_machine
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.uli import make_uli_routines
+
+FAULT_ENTRY = 0x1040
+KIRQ_ENTRY = 0x1080
+
+
+def machine():
+    routines = (make_kernel_user_routines(0x2E00, FAULT_ENTRY)
+                + make_uli_routines(KIRQ_ENTRY))
+    m = build_metal_machine(routines, with_caches=False)
+    m.route_cause(Cause.PRIVILEGE, "priv_fault")
+    return m
+
+
+class TestKinfoKset:
+    def test_kset_then_kinfo_roundtrip(self):
+        m = machine()
+        m.load_and_run("""
+_start:
+    li   a0, 0x4444          # pretend resume PC
+    li   a1, 1               # pretend level
+    menter MR_ULI_KSET
+    li   a0, 0
+    li   a1, 0
+    menter MR_ULI_KINFO
+    mv   s0, a0
+    mv   s1, a1
+    halt
+""", max_instructions=10_000)
+        assert m.reg("s0") == 0x4444
+        assert m.reg("s1") == 1
+
+    def test_kret_resumes_at_kset_target(self):
+        m = machine()
+        m.load_and_run("""
+_start:
+    li   a0, target
+    li   a1, 1
+    menter MR_ULI_KSET
+    menter MR_ULI_KRET       # jumps to target at level 1
+    li   s0, 999             # skipped
+    halt
+target:
+    menter MR_PRIV_GET
+    mv   s1, a0
+    halt
+""", max_instructions=10_000)
+        assert m.reg("s0") == 0
+        assert m.reg("s1") == 1
+        assert m.core.metal.delivery.interrupts_enabled  # kret re-enables
+
+    def test_kinfo_requires_kernel(self):
+        m = machine()
+        m.load_and_run(f"""
+_start:
+    j    go
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1
+    halt
+go:
+    li   ra, user
+    menter MR_KEXIT
+user:
+    menter MR_ULI_KINFO      # user level -> privilege fault
+    halt
+""", base=0x1000, max_instructions=10_000)
+        assert m.reg("s11") == 1
+
+    def test_kset_requires_kernel(self):
+        m = machine()
+        m.load_and_run(f"""
+_start:
+    j    go
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1
+    halt
+go:
+    li   ra, user
+    menter MR_KEXIT
+user:
+    li   a0, 0x4000
+    li   a1, 0
+    menter MR_ULI_KSET
+    halt
+""", base=0x1000, max_instructions=10_000)
+        assert m.reg("s11") == 1
+
+
+class TestLayerDynamicsDuringRun:
+    def test_push_layer_mid_run_changes_interception(self):
+        from repro import build_nested_metal_machine
+        from repro.isa.metal_ops import pack_intercept_spec
+        from repro.isa.opcodes import OP_LOAD
+
+        tag = MRoutine(name="tag", entry=0, source="""
+            li   t4, 0x777
+            rmr  t0, m29
+            srli t0, t0, 7
+            andi t0, t0, 31
+            wmr  m26, t0
+            wmr  m27, t4
+            mexitm
+        """)
+        m = build_nested_metal_machine([tag], layer_names=("vmm",))
+        m.write_word(0x3000, 0x123)
+        prog = m.assemble("""
+_start:
+    li   t0, 0x3000
+    lw   a0, 0(t0)         # before the layer push: raw memory
+pause:
+    nop
+    lw   a1, 0(t0)         # after: intercepted + emulated
+    halt
+""", base=0x1000)
+        m.load(prog)
+        m.core.pc = 0x1000
+        pause = prog.symbols["pause"]
+        while m.core.pc != pause:
+            m.sim.step()
+        layer = m.core.metal.push_layer("app")
+        layer.intercept.enable(pack_intercept_spec(OP_LOAD, funct3=2),
+                               m.metal_image.entry_of("tag"))
+        m.run(max_instructions=1000)
+        assert m.reg("a0") == 0x123
+        assert m.reg("a1") == 0x777

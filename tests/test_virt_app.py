@@ -1,0 +1,177 @@
+"""§3.5 virtualization tests: trap-and-emulate of privileged instructions."""
+
+import pytest
+
+from repro import Cause, build_metal_machine
+from repro.mcode.privilege import make_kernel_user_routines
+from repro.mcode.virt import GUEST_KERNEL_LEVEL, make_virt_routines
+
+FAULT_ENTRY = 0x1040
+PARTITION_BASE = 0x200000
+PARTITION_SIZE = 0x10000
+
+
+def virt_machine():
+    routines = (make_kernel_user_routines(0x2E00, FAULT_ENTRY)
+                + make_virt_routines(FAULT_ENTRY))
+    return build_metal_machine(routines, with_caches=False)
+
+
+BOOT = f"""
+_start:
+    j    host
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1              # host fault entry (genuine violations)
+    halt
+host:
+    li   a0, {PARTITION_BASE:#x}
+    li   a1, {PARTITION_SIZE:#x}
+    menter MR_VIRT_CREATE
+    li   ra, guest
+    menter MR_VIRT_ENTER
+host_back:
+    li   s10, 1              # control returned to the host
+    halt
+"""
+
+
+class TestTrapAndEmulate:
+    def test_guest_tlb_write_is_offset_into_partition(self):
+        m = virt_machine()
+        m.load_and_run(BOOT + """
+guest:
+    menter MR_PRIV_GET
+    mv   s0, a0              # level inside the guest
+    # guest maps its gVA 0x400000 -> gPA 0x3000 (guest-physical!)
+    li   t0, 0x400000
+    li   t1, 0x3000 + 3      # gPA | R | W
+    mtlbw t0, t1             # traps -> virt_emul -> shadow entry
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s0") == GUEST_KERNEL_LEVEL
+        assert m.reg("s10") == 1         # returned to host cleanly
+        assert m.reg("s11") == 0         # no genuine faults
+        entry = m.core.tlb.lookup(0x400000 >> 12)
+        assert entry is not None
+        # the shadow entry points into the host partition
+        assert entry.ppn == (PARTITION_BASE + 0x3000) >> 12
+        # ILLEGAL was delivered exactly once and emulated
+        assert m.core.metal.stats.deliveries.get(1) == 1
+
+    def test_guest_cannot_escape_partition(self):
+        m = virt_machine()
+        m.load_and_run(BOOT + f"""
+guest:
+    # gPA beyond the partition: must be refused, not installed
+    li   t0, 0x500000
+    li   t1, {PARTITION_SIZE:#x} + 0x1000 + 3
+    mtlbw t0, t1
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s11") == 1         # forwarded as a violation
+        assert m.core.tlb.lookup(0x500000 >> 12) is None
+
+    def test_guest_tlb_flush_emulated(self):
+        from repro.mmu.types import TlbEntry
+
+        m = virt_machine()
+        m.core.tlb.insert(TlbEntry(vpn=9, ppn=9, perms=1))
+        m.load_and_run(BOOT + """
+guest:
+    mtlbf                    # emulated flush
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s10") == 1
+        assert len(m.core.tlb) == 0
+
+    def test_emulation_counter(self):
+        from repro.mcode.virt import OFF_EMUL_COUNT
+
+        m = virt_machine()
+        m.load_and_run(BOOT + """
+guest:
+    li   t0, 0x400000
+    li   t1, 0x1000 + 1
+    mtlbw t0, t1
+    li   t0, 0x401000
+    li   t1, 0x2000 + 1
+    mtlbw t0, t1
+    mtlbf
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        base = m.metal_image.data_offset_of("virt_create")
+        count = m.core.metal.mram.load_word(base + OFF_EMUL_COUNT)
+        assert count == 3
+
+    def test_illegal_outside_guest_forwards_to_host(self):
+        m = virt_machine()
+        m.load_and_run(f"""
+_start:
+    j    host
+.org {FAULT_ENTRY:#x}
+kfault:
+    li   s11, 1
+    halt
+host:
+    li   a0, {PARTITION_BASE:#x}
+    li   a1, {PARTITION_SIZE:#x}
+    menter MR_VIRT_CREATE
+    mtlbw t0, t1             # host (level 0) issuing it is NOT emulated
+    halt
+""", base=0x1000)
+        assert m.reg("s11") == 1
+        assert m.core.tlb.lookup(0) is None
+
+    def test_non_tlb_privileged_op_forwards(self):
+        m = virt_machine()
+        m.load_and_run(BOOT + """
+guest:
+    mpkr t0                  # privileged, but not virtualized
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_virt_enter_requires_host(self):
+        m = virt_machine()
+        m.route_cause(Cause.PRIVILEGE, "priv_fault")
+        m.load_and_run(BOOT + """
+guest:
+    li   ra, guest           # guest trying to virt_enter again
+    menter MR_VIRT_ENTER
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s11") == 1
+
+    def test_guest_runs_under_its_shadow_mappings(self):
+        """End to end: the guest maps a page, the host pre-wires the shared
+        code/timer pages, paging goes on, and the guest's store lands in
+        the host partition."""
+        from repro.mmu.types import TlbEntry
+
+        m = virt_machine()
+        # Host wires identity mappings for the code page (host-side boot
+        # action; the host owns the real TLB).
+        m.core.tlb.insert(TlbEntry(vpn=1, ppn=1, perms=7, global_=True))
+        m.load_and_run(BOOT + """
+guest:
+    li   t0, 0x400000
+    li   t1, 0x3000 + 3      # gPA 0x3000, R|W
+    mtlbw t0, t1             # shadow entry via the hypervisor
+    menter MR_VIRT_EXIT
+""", base=0x1000)
+        assert m.reg("s10") == 1
+        # Now the host turns paging on and pokes through the guest mapping
+        # (host-side check of the shadow entry's effect).
+        m.core.tlb.enabled = True
+        m.core.halted = False
+        m.load_and_run("""
+_start:
+    li   t0, 0x400000
+    li   t1, 0x5A5A
+    sw   t1, 0(t0)
+    lw   a0, 0(t0)
+    halt
+""", base=0x1000)
+        assert m.reg("a0") == 0x5A5A
+        assert m.read_word(PARTITION_BASE + 0x3000) == 0x5A5A
