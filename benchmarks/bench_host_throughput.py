@@ -1,0 +1,302 @@
+"""Host-throughput benchmark for the execution engines.
+
+Unlike the other benchmarks (which regenerate the paper's guest-visible
+numbers), this one measures the *simulator*: guest instructions retired
+per host second (host MIPS) with the predecoded translation cache
+(:mod:`repro.cpu.tcache`) on and off, across three workload shapes:
+
+* **tight_loop** — straight-line ALU work in a hot loop: the tcache's
+  best case (one block per iteration, 100% hit rate after warmup);
+* **syscall_heavy** — every iteration delivers an ECALL to an mroutine
+  and returns: stresses the MRAM block namespace and Metal transitions;
+* **intercept_heavy** — every iteration's ``lw`` is intercepted and
+  emulated by an mroutine: the tcache's worst case (interception active
+  disables normal-mode blocks entirely).
+
+The tcache is architecture-invisible, so for every workload and engine
+the guest results (``RunResult.instructions`` / ``cycles``) must be
+bit-identical with the flag on and off — this file asserts that, plus
+the headline ≥2× host-MIPS win for the functional engine on the tight
+loop.  Results land in ``BENCH_host_throughput.json`` at the repo root.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_host_throughput.py``)
+or via pytest.  ``--smoke`` runs a <30s subset for CI: it checks the
+tight-loop hit rate (≥90%) and on/off result equality, but skips the
+wall-clock speedup assertion (too noisy for shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+from repro import MRoutine, build_metal_machine
+from repro.cpu.exceptions import Cause
+
+from common import perf_summary
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_host_throughput.json")
+
+#: mroutine for the tight loop machine (never invoked; keeps the machine
+#: shape identical to the others).
+NOOP = MRoutine(name="noop", entry=0, source="mexit\n")
+
+#: ECALL handler: skip the ecall (delivery resumes at epc) and return.
+SYS = MRoutine(name="sys", entry=0, source="""
+    wmr  m13, t0
+    rmr  t0, m31
+    addi t0, t0, 4
+    wmr  m31, t0
+    rmr  t0, m13
+    mexit
+""", shared_mregs=(13,))
+
+#: Boot mroutine installing the ``lw`` intercept rule (a0=spec, a1=entry).
+SETUP = MRoutine(name="setup", entry=0, source="""
+    micept a0, a1
+    mexit
+""")
+
+#: Emulating ``lw`` handler (same shape as bench_interception's).
+EMUL = MRoutine(name="emul", entry=1, source="""
+    wmr  m13, t0
+    wmr  m14, t1
+    rmr  t0, m29
+    srai t1, t0, 20
+    rmr  t0, m25
+    add  t0, t0, t1
+    lw   t1, 0(t0)
+    wmr  m27, t1
+    rmr  t0, m29
+    srli t0, t0, 7
+    andi t0, t0, 31
+    wmr  m26, t0
+    rmr  t1, m14
+    rmr  t0, m13
+    mexitm
+""", shared_mregs=(13, 14))
+
+
+def _tight_loop(iters: int) -> str:
+    return f"""
+_start:
+    li t0, {iters}
+loop:
+    addi t1, t1, 1
+    addi t2, t2, 2
+    xor  t3, t1, t2
+    slli t4, t1, 3
+    add  t5, t3, t4
+    srli t6, t5, 1
+    or   s2, t5, t6
+    and  s3, s2, t3
+    sub  s4, s3, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
+def _syscall_loop(iters: int) -> str:
+    return f"""
+_start:
+    li t0, {iters}
+loop:
+    ecall
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
+def _intercept_loop(iters: int) -> str:
+    return f"""
+_start:
+    li   a0, 0x503           # match: opcode LOAD, funct3 2 (lw only)
+    li   a1, MR_EMUL
+    menter MR_SETUP
+    li   s2, 0x3000
+    li   t0, {iters}
+loop:
+    lw   t2, 0(s2)
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
+def _build(workload: str, engine: str):
+    """Build the machine for *workload*.  Always built with the tcache
+    enabled; measurements toggle it with ``Machine.set_tcache`` to show
+    the flag is switchable inside one process."""
+    if workload == "tight_loop":
+        return build_metal_machine([NOOP], engine=engine, with_caches=False)
+    if workload == "syscall_heavy":
+        m = build_metal_machine([SYS], engine=engine, with_caches=False)
+        m.route_cause(Cause.ECALL, "sys")
+        return m
+    if workload == "intercept_heavy":
+        return build_metal_machine([SETUP, EMUL], engine=engine,
+                                   with_caches=False)
+    raise ValueError(workload)
+
+
+_PROGRAMS = {
+    "tight_loop": _tight_loop,
+    "syscall_heavy": _syscall_loop,
+    "intercept_heavy": _intercept_loop,
+}
+
+
+def _measure(workload: str, engine: str, tcache: bool, iters: int,
+             reps: int) -> dict:
+    """Best-of-*reps* host MIPS for one configuration (fresh machine per
+    rep; deterministic guest results are cross-checked across reps)."""
+    source = _PROGRAMS[workload](iters)
+    best_mips = 0.0
+    ref = None
+    hit_rate = 0.0
+    last_machine = None
+    for _ in range(reps):
+        machine = _build(workload, engine)
+        machine.set_tcache(tcache)
+        host0 = perf_counter()
+        result = machine.load_and_run(source, max_instructions=50_000_000)
+        host = perf_counter() - host0
+        outcome = (result.instructions, result.cycles)
+        if ref is None:
+            ref = outcome
+        elif outcome != ref:
+            raise AssertionError(
+                f"{workload}/{engine}: non-deterministic guest results "
+                f"{outcome} vs {ref}"
+            )
+        mips = result.instructions / host / 1e6 if host > 0 else 0.0
+        if mips >= best_mips or last_machine is None:
+            best_mips = mips
+            hit_rate = machine.perf.tcache.hit_rate
+            last_machine = machine
+    perf_summary(last_machine,
+                 f"{workload}/{engine}/tcache={'on' if tcache else 'off'}")
+    return {
+        "mips": round(best_mips, 4),
+        "instructions": ref[0],
+        "cycles": ref[1],
+        "hit_rate": round(hit_rate, 4),
+    }
+
+
+def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
+    results = {}
+    for workload, n in iters.items():
+        results[workload] = {}
+        for engine in engines:
+            off = _measure(workload, engine, False, n, reps)
+            on = _measure(workload, engine, True, n, reps)
+            speedup = on["mips"] / off["mips"] if off["mips"] else 0.0
+            results[workload][engine] = {
+                "iterations": n,
+                "tcache_off": off,
+                "tcache_on": on,
+                "speedup": round(speedup, 3),
+            }
+            # The tcache is guest-invisible: identical results either way.
+            for key in ("instructions", "cycles"):
+                assert on[key] == off[key], (
+                    f"{workload}/{engine}: tcache changed guest-visible "
+                    f"{key}: on={on[key]} off={off[key]}"
+                )
+    return results
+
+
+def _emit_json(results: dict) -> str:
+    payload = {"benchmark": "host_throughput", "results": results}
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _print_table(results: dict) -> None:
+    print()
+    print(f"{'workload':<18} {'engine':<11} {'off MIPS':>9} {'on MIPS':>9} "
+          f"{'speedup':>8} {'hit rate':>9}")
+    for workload, engines in results.items():
+        for engine, row in engines.items():
+            print(f"{workload:<18} {engine:<11} "
+                  f"{row['tcache_off']['mips']:>9.3f} "
+                  f"{row['tcache_on']['mips']:>9.3f} "
+                  f"{row['speedup']:>7.2f}x "
+                  f"{row['tcache_on']['hit_rate']:>8.1%}")
+    print()
+
+
+def run_full() -> dict:
+    iters = {
+        "tight_loop": 100_000,
+        "syscall_heavy": 20_000,
+        "intercept_heavy": 15_000,
+    }
+    results = run_suite(iters, reps=3)
+    _print_table(results)
+    path = _emit_json(results)
+    print(f"results written to {path}")
+    tight = results["tight_loop"]["functional"]
+    assert tight["speedup"] >= 2.0, (
+        f"tight-loop functional speedup {tight['speedup']}x < 2x"
+    )
+    assert tight["tcache_on"]["hit_rate"] >= 0.90, (
+        f"tight-loop hit rate {tight['tcache_on']['hit_rate']:.1%} < 90%"
+    )
+    return results
+
+
+def run_smoke() -> dict:
+    """CI subset: functional engine, small iteration counts, one rep.
+
+    Asserts the structural properties (hit rate, on/off equality) but not
+    the wall-clock speedup, which is too noisy for shared runners.
+    """
+    iters = {
+        "tight_loop": 20_000,
+        "syscall_heavy": 2_000,
+        "intercept_heavy": 1_500,
+    }
+    results = run_suite(iters, reps=1, engines=("functional",))
+    _print_table(results)
+    tight = results["tight_loop"]["functional"]
+    assert tight["tcache_on"]["hit_rate"] >= 0.90, (
+        f"tight-loop hit rate {tight['tcache_on']['hit_rate']:.1%} < 90%"
+    )
+    return results
+
+
+def test_host_throughput_smoke(benchmark):
+    """Pytest entry point: the smoke subset under the benchmark fixture."""
+    benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset (<30s, no speedup assertion)")
+    args = parser.parse_args(argv)
+    try:
+        if args.smoke:
+            run_smoke()
+        else:
+            run_full()
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,3 +34,16 @@ def run_once(benchmark, fn):
     """Run *fn* exactly once under the benchmark fixture and return its
     result (the experiments are deterministic; repetition adds nothing)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def perf_summary(machine, label: str = None) -> str:
+    """Format (and print) a machine's host-side perf counters.
+
+    See :mod:`repro.cpu.stats` — these measure the simulator (translation
+    cache behaviour, host MIPS), not the simulated machine.
+    """
+    header = f"host perf [{label or machine.name}]"
+    text = header + "\n" + "-" * len(header) + "\n" + machine.perf.summary()
+    print()
+    print(text)
+    return text

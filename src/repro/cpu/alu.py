@@ -8,19 +8,19 @@ _INT_MIN = -(1 << 31)
 
 
 def add(a: int, b: int) -> int:
-    return u32(a + b)
+    return (a + b) & 0xFFFFFFFF
 
 
 def sub(a: int, b: int) -> int:
-    return u32(a - b)
+    return (a - b) & 0xFFFFFFFF
 
 
 def sll(a: int, shamt: int) -> int:
-    return u32(a << (shamt & 0x1F))
+    return (a << (shamt & 0x1F)) & 0xFFFFFFFF
 
 
 def srl(a: int, shamt: int) -> int:
-    return u32(a) >> (shamt & 0x1F)
+    return (a & 0xFFFFFFFF) >> (shamt & 0x1F)
 
 
 def sra(a: int, shamt: int) -> int:
@@ -32,19 +32,19 @@ def slt(a: int, b: int) -> int:
 
 
 def sltu(a: int, b: int) -> int:
-    return int(u32(a) < u32(b))
+    return int((a & 0xFFFFFFFF) < (b & 0xFFFFFFFF))
 
 
 def xor(a: int, b: int) -> int:
-    return u32(a ^ b)
+    return (a ^ b) & 0xFFFFFFFF
 
 
 def or_(a: int, b: int) -> int:
-    return u32(a | b)
+    return (a | b) & 0xFFFFFFFF
 
 
 def and_(a: int, b: int) -> int:
-    return u32(a & b)
+    return (a & b) & 0xFFFFFFFF
 
 
 # --- M extension ------------------------------------------------------------

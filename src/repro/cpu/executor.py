@@ -46,7 +46,7 @@ _BASELINE_PRIV_OPS = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class StepInfo:
     """Outcome of one executed instruction (input to timing models)."""
 
@@ -63,12 +63,11 @@ class StepInfo:
     control: str = None
 
 
+_MEM_WIDTH = {"lb": 1, "lbu": 1, "sb": 1, "lh": 2, "lhu": 2, "sh": 2}
+
+
 def _mem_width(mnemonic: str) -> int:
-    if mnemonic in ("lb", "lbu", "sb"):
-        return 1
-    if mnemonic in ("lh", "lhu", "sh"):
-        return 2
-    return 4
+    return _MEM_WIDTH.get(mnemonic, 4)
 
 
 def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
@@ -78,40 +77,32 @@ def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
     m = instr.mnemonic
     regs = core.regs
     info = StepInfo(
-        pc=pc, next_pc=u32(pc + 4), mnemonic=m, cls=cls,
+        pc=pc, next_pc=(pc + 4) & 0xFFFFFFFF, mnemonic=m, cls=cls,
         fetch_latency=fetch_latency,
     )
 
-    # Metal-mode gating.  On the trap-baseline machine (no MetalUnit) a
-    # MIPS-style privileged subset of the architectural-feature
-    # instructions is legal in machine mode: the software-managed TLB
-    # interface and unmapped (KSEG0-style) physical access.  Everything
-    # else from the Metal extension is illegal there.
-    if core.metal is None:
-        if cls is InstrClass.METAL:
-            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
-        if cls is InstrClass.METAL_ARCH:
-            if m not in _BASELINE_PRIV_OPS or core.user_mode:
-                raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
-    elif spec.metal_only and not core.in_metal:
-        raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+    # Metal-mode gating lives inside the METAL / METAL_ARCH branches:
+    # ``metal_only`` appears only on those two classes, so the base ISA
+    # never needs the check (keeps it off the hot path).
 
     if cls is InstrClass.ALU_IMM:
-        op = alu.IMM_OPS[m]
-        core.rset(instr.rd, op(regs[instr.rs1], instr.imm))
-        info.rd = instr.rd
+        rd = instr.rd
+        if rd:
+            regs[rd] = alu.IMM_OPS[m](regs[instr.rs1], instr.imm)
+        info.rd = rd
         info.reads = (instr.rs1,)
         return info
 
     if cls in (InstrClass.ALU_REG, InstrClass.MULDIV):
-        op = alu.REG_OPS[m]
-        core.rset(instr.rd, op(regs[instr.rs1], regs[instr.rs2]))
-        info.rd = instr.rd
+        rd = instr.rd
+        if rd:
+            regs[rd] = alu.REG_OPS[m](regs[instr.rs1], regs[instr.rs2])
+        info.rd = rd
         info.reads = (instr.rs1, instr.rs2)
         return info
 
     if cls is InstrClass.LOAD:
-        addr = u32(regs[instr.rs1] + instr.imm)
+        addr = (regs[instr.rs1] + instr.imm) & 0xFFFFFFFF
         width = _mem_width(m)
         value, lat = core.read_mem(addr, width)
         if m == "lb":
@@ -126,7 +117,7 @@ def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
         return info
 
     if cls is InstrClass.STORE:
-        addr = u32(regs[instr.rs1] + instr.imm)
+        addr = (regs[instr.rs1] + instr.imm) & 0xFFFFFFFF
         width = _mem_width(m)
         lat = core.write_mem(addr, width, regs[instr.rs2])
         info.reads = (instr.rs1, instr.rs2)
@@ -138,19 +129,19 @@ def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
         taken = alu.BRANCH_OPS[m](regs[instr.rs1], regs[instr.rs2])
         info.reads = (instr.rs1, instr.rs2)
         if taken:
-            info.next_pc = u32(pc + instr.imm)
+            info.next_pc = (pc + instr.imm) & 0xFFFFFFFF
             info.control = "branch"
         return info
 
     if cls is InstrClass.JAL:
         core.rset(instr.rd, pc + 4)
         info.rd = instr.rd
-        info.next_pc = u32(pc + instr.imm)
+        info.next_pc = (pc + instr.imm) & 0xFFFFFFFF
         info.control = "jal"
         return info
 
     if cls is InstrClass.JALR:
-        target = u32(regs[instr.rs1] + instr.imm) & ~1
+        target = (regs[instr.rs1] + instr.imm) & 0xFFFFFFFE
         core.rset(instr.rd, pc + 4)
         info.rd = instr.rd
         info.reads = (instr.rs1,)
@@ -164,7 +155,7 @@ def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
         return info
 
     if cls is InstrClass.AUIPC:
-        core.rset(instr.rd, u32(pc + instr.imm))
+        core.rset(instr.rd, (pc + instr.imm) & 0xFFFFFFFF)
         info.rd = instr.rd
         return info
 
@@ -177,10 +168,22 @@ def execute(core, instr, pc: int, fetch_latency: int = 1) -> StepInfo:
     if cls is InstrClass.SYSTEM:
         return _execute_system(core, instr, info)
 
+    # Metal-mode gating.  On the trap-baseline machine (no MetalUnit) a
+    # MIPS-style privileged subset of the architectural-feature
+    # instructions is legal in machine mode: the software-managed TLB
+    # interface and unmapped (KSEG0-style) physical access.  Everything
+    # else from the Metal extension is illegal there.
     if cls is InstrClass.METAL:
+        if core.metal is None or (spec.metal_only and not core.in_metal):
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
         return _execute_metal(core, instr, pc, info)
 
     if cls is InstrClass.METAL_ARCH:
+        if core.metal is None:
+            if m not in _BASELINE_PRIV_OPS or core.user_mode:
+                raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
+        elif spec.metal_only and not core.in_metal:
+            raise TrapException(Cause.ILLEGAL_INSTRUCTION, instr.raw or 0)
         handler = METAL_ARCH_OPS[m]
         handler(core, instr, info)
         return info

@@ -13,6 +13,7 @@ baseline), and WFI sleep.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import (
     DecodeError,
@@ -22,9 +23,13 @@ from repro.errors import (
 )
 from repro.cpu.exceptions import Cause, TrapException
 from repro.cpu.executor import StepInfo, execute
+from repro.cpu.stats import PerfCounters
+from repro.cpu.tcache import F_CSR, F_STORE, F_SYNC, F_TERM, TranslationCache
 from repro.cpu.timing import TimingModel
 from repro.isa.decoder import decode
 from repro.isa.instruction import InstrClass
+
+_MULDIV = InstrClass.MULDIV
 
 
 class SimpleTimer:
@@ -41,30 +46,32 @@ class SimpleTimer:
 
     def note(self, step: StepInfo) -> None:
         timing = self.timing
-        cost = max(1, step.fetch_latency)
+        fetch = step.fetch_latency
+        cost = fetch if fetch > 1 else 1
         if step.mem_latency > 1:
             cost += step.mem_latency - 1
-        if step.cls is InstrClass.MULDIV:
+        if step.cls is _MULDIV:
             cost += (
                 timing.div_extra
                 if step.mnemonic.startswith(("div", "rem"))
                 else timing.mul_extra
             )
         control = step.control
-        if control == "branch":
-            cost += timing.branch_taken_penalty
-        elif control == "jal":
-            cost += timing.jump_penalty
-        elif control == "jalr":
-            cost += timing.branch_taken_penalty
-        elif control == "mret":
-            cost += timing.mret_penalty
-        elif control == "menter":
-            cost += timing.menter_cost
-        elif control == "mexit":
-            cost += timing.mexit_cost
-        elif control == "mraise":
-            cost += timing.jump_penalty
+        if control is not None:
+            if control == "branch":
+                cost += timing.branch_taken_penalty
+            elif control == "jal":
+                cost += timing.jump_penalty
+            elif control == "jalr":
+                cost += timing.branch_taken_penalty
+            elif control == "mret":
+                cost += timing.mret_penalty
+            elif control == "menter":
+                cost += timing.menter_cost
+            elif control == "mexit":
+                cost += timing.mexit_cost
+            elif control == "mraise":
+                cost += timing.jump_penalty
         self.cycles += cost
 
     def note_event(self, cycles: int) -> None:
@@ -96,17 +103,66 @@ class RunResult:
 
 
 class FunctionalSimulator:
-    """Reference engine: functional semantics + analytic timing."""
+    """Reference engine: functional semantics + analytic timing.
+
+    With the translation cache enabled (the default) the engine runs
+    predecoded basic blocks between interrupt/intercept sample points;
+    :meth:`step` remains the one-instruction-at-a-time reference path and
+    both paths produce bit-identical architectural state, instruction
+    counts and cycle counts (see docs/PERF.md).
+    """
 
     #: Safety valve for WFI with no event source.
     MAX_WFI_CYCLES = 50_000_000
 
-    def __init__(self, core, timer=None):
+    def __init__(self, core, timer=None, tcache: bool = True):
         self.core = core
         self.timer = timer or SimpleTimer(core.timing)
         self._ticked = 0
         #: Optional per-step hook: fn(StepInfo) (tracing/debugging).
         self.trace_fn = None
+        #: Host-side performance counters (see repro.cpu.stats).
+        self.perf = PerfCounters()
+        self._tcache = TranslationCache(self.perf.tcache)
+        self._hooks_installed = False
+        self._tcache_enabled = False
+        if tcache:
+            self.tcache_enabled = True
+
+    # ------------------------------------------------------------------
+    @property
+    def tcache_enabled(self) -> bool:
+        """Whether ``run`` uses the predecoded-block fast path."""
+        return self._tcache_enabled
+
+    @tcache_enabled.setter
+    def tcache_enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value and not self._hooks_installed:
+            self._install_tcache_hooks()
+        self._tcache_enabled = value
+
+    @property
+    def tcache(self) -> TranslationCache:
+        return self._tcache
+
+    def flush_tcache(self) -> None:
+        """Drop every compiled block (snapshot restore, tests)."""
+        self._tcache.flush_all()
+
+    def _install_tcache_hooks(self) -> None:
+        core = self.core
+        tcache = self._tcache
+        core.bus.watch_writes(tcache.on_ram_write)
+        metal = core.metal
+        if metal is not None:
+            # The layered (nested-Metal) intercept view exposes no
+            # observer API; its dispatch-time ``empty`` check is the
+            # guard there.
+            watch = getattr(metal.intercept, "watch_transitions", None)
+            if watch is not None:
+                watch(tcache.on_intercept_transition)
+        self._hooks_installed = True
 
     # ------------------------------------------------------------------
     @property
@@ -272,28 +328,279 @@ class FunctionalSimulator:
                 raise GuestPanic("wfi never woke (no pending event source)")
 
     # ------------------------------------------------------------------
+    # translation-cache fast path
+    # ------------------------------------------------------------------
+    def _fast_step(self, budget: int, stop_pc) -> None:
+        """Advance by one predecoded block, or fall back to :meth:`step`.
+
+        Preserves the exact inter-instruction architecture of the
+        one-at-a-time path: interrupts are sampled before every
+        instruction whenever they are deliverable, device state is synced
+        before any observation point, and the instruction budget is never
+        overshot.
+        """
+        core = self.core
+        if core.waiting:
+            self.step()
+            return
+        metal = core.metal
+        if metal is not None and metal.in_metal:
+            block = self._tcache.mram_block(core.pc, metal.mram)
+            if block is None:
+                self.step()
+                return
+            self._exec_mram_block(block, budget)
+            return
+        # Normal mode: blocks assume identity fetch translation and an
+        # empty interception table; anything else takes the slow path.
+        if core.tlb.enabled or (metal is not None and not metal.intercept.empty):
+            self.step()
+            return
+        block = self._tcache.mem_block(core.pc, core.bus)
+        if block is None:
+            self.step()
+            return
+        # Same ordering as step(): sample interrupts before the first
+        # fetch of the block.
+        if self._maybe_take_interrupt():
+            self._sync_devices()
+            return
+        self._exec_mem_block(block, budget, stop_pc)
+
+    def _exec_mem_block(self, block, budget: int, stop_pc) -> None:
+        core = self.core
+        timer = self.timer
+        icache = core.icache
+        mem_latency = core.timing.mem_latency
+        trace = self.trace_fn
+        stats = self.perf.tcache
+        metal = core.metal
+        # Interrupt deliverability is constant inside a block: only
+        # terminator instructions (CSR writes, Metal transitions) or trap
+        # entries can change it, and both end the block.
+        irq = core.irq
+        if irq is None:
+            poll = False
+        elif metal is not None:
+            poll = metal.delivery.interrupts_enabled
+        else:
+            poll = core.csrs.interrupts_enabled
+        check_stop = stop_pc is not None
+        sync = self._sync_devices
+        take_irq = self._maybe_take_interrupt
+        note = timer.note
+        entries = block.entries
+        f_sync, f_csr, f_break = F_SYNC, F_CSR, F_TERM | F_STORE
+        retired = 0
+
+        if (not poll and not check_stop and icache is None and trace is None
+                and budget >= len(entries)
+                and type(timer) is SimpleTimer):
+            # Specialized loop for the common unguarded case: no
+            # per-entry budget/stop/interrupt checks are needed, fetch
+            # latency is the constant memory latency, ``core.pc`` /
+            # ``core.instret`` / ``timer.cycles`` are published at sample
+            # points (CSR reads, syncs, traps, block exit) instead of per
+            # entry, and the :meth:`SimpleTimer.note` cost formula is
+            # inlined (it must stay in lockstep with that method).
+            timing = timer.timing
+            base_cost = mem_latency if mem_latency > 1 else 1
+            instret0 = core.instret
+            cyc = 0
+            step = None
+            for instr, op_fn, pc, flags, _hint in entries:
+                if flags:
+                    if flags & f_sync:
+                        timer.cycles += cyc
+                        cyc = 0
+                        sync()
+                        if not block.valid:
+                            # Device DMA during the sync rewrote this
+                            # block's page: re-dispatch from here so the
+                            # new bytes are fetched (slow-path parity).
+                            core.pc = pc
+                            core.instret = instret0 + retired
+                            stats.fast_instructions += retired
+                            return
+                    if flags & f_csr:
+                        timer.cycles += cyc
+                        cyc = 0
+                        core._timer_cycles = timer.cycles
+                        core.instret = instret0 + retired
+                try:
+                    step = op_fn(core, instr, pc, fetch_latency=mem_latency)
+                except TrapException as trap:
+                    timer.cycles += cyc
+                    core.instret = instret0 + retired
+                    stats.fast_instructions += retired
+                    self._dispatch_trap(trap, pc)
+                    sync()
+                    return
+                retired += 1
+                cost = base_cost
+                ml = step.mem_latency
+                if ml > 1:
+                    cost += ml - 1
+                if step.cls is _MULDIV:
+                    cost += (
+                        timing.div_extra
+                        if step.mnemonic.startswith(("div", "rem"))
+                        else timing.mul_extra
+                    )
+                control = step.control
+                if control is not None:
+                    if control == "branch":
+                        cost += timing.branch_taken_penalty
+                    elif control == "jal":
+                        cost += timing.jump_penalty
+                    elif control == "jalr":
+                        cost += timing.branch_taken_penalty
+                    elif control == "mret":
+                        cost += timing.mret_penalty
+                    elif control == "menter":
+                        cost += timing.menter_cost
+                    elif control == "mexit":
+                        cost += timing.mexit_cost
+                    elif control == "mraise":
+                        cost += timing.jump_penalty
+                cyc += cost
+                if flags & f_break:
+                    if flags & F_TERM:
+                        break
+                    if not block.valid:
+                        # The store we just executed evicted this block
+                        # (self-modifying code): re-dispatch.
+                        break
+            core.pc = step.next_pc
+            core.instret = instret0 + retired
+            timer.cycles += cyc
+            stats.fast_instructions += retired
+            sync()
+            return
+
+        icache_access = icache.access if icache is not None else None
+        for instr, op_fn, pc, flags, _hint in entries:
+            if retired:
+                if retired >= budget:
+                    break
+                if check_stop and pc == stop_pc:
+                    break
+                if poll:
+                    sync()
+                    if not block.valid:
+                        break  # DMA rewrote this page; core.pc == pc
+                    # pending_bitmap() is side-effect-free, so the cheap
+                    # precheck is equivalent to calling take_irq() always.
+                    if irq.pending_bitmap() and take_irq():
+                        sync()
+                        stats.fast_instructions += retired
+                        return
+            if flags:
+                if flags & f_sync:
+                    sync()
+                    if not block.valid:
+                        break  # DMA rewrote this page; core.pc == pc
+                if flags & f_csr:
+                    core._timer_cycles = timer.cycles
+            latency = icache_access(pc) if icache_access is not None else mem_latency
+            try:
+                step = op_fn(core, instr, pc, fetch_latency=latency)
+            except TrapException as trap:
+                stats.fast_instructions += retired
+                self._dispatch_trap(trap, pc)
+                sync()
+                return
+            core.pc = step.next_pc
+            core.instret += 1
+            retired += 1
+            note(step)
+            if trace is not None:
+                trace(step)
+            if flags & f_break:
+                if flags & F_TERM:
+                    break
+                if not block.valid:
+                    # The store we just executed evicted this block
+                    # (self-modifying code): re-dispatch from core.pc.
+                    break
+        stats.fast_instructions += retired
+        sync()
+
+    def _exec_mram_block(self, block, budget: int) -> None:
+        # Metal mode: no interrupt sampling (paper §2.1), no interception,
+        # no stop_pc, constant MRAM fetch latency, and ``mst`` can only
+        # reach the data segment — so blocks never self-invalidate.
+        core = self.core
+        timer = self.timer
+        mram_latency = core.timing.mram_fetch
+        trace = self.trace_fn
+        stats = self.perf.tcache
+        sync = self._sync_devices
+        note = timer.note
+        f_sync, f_csr, f_term = F_SYNC, F_CSR, F_TERM
+        retired = 0
+        for instr, op_fn, pc, flags, _hint in block.entries:
+            if retired and retired >= budget:
+                break
+            if flags:
+                if flags & f_sync:
+                    sync()
+                if flags & f_csr:
+                    core._timer_cycles = timer.cycles
+            try:
+                step = op_fn(core, instr, pc, fetch_latency=mram_latency)
+            except TrapException as trap:
+                stats.fast_instructions += retired
+                self._dispatch_trap(trap, pc)  # double fault -> GuestPanic
+                sync()
+                return
+            core.pc = step.next_pc
+            core.instret += 1
+            retired += 1
+            note(step)
+            if trace is not None:
+                trace(step)
+            if flags & f_term:
+                break
+        stats.fast_instructions += retired
+        sync()
+
+    # ------------------------------------------------------------------
     def run(self, max_instructions: int = 5_000_000, stop_pc: int = None,
             raise_on_limit: bool = True) -> RunResult:
         """Run until halt, *stop_pc* (normal mode), or the budget."""
         core = self.core
         start_instret = core.instret
         start_cycles = self.timer.cycles
+        perf = self.perf
+        fast = self._tcache_enabled
         reason = "limit"
-        while core.instret - start_instret < max_instructions:
-            if core.halted:
-                reason = "halt"
-                break
-            if (
-                stop_pc is not None
-                and core.pc == stop_pc
-                and not core.in_metal
-            ):
-                reason = "stop_pc"
-                break
-            self.step()
-        else:
-            if raise_on_limit:
-                raise ExecutionLimitExceeded(max_instructions)
+        host_start = perf_counter()
+        try:
+            while core.instret - start_instret < max_instructions:
+                if core.halted:
+                    reason = "halt"
+                    break
+                if (
+                    stop_pc is not None
+                    and core.pc == stop_pc
+                    and not core.in_metal
+                ):
+                    reason = "stop_pc"
+                    break
+                if fast:
+                    self._fast_step(
+                        max_instructions - (core.instret - start_instret),
+                        stop_pc,
+                    )
+                else:
+                    self.step()
+            else:
+                if raise_on_limit:
+                    raise ExecutionLimitExceeded(max_instructions)
+        finally:
+            perf.host_seconds += perf_counter() - host_start
+            perf.guest_instructions += core.instret - start_instret
         if core.halted:
             reason = "halt"
         return RunResult(

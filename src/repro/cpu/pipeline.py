@@ -149,8 +149,8 @@ class PipelineTimer:
 class PipelineSimulator(FunctionalSimulator):
     """5-stage pipeline engine = functional semantics + scoreboard timing."""
 
-    def __init__(self, core: CpuCore):
-        super().__init__(core, timer=PipelineTimer(core.timing))
+    def __init__(self, core: CpuCore, tcache: bool = True):
+        super().__init__(core, timer=PipelineTimer(core.timing), tcache=tcache)
 
     @property
     def stalls(self):

@@ -1,0 +1,94 @@
+"""Host-side performance counters for the execution engines.
+
+These counters measure the *simulator*, not the simulated machine: how
+well the translation cache (:mod:`repro.cpu.tcache`) is doing, and how
+many guest instructions the host retires per second of wall-clock time.
+They are architecture-invisible — enabling or disabling the tcache never
+changes guest-observable state, only these numbers.
+
+Surfaced as ``FunctionalSimulator.perf`` / ``Machine.perf`` and printed
+by ``benchmarks/common.perf_summary``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TcacheStats:
+    """Translation-cache counters (see :mod:`repro.cpu.tcache`)."""
+
+    #: Basic blocks predecoded (both namespaces).
+    blocks_compiled: int = 0
+    #: Dispatches that found a cached block.
+    hits: int = 0
+    #: Dispatches that had to compile (or failed to compile) a block.
+    misses: int = 0
+    #: Blocks evicted by write notifications / MRAM reloads.
+    invalidations: int = 0
+    #: Whole-namespace flushes (intercept transitions, snapshot restore).
+    flushes: int = 0
+    #: Guest instructions retired through the block fast path.
+    fast_instructions: int = 0
+
+    @property
+    def dispatches(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.dispatches
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.blocks_compiled = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.flushes = 0
+        self.fast_instructions = 0
+
+
+@dataclass
+class PerfCounters:
+    """Per-engine host-performance counters."""
+
+    tcache: TcacheStats = field(default_factory=TcacheStats)
+    #: Wall-clock seconds spent inside :meth:`FunctionalSimulator.run`.
+    host_seconds: float = 0.0
+    #: Guest instructions retired across all ``run`` calls.
+    guest_instructions: int = 0
+
+    @property
+    def host_mips(self) -> float:
+        """Guest instructions retired per host second, in millions."""
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.guest_instructions / self.host_seconds / 1e6
+
+    @property
+    def slow_instructions(self) -> int:
+        """Instructions retired through the one-at-a-time path."""
+        return max(0, self.guest_instructions - self.tcache.fast_instructions)
+
+    def reset(self) -> None:
+        self.tcache.reset()
+        self.host_seconds = 0.0
+        self.guest_instructions = 0
+
+    def summary(self) -> str:
+        """Human-readable multi-line counter dump."""
+        tc = self.tcache
+        return "\n".join([
+            f"guest instructions : {self.guest_instructions}",
+            f"host seconds       : {self.host_seconds:.3f}",
+            f"host MIPS          : {self.host_mips:.3f}",
+            f"tcache blocks      : {tc.blocks_compiled} compiled",
+            f"tcache dispatches  : {tc.hits} hits / {tc.misses} misses "
+            f"(hit rate {tc.hit_rate:.1%})",
+            f"tcache invalidated : {tc.invalidations} blocks, "
+            f"{tc.flushes} flushes",
+            f"fast-path instrs   : {tc.fast_instructions} "
+            f"({self.slow_instructions} slow)",
+        ])

@@ -1,0 +1,282 @@
+"""Predecoded translation cache (tcache) for the execution engines.
+
+The seed interpreter pays a full Python round-trip per guest instruction:
+``core.fetch()`` (translate + cache model + bus read), a dict-probe
+``decode()``, an interception probe, and ``execute()`` dispatch — even
+though guest code is overwhelmingly straight-line loops re-executing the
+same words.  The tcache amortises everything *before* ``execute()`` by
+predecoding guest code into **basic blocks**: arrays of
+``(instr, op_fn, pc, flags, next_pc_hint)`` tuples ending at control
+flow, ``menter``/``mexit``, CSR/SYSTEM instructions, or any
+architectural-feature instruction that could change an invariant blocks
+are compiled under.  ``op_fn`` is :func:`repro.cpu.executor.execute` —
+semantics stay single-sourced; only the fetch/decode/probe work is cached.
+
+Two separate block namespaces keep Metal-mode fetch locality intact:
+
+* ``mem`` — normal-mode code fetched from main memory.  Blocks are valid
+  only while fetch translation is identity (paging off) and the
+  interception table is empty; the engine checks both at dispatch time.
+  Stores into pages holding compiled blocks (self-modifying code, program
+  loads, DMA) evict those blocks via the write-notification hook on
+  :class:`repro.mem.bus.MemoryBus` / :class:`repro.mem.memory.PhysicalMemory`.
+* ``mram`` — Metal-mode code fetched from MRAM.  The whole namespace is
+  invalidated when the MRAM code segment changes (mroutine load/unload;
+  :class:`repro.metal.mram.Mram` bumps ``code_version``).
+
+Invalidation protocol summary (see docs/PERF.md):
+
+========================  =============================================
+event                     effect
+========================  =============================================
+store / DMA to code page  evict every mem block registered on the page
+mroutine load / unload    flush the mram namespace (lazy, via version)
+intercept empty↔non-empty flush the mem namespace (and dispatch checks
+                          ``intercept.empty`` every block, so stale
+                          fast-path blocks can never run)
+paging enabled            mem blocks bypassed at dispatch (no eviction
+                          needed: block content is translation-free)
+snapshot restore          full flush (RAM bytes replaced wholesale)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError, DecodeError, MramError
+from repro.cpu.executor import execute
+from repro.isa.decoder import decode
+from repro.isa.instruction import InstrClass
+
+#: Entry flag bits (``flags`` element of a block entry tuple).
+F_SYNC = 1    #: sync devices before executing (loads/stores may hit MMIO)
+F_TERM = 2    #: terminator — the block ends after this entry
+F_CSR = 4     #: latch ``core._timer_cycles`` before executing (CSR reads)
+F_STORE = 8   #: may invalidate blocks — re-check validity afterwards
+
+#: Invalidation granularity for the mem namespace (matches the MMU page).
+PAGE_SHIFT = 12
+
+#: Instruction classes that can never redirect control flow, trap into
+#: Metal mode, or change a compile-time invariant; blocks flow through
+#: them.  Everything else terminates the block.
+_PLAIN_CLASSES = frozenset((
+    InstrClass.ALU_IMM,
+    InstrClass.ALU_REG,
+    InstrClass.MULDIV,
+    InstrClass.LUI,
+    InstrClass.AUIPC,
+    InstrClass.FENCE,
+))
+
+#: METAL-class mnemonics that are straight-line inside an mroutine:
+#: register moves and MRAM *data*-segment accesses (which can never touch
+#: devices or modify code, so they need neither sync nor validity checks).
+_PLAIN_METAL_MNEMONICS = frozenset(("rmr", "wmr", "mld", "mst"))
+
+
+class Block:
+    """One predecoded basic block."""
+
+    __slots__ = ("start", "end", "entries", "valid")
+
+    def __init__(self, start: int, end: int, entries):
+        self.start = start
+        self.end = end            # byte address just past the last entry
+        self.entries = entries    # list of (instr, op_fn, pc, flags, hint)
+        self.valid = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Block [{self.start:#x}, {self.end:#x}) "
+            f"{len(self.entries)} instrs valid={self.valid}>"
+        )
+
+
+def _classify(instr, mram: bool):
+    """Return ``(flags, terminates)`` for one decoded instruction."""
+    cls = instr.spec.cls
+    if cls in _PLAIN_CLASSES:
+        return 0, False
+    if cls is InstrClass.LOAD:
+        return F_SYNC, False
+    if cls is InstrClass.STORE:
+        return F_SYNC | F_STORE, False
+    if mram and cls is InstrClass.METAL \
+            and instr.mnemonic in _PLAIN_METAL_MNEMONICS:
+        return 0, False
+    flags = F_TERM
+    if cls is InstrClass.CSR:
+        flags |= F_CSR
+    return flags, True
+
+
+class TranslationCache:
+    """Per-engine cache of predecoded basic blocks, in two namespaces."""
+
+    #: Longest block, in instructions.  Bounds compile latency and the
+    #: interrupt-sampling work lost when a block aborts early.
+    MAX_BLOCK_LEN = 64
+
+    def __init__(self, stats, max_block_len: int = None):
+        self.stats = stats
+        self.max_block_len = max_block_len or self.MAX_BLOCK_LEN
+        self._mem = {}          # start pc -> Block
+        self._mem_pages = {}    # page number -> set of start pcs
+        self._mram = {}         # start offset -> Block
+        self._mram_version = None
+
+    # ------------------------------------------------------------------
+    # dispatch (normal mode, main memory)
+    # ------------------------------------------------------------------
+    def mem_block(self, pc: int, bus):
+        """Cached (or freshly compiled) block starting at *pc*, or None."""
+        block = self._mem.get(pc)
+        if block is not None:
+            self.stats.hits += 1
+            return block
+        self.stats.misses += 1
+        if pc % 4:
+            return None
+        return self._compile_mem(pc, bus)
+
+    def _compile_mem(self, pc: int, bus):
+        entries = []
+        p = pc
+        limit = self.max_block_len
+        while len(entries) < limit:
+            # Never compile through a device region: device reads have
+            # side effects, and instruction fetch from MMIO takes the
+            # slow path anyway.
+            if bus.is_device(p):
+                break
+            try:
+                word = bus.read_u32(p)
+            except BusError:
+                break
+            try:
+                instr = decode(word)
+            except DecodeError:
+                break
+            flags, term = _classify(instr, mram=False)
+            entries.append((instr, execute, p, flags, p + 4))
+            p += 4
+            if term:
+                break
+        if not entries:
+            return None
+        block = Block(pc, p, entries)
+        self._mem[pc] = block
+        pages = self._mem_pages
+        for page in range(pc >> PAGE_SHIFT, ((p - 1) >> PAGE_SHIFT) + 1):
+            pages.setdefault(page, set()).add(pc)
+        self.stats.blocks_compiled += 1
+        return block
+
+    # ------------------------------------------------------------------
+    # dispatch (Metal mode, MRAM)
+    # ------------------------------------------------------------------
+    def mram_block(self, pc: int, mram):
+        """Cached (or freshly compiled) MRAM block at offset *pc*, or None."""
+        version = mram.code_version
+        if version != self._mram_version:
+            # Lazy namespace invalidation: mroutine load/unload bumped the
+            # code version since we last compiled.
+            if self._mram:
+                self.stats.invalidations += len(self._mram)
+                self._mram.clear()
+            self._mram_version = version
+        block = self._mram.get(pc)
+        if block is not None:
+            self.stats.hits += 1
+            return block
+        self.stats.misses += 1
+        if pc % 4:
+            return None
+        return self._compile_mram(pc, mram)
+
+    def _compile_mram(self, pc: int, mram):
+        entries = []
+        p = pc
+        limit = self.max_block_len
+        while len(entries) < limit:
+            try:
+                word = mram.fetch(p)
+            except MramError:
+                break
+            try:
+                instr = decode(word)
+            except DecodeError:
+                break
+            flags, term = _classify(instr, mram=True)
+            entries.append((instr, execute, p, flags, p + 4))
+            p += 4
+            if term:
+                break
+        if not entries:
+            return None
+        block = Block(pc, p, entries)
+        self._mram[pc] = block
+        self.stats.blocks_compiled += 1
+        return block
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def on_ram_write(self, addr: int, length: int) -> None:
+        """Write-notification hook: evict mem blocks on touched pages.
+
+        Registered with :meth:`repro.mem.bus.MemoryBus.watch_writes`;
+        fires for guest stores, host pokes, program loads and DMA alike.
+        """
+        pages = self._mem_pages
+        if not pages:
+            return
+        first = addr >> PAGE_SHIFT
+        last = (addr + length - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            starts = pages.pop(page, None)
+            if starts is None:
+                continue
+            blocks = self._mem
+            for start in starts:
+                block = blocks.pop(start, None)
+                if block is not None and block.valid:
+                    block.valid = False
+                    self.stats.invalidations += 1
+
+    def on_intercept_transition(self, active: bool) -> None:
+        """Intercept table went empty↔non-empty: flush normal-mode blocks.
+
+        Blocks are compiled under a "no interception" assumption; they
+        must not survive the transition (the engine also re-checks
+        ``intercept.empty`` at every block dispatch, so this flush is
+        defence in depth rather than the only line).
+        """
+        self.flush_mem()
+
+    def flush_mem(self) -> None:
+        if self._mem:
+            for block in self._mem.values():
+                block.valid = False
+            self.stats.invalidations += len(self._mem)
+            self._mem.clear()
+            self._mem_pages.clear()
+        self.stats.flushes += 1
+
+    def flush_all(self) -> None:
+        """Drop everything (snapshot restore, tests)."""
+        self.flush_mem()
+        if self._mram:
+            for block in self._mram.values():
+                block.valid = False
+            self.stats.invalidations += len(self._mram)
+            self._mram.clear()
+        self._mram_version = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._mem) + len(self._mram)

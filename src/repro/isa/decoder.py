@@ -18,18 +18,33 @@ from repro.isa.opcodes import OP_SYSTEM, SPECS
 
 
 def _build_index():
+    """Build the (opcode, funct3) index and the U/J opcode index.
+
+    U- and J-format instructions have no funct3 field — bits 14:12 belong
+    to the immediate — so they get their own opcode-keyed index and match
+    regardless of those bits.
+    """
     index = {}
+    uj_index = {}
     for spec in SPECS.values():
-        index.setdefault((spec.opcode, spec.funct3), []).append(spec)
-    return index
+        if spec.fmt in (Format.U, Format.J):
+            uj_index.setdefault(spec.opcode, []).append(spec)
+        else:
+            index.setdefault((spec.opcode, spec.funct3), []).append(spec)
+    return index, uj_index
 
 
-_INDEX = _build_index()
+_INDEX, _UJ_INDEX = _build_index()
 
 #: Decode cache: raw word -> Instruction.  Decoded instructions are treated
-#: as immutable by the simulators, so sharing them is safe.
+#: as immutable by the simulators, so sharing them is safe.  When the cache
+#: fills it is cleared and rebuilt (clear-on-full), so long-running
+#: machines keep benefiting instead of silently losing memoisation.
 _CACHE = {}
 _CACHE_LIMIT = 1 << 16
+_HITS = 0
+_MISSES = 0
+_CLEARS = 0
 
 
 def decode(word: int) -> Instruction:
@@ -37,14 +52,30 @@ def decode(word: int) -> Instruction:
 
     Raises :class:`DecodeError` for unknown encodings.
     """
+    global _HITS, _MISSES, _CLEARS
     word &= 0xFFFFFFFF
     cached = _CACHE.get(word)
     if cached is not None:
+        _HITS += 1
         return cached
+    _MISSES += 1
     instr = _decode_uncached(word)
-    if len(_CACHE) < _CACHE_LIMIT:
-        _CACHE[word] = instr
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+        _CLEARS += 1
+    _CACHE[word] = instr
     return instr
+
+
+def cache_stats() -> dict:
+    """Decode-memo counters for the perf layer (see repro.cpu.stats)."""
+    return {
+        "size": len(_CACHE),
+        "limit": _CACHE_LIMIT,
+        "hits": _HITS,
+        "misses": _MISSES,
+        "clears": _CLEARS,
+    }
 
 
 def _decode_uncached(word: int) -> Instruction:
@@ -55,22 +86,11 @@ def _decode_uncached(word: int) -> Instruction:
     rs2 = bits(word, 24, 20)
     funct7 = bits(word, 31, 25)
 
-    candidates = _INDEX.get((opcode, funct3))
-    if not candidates:
-        # U and J formats have no funct3; try funct3-independent buckets.
-        candidates = []
-        for f3 in range(8):
-            for spec in _INDEX.get((opcode, f3), ()):  # pragma: no cover
-                candidates.append(spec)
-        candidates = [
-            s for s in _INDEX.get((opcode, 0), [])
-            if s.fmt in (Format.U, Format.J)
-        ]
-    # U/J-format instructions live in the (opcode, 0) bucket but match any
-    # funct3 bits (those bits belong to the immediate).
-    uj = [s for s in _INDEX.get((opcode, 0), []) if s.fmt in (Format.U, Format.J)]
-    if uj:
-        candidates = uj
+    # U/J-format instructions match on opcode alone (bits 14:12 are
+    # immediate bits, not funct3); everything else keys on (opcode, funct3).
+    candidates = _UJ_INDEX.get(opcode)
+    if candidates is None:
+        candidates = _INDEX.get((opcode, funct3))
 
     spec = None
     for cand in candidates or ():
@@ -138,5 +158,9 @@ def _decode_uncached(word: int) -> Instruction:
 
 
 def clear_cache() -> None:
-    """Drop the decode memoisation cache (useful for tests)."""
+    """Drop the decode memoisation cache and counters (useful for tests)."""
+    global _HITS, _MISSES, _CLEARS
     _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+    _CLEARS = 0

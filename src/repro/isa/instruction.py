@@ -69,7 +69,7 @@ class InstrSpec:
     funct12: int = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """One decoded (or to-be-encoded) instruction."""
 

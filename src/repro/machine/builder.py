@@ -84,6 +84,10 @@ class MachineConfig:
     icache_kib: int = 16
     dcache_kib: int = 16
     tlb_entries: int = 32
+    #: Predecoded translation cache (host-side fast path; see
+    #: repro.cpu.tcache).  Architecture-invisible — guest results are
+    #: bit-identical either way.
+    tcache: bool = True
     extra_symbols: dict = field(default_factory=dict)
 
 
@@ -118,9 +122,9 @@ def _base_machine(config: MachineConfig, metal_unit, name: str) -> Machine:
         icache=icache, dcache=dcache, irq=irq, timing=timing,
     )
     if config.engine == "pipeline":
-        sim = PipelineSimulator(core)
+        sim = PipelineSimulator(core, tcache=config.tcache)
     elif config.engine == "functional":
-        sim = FunctionalSimulator(core)
+        sim = FunctionalSimulator(core, tcache=config.tcache)
     else:
         raise ValueError(f"unknown engine {config.engine!r}")
 

@@ -116,6 +116,47 @@ class Machine:
         self.core.tlb.current_asid = 0
         self.core.tlb.pkr = 0
 
+    # -- host-performance introspection ----------------------------------
+    @property
+    def perf(self):
+        """Host-side performance counters (:class:`repro.cpu.stats.PerfCounters`)."""
+        return self.sim.perf
+
+    def set_tcache(self, enabled: bool) -> None:
+        """Toggle the translation-cache fast path (guest-invisible)."""
+        self.sim.tcache_enabled = enabled
+
+    # -- mroutine (re)loading --------------------------------------------
+    def reload_mroutines(self, routines) -> None:
+        """Replace the loaded mroutine image in place (Metal machines).
+
+        Models a runtime processor-feature upgrade: the MRAM is rewritten
+        with a fresh image (invalidating any cached translations of the
+        old code), the unit keeps its mode/registers, and delivery or
+        interception routes referring to old entry numbers are the
+        caller's responsibility to re-establish.
+        """
+        from repro.cpu.csr import CSR_SYMBOLS
+        from repro.cpu.exceptions import CAUSE_SYMBOLS
+        from repro.machine.builder import DEVICE_SYMBOLS
+        from repro.mcode.pagetable import PTE_SYMBOLS
+        from repro.mcode.runtime import PRIV_SYMBOLS
+        from repro.metal.loader import load_mroutines
+
+        unit = self.core.metal
+        if unit is None:
+            raise ValueError("reload_mroutines on a machine without Metal")
+        env = {}
+        for table in (CAUSE_SYMBOLS, CSR_SYMBOLS, DEVICE_SYMBOLS,
+                      PTE_SYMBOLS, PRIV_SYMBOLS):
+            env.update(table)
+        mram = unit.mram
+        mram.clear()
+        image = load_mroutines(routines, mram=mram, extra_symbols=env)
+        unit.image = image
+        self.metal_image = image
+        self.symbols.update(image.symbols)
+
     # -- introspection ---------------------------------------------------------
     @property
     def cycles(self) -> int:

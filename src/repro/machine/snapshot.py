@@ -78,7 +78,12 @@ def restore_snapshot(machine, snap: MachineSnapshot) -> None:
     core.tlb.entries = copy.deepcopy(snap.tlb_entries)
     (core.tlb.enabled, core.tlb.current_asid, core.tlb.pkr,
      core.tlb._replace_ptr) = snap.tlb_state
+    # RAM is replaced wholesale (bypassing the bus write hooks), so any
+    # predecoded translations of the old contents must be dropped.
     machine.ram.data[:] = snap.ram
+    flush = getattr(machine.sim, "flush_tcache", None)
+    if flush is not None:
+        flush()
     if core.metal is not None and snap.metal:
         core.metal.in_metal = snap.metal["in_metal"]
         core.metal.mregs.restore(snap.metal["mregs"])

@@ -19,6 +19,8 @@ class MemoryBus:
         self.devices = []   # devices only, for tick/irq fan-out
         # Fast path: most accesses hit the first RAM region.
         self._ram0 = None
+        # Write-notification fan-out (translation-cache invalidation).
+        self._write_watchers = []
 
     # -- configuration ------------------------------------------------------
     def attach_ram(self, base: int, size: int) -> PhysicalMemory:
@@ -27,7 +29,35 @@ class MemoryBus:
         self._attach(ram, is_device=False)
         if self._ram0 is None:
             self._ram0 = ram
+        if self._write_watchers:
+            ram.write_hook = self._region_hook()
         return ram
+
+    def watch_writes(self, fn) -> None:
+        """Register ``fn(addr, length)`` to observe every RAM mutation.
+
+        Covers guest stores, host pokes and device DMA alike (they all
+        land in a :class:`PhysicalMemory` region).  Used by the
+        translation cache to evict blocks over modified code pages; RAM
+        regions pay a single attribute test per write until the first
+        watcher registers.
+        """
+        if fn not in self._write_watchers:
+            self._write_watchers.append(fn)
+        hook = self._region_hook()
+        for region, is_device in self.regions:
+            if not is_device:
+                region.write_hook = hook
+
+    def _region_hook(self):
+        # Single watcher (the common case) is wired in directly so a
+        # guest store pays one call, not a fan-out loop.
+        watchers = self._write_watchers
+        return watchers[0] if len(watchers) == 1 else self._notify_write
+
+    def _notify_write(self, addr: int, length: int) -> None:
+        for fn in self._write_watchers:
+            fn(addr, length)
 
     def attach_device(self, device) -> None:
         """Attach an MMIO device (anything with the MmioDevice interface)."""

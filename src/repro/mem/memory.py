@@ -21,6 +21,10 @@ class PhysicalMemory:
         self.base = base
         self.size = size
         self.data = bytearray(size)
+        #: Optional write-notification hook ``fn(addr, length)`` fired
+        #: after every mutation (guest stores, host pokes, DMA).  The
+        #: translation cache uses it to evict blocks over modified code.
+        self.write_hook = None
 
     def _check(self, addr: int, length: int):
         off = addr - self.base
@@ -42,14 +46,23 @@ class PhysicalMemory:
 
     def write_u8(self, addr: int, value: int) -> None:
         self.data[self._check(addr, 1)] = value & 0xFF
+        hook = self.write_hook
+        if hook is not None:
+            hook(addr, 1)
 
     def write_u16(self, addr: int, value: int) -> None:
         off = self._check(addr, 2)
         struct.pack_into("<H", self.data, off, value & 0xFFFF)
+        hook = self.write_hook
+        if hook is not None:
+            hook(addr, 2)
 
     def write_u32(self, addr: int, value: int) -> None:
         off = self._check(addr, 4)
         struct.pack_into("<I", self.data, off, value & 0xFFFFFFFF)
+        hook = self.write_hook
+        if hook is not None:
+            hook(addr, 4)
 
     # -- bulk accessors ---------------------------------------------------
     def read_bytes(self, addr: int, length: int) -> bytes:
@@ -59,10 +72,16 @@ class PhysicalMemory:
     def write_bytes(self, addr: int, payload: bytes) -> None:
         off = self._check(addr, len(payload))
         self.data[off:off + len(payload)] = payload
+        hook = self.write_hook
+        if hook is not None and payload:
+            hook(addr, len(payload))
 
     def fill(self, value: int = 0) -> None:
         """Set every byte of the region to *value*."""
         self.data[:] = bytes([value & 0xFF]) * self.size
+        hook = self.write_hook
+        if hook is not None:
+            hook(self.base, self.size)
 
     def contains(self, addr: int) -> bool:
         """True if *addr* falls inside this region."""

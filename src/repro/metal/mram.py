@@ -37,6 +37,10 @@ class Mram:
         self.data_bytes = data_bytes
         self.code = bytearray(code_bytes)
         self.data = bytearray(data_bytes)
+        #: Bumped on every code-segment mutation (mroutine load/unload);
+        #: the translation cache lazily invalidates its MRAM block
+        #: namespace whenever the version it compiled under is stale.
+        self.code_version = 0
 
     # -- code segment ------------------------------------------------------
     def fetch(self, offset: int) -> int:
@@ -55,6 +59,7 @@ class Mram:
                 f"code image [{offset:#x}, {end:#x}) exceeds MRAM code segment"
             )
         struct.pack_into(f"<{len(words)}I", self.code, offset, *words)
+        self.code_version += 1
 
     # -- data segment --------------------------------------------------------
     def load_word(self, offset: int) -> int:
@@ -83,3 +88,4 @@ class Mram:
         """Zero both segments (machine reset)."""
         self.code[:] = bytes(self.code_bytes)
         self.data[:] = bytes(self.data_bytes)
+        self.code_version += 1

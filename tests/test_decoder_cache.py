@@ -1,0 +1,100 @@
+"""Decoder U/J-format bucketing and the honest decode memo cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.isa import decoder
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    decoder.clear_cache()
+    yield
+    decoder.clear_cache()
+
+
+OP_LUI = 0x37
+OP_AUIPC = 0x17
+OP_JAL = 0x6F
+
+
+def _lui(rd: int, imm: int) -> int:
+    return (imm & 0xFFFFF000) | (rd << 7) | OP_LUI
+
+
+def _jal(rd: int, imm: int) -> int:
+    word = OP_JAL | (rd << 7)
+    word |= ((imm >> 20) & 1) << 31
+    word |= ((imm >> 12) & 0xFF) << 12
+    word |= ((imm >> 11) & 1) << 20
+    word |= ((imm >> 1) & 0x3FF) << 21
+    return word
+
+
+class TestUJFormatBucketing:
+    """U/J instructions have no funct3 — bits 14:12 belong to the
+    immediate and must not affect spec lookup."""
+
+    @pytest.mark.parametrize("imm", [0x1000, 0x3000, 0x7000, 0xABCDE000])
+    def test_lui_with_nonzero_funct3_bits(self, imm):
+        instr = decoder.decode(_lui(5, imm))
+        assert instr.mnemonic == "lui"
+        assert instr.rd == 5
+        assert instr.imm == imm & 0xFFFFF000
+
+    @pytest.mark.parametrize("imm", [0x1000, 0x5000, 0xFF000])
+    def test_auipc_with_nonzero_funct3_bits(self, imm):
+        word = (imm & 0xFFFFF000) | (3 << 7) | OP_AUIPC
+        instr = decoder.decode(word)
+        assert instr.mnemonic == "auipc"
+        assert instr.imm == imm
+
+    @pytest.mark.parametrize("imm", [0x2000, 0x13000, 0xFF000, -0x4000])
+    def test_jal_with_nonzero_funct3_bits(self, imm):
+        # imm bits 19:12 of J-type live exactly where funct3 would be.
+        instr = decoder.decode(_jal(1, imm))
+        assert instr.mnemonic == "jal"
+        assert instr.rd == 1
+        assert instr.imm == imm
+
+    def test_unknown_opcode_still_rejected(self):
+        with pytest.raises(DecodeError):
+            decoder.decode(0x0000007B)
+
+
+class TestDecodeCache:
+    def test_stats_counters(self):
+        stats = decoder.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        word = _lui(1, 0x1000)
+        decoder.decode(word)
+        decoder.decode(word)
+        decoder.decode(word)
+        stats = decoder.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert stats["size"] == 1
+        assert set(stats) == {"size", "limit", "hits", "misses", "clears"}
+
+    def test_clear_on_full_keeps_memoising(self, monkeypatch):
+        """When the cache fills it is cleared and refilled — later decodes
+        must still be memoised instead of silently uncached forever."""
+        monkeypatch.setattr(decoder, "_CACHE_LIMIT", 8)
+        decoder.clear_cache()
+        words = [_lui(rd, imm << 12) for rd in range(4) for imm in range(4)]
+        assert len(words) == 16
+        for word in words:
+            decoder.decode(word)
+        stats = decoder.cache_stats()
+        assert stats["clears"] >= 1
+        assert stats["size"] <= 8
+        # The most recent insert survives the clear and now hits.
+        before = decoder.cache_stats()["hits"]
+        decoder.decode(words[-1])
+        assert decoder.cache_stats()["hits"] == before + 1
+
+    def test_decoded_instructions_are_shared(self):
+        word = _jal(0, 0x800)
+        assert decoder.decode(word) is decoder.decode(word)

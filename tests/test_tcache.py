@@ -1,0 +1,341 @@
+"""Translation-cache correctness: invalidation, exactness, counters.
+
+The tcache (:mod:`repro.cpu.tcache`) is a host-side fast path and must be
+architecture-invisible.  Every test here runs with the cache on and off,
+on both engines, and expects bit-identical guest behaviour: self-modifying
+code, mroutine reloads, interception enabled mid-run, and interrupt-heavy
+workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MRoutine, assemble, build_metal_machine, build_trap_machine
+from repro.cpu.exceptions import Cause
+
+ENGINES = ("functional", "pipeline")
+TCACHE = (True, False)
+
+
+def _word_of(source: str) -> int:
+    """Encode a single instruction and return its 32-bit word."""
+    program = assemble(source, base=0)
+    return int.from_bytes(program.data[:4], "little")
+
+
+def _machines(**kwargs):
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    yield build_metal_machine([noop], with_caches=False, **kwargs)
+    yield build_trap_machine(with_caches=False, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# self-modifying code
+# ---------------------------------------------------------------------------
+
+SMC_PROGRAM = f"""
+_start:
+    li   s1, patch
+    li   s3, {{new_word:#x}}
+again:
+patch:
+    addi a0, a0, 1           # first pass; becomes "addi a0, a0, 100"
+    bnez s0, done
+    sw   s3, 0(s1)           # overwrite the instruction we just ran
+    li   s0, 1
+    j    again
+done:
+    halt
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("tcache", TCACHE)
+def test_self_modifying_code(engine, tcache):
+    """A store over an already-executed instruction must take effect the
+    next time that address is reached (store-hook eviction)."""
+    new_word = _word_of("addi a0, a0, 100")
+    source = SMC_PROGRAM.format(new_word=new_word)
+    for machine in _machines(engine=engine, tcache=tcache):
+        machine.load_and_run(source, max_instructions=10_000)
+        assert machine.reg("a0") == 101, (
+            f"{machine.name}: stale translation executed after SMC store"
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_host_poke_invalidates(engine):
+    """Host-side Machine.write_word into code must also evict blocks."""
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], engine=engine, with_caches=False)
+    program = machine.assemble("""
+_start:
+    addi a0, a0, 1
+    halt
+""", base=0x1000)
+    machine.load(program)
+    machine.core.pc = 0x1000
+    machine.run(max_instructions=10)
+    assert machine.reg("a0") == 1
+    # Rewrite the first instruction from the host, then re-run it.
+    machine.write_word(0x1000, _word_of("addi a0, a0, 50"))
+    machine.core.halted = False
+    machine.core.pc = 0x1000
+    machine.run(max_instructions=10)
+    assert machine.reg("a0") == 51
+
+
+# ---------------------------------------------------------------------------
+# mroutine reload
+# ---------------------------------------------------------------------------
+
+def _probe_routine(value: int) -> MRoutine:
+    return MRoutine(name="probe", entry=0, source=f"""
+        wmr  m13, t0
+        li   t0, {value}
+        wmr  m14, t0
+        rmr  t0, m13
+        mexit
+    """, shared_mregs=(13, 14))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("tcache", TCACHE)
+def test_mroutine_reload_invalidates(engine, tcache):
+    """After reload_mroutines, menter must run the *new* mcode, not a
+    cached translation of the old MRAM contents."""
+    machine = build_metal_machine([_probe_routine(111)], engine=engine,
+                                  with_caches=False, tcache=tcache)
+    machine.load_and_run("""
+_start:
+    menter MR_PROBE
+    halt
+""", max_instructions=1_000)
+    assert machine.mreg(14) == 111
+
+    machine.reload_mroutines([_probe_routine(222)])
+    machine.core.halted = False
+    machine.core.pc = 0x1000
+    machine.run(max_instructions=1_000)
+    assert machine.mreg(14) == 222, (
+        "stale MRAM translation survived reload_mroutines"
+    )
+
+
+# ---------------------------------------------------------------------------
+# interception enabled mid-run
+# ---------------------------------------------------------------------------
+
+SETUP = MRoutine(name="setup", entry=0, source="""
+    micept a0, a1
+    mexit
+""")
+
+# lw handler that emulates the load and adds 1000 to the result.
+EMUL_PLUS = MRoutine(name="emul", entry=1, source="""
+    wmr  m13, t0
+    wmr  m14, t1
+    rmr  t0, m29
+    srai t1, t0, 20
+    rmr  t0, m25
+    add  t0, t0, t1
+    lw   t1, 0(t0)
+    addi t1, t1, 1000
+    wmr  m27, t1
+    rmr  t0, m29
+    srli t0, t0, 7
+    andi t0, t0, 31
+    wmr  m26, t0
+    rmr  t1, m14
+    rmr  t0, m13
+    mexitm
+""", shared_mregs=(13, 14))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("tcache", TCACHE)
+def test_intercept_enable_mid_run(engine, tcache):
+    """Blocks compiled while the intercept table was empty must not keep
+    running once a rule is installed mid-run."""
+    machine = build_metal_machine([SETUP, EMUL_PLUS], engine=engine,
+                                  with_caches=False, tcache=tcache)
+    machine.load_and_run("""
+_start:
+    li   s2, 0x3000
+    li   t2, 7
+    sw   t2, 0(s2)
+    li   s0, 50
+warm:
+    lw   a0, 0(s2)           # plain loads: translations get hot
+    addi s0, s0, -1
+    bnez s0, warm
+    li   a0, 0x503           # opcode LOAD, funct3 2: lw only
+    li   a1, MR_EMUL
+    menter MR_SETUP
+    lw   a2, 0(s2)           # must now be intercepted and emulated
+    halt
+""", max_instructions=10_000)
+    assert machine.core.metal.intercept.hits == 1
+    assert machine.reg("a2") == 1007, (
+        "load after micept was not intercepted (stale fast-path block)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# tcache on/off differential (cycle exactness)
+# ---------------------------------------------------------------------------
+
+def _timer_interrupt_machine(engine, tcache):
+    handler = MRoutine(name="tick", entry=0, source="""
+        wmr  m10, t0
+        wmr  m11, t1
+        li   t0, 0x3F00
+        mpld t1, 0(t0)
+        addi t1, t1, 1
+        mpst t1, 0(t0)
+        li   t0, TIMER_CTRL
+        mpst zero, 0(t0)
+        rmr  t1, m11
+        rmr  t0, m10
+        mexit
+    """, mregs=(10, 11))
+    enable = MRoutine(name="irq_on", entry=1, source="""
+        li   t0, CAUSE_INTERRUPT_TIMER
+        li   t1, MR_TICK
+        mivec t0, t1
+        li   t0, 1
+        mintc t0
+        mexit
+    """)
+    machine = build_metal_machine([handler, enable], engine=engine,
+                                  with_caches=False, tcache=tcache)
+    machine.timer.compare = 500
+    machine.timer.irq_enabled = True
+    return machine
+
+
+TIMER_WORKLOAD = """
+_start:
+    menter MR_IRQ_ON
+spin:
+    li   t2, 0x3F00
+    lw   t3, 0(t2)
+    addi t4, t4, 1
+    beqz t3, spin
+    halt
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_timer_interrupt_workload_identical(engine):
+    """Interrupt mid-loop: instructions, cycles, registers and memory all
+    identical with the tcache on and off."""
+    outcomes = {}
+    for tcache in TCACHE:
+        machine = _timer_interrupt_machine(engine, tcache)
+        result = machine.load_and_run(TIMER_WORKLOAD, max_instructions=100_000)
+        outcomes[tcache] = (
+            result.instructions,
+            result.cycles,
+            tuple(machine.core.regs),
+            machine.read_word(0x3F00),
+        )
+        assert machine.read_word(0x3F00) == 1
+    assert outcomes[True] == outcomes[False], (
+        f"tcache changed guest-visible state: {outcomes}"
+    )
+
+
+FIB_WORKLOAD = """
+_start:
+    li   s0, 24
+    li   a0, 0
+    li   a1, 1
+    li   s2, 0x3800
+fib:
+    add  a2, a0, a1
+    mv   a0, a1
+    mv   a1, a2
+    sw   a2, 0(s2)
+    addi s2, s2, 4
+    addi s0, s0, -1
+    bnez s0, fib
+    halt
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_plain_workload_identical(engine):
+    outcomes = {}
+    for tcache in TCACHE:
+        for machine in _machines(engine=engine, tcache=tcache):
+            result = machine.load_and_run(FIB_WORKLOAD,
+                                          max_instructions=10_000)
+            key = (machine.name, tcache)
+            outcomes[key] = (result.instructions, result.cycles,
+                             tuple(machine.core.regs))
+    for name in ("metal", "trap"):
+        assert outcomes[(name, True)] == outcomes[(name, False)]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_set_tcache_mid_machine(engine):
+    """The flag is switchable on a live machine; both halves of the run
+    retire the same architecture."""
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], engine=engine, with_caches=False)
+    program = machine.assemble(FIB_WORKLOAD, base=0x1000)
+    machine.load(program)
+    machine.core.pc = 0x1000
+    machine.run(max_instructions=20, raise_on_limit=False)  # fast path
+    machine.set_tcache(False)
+    machine.run(max_instructions=10_000)       # seed path finishes the run
+    assert machine.core.halted
+
+    reference = build_metal_machine([noop], engine=engine,
+                                    with_caches=False, tcache=False)
+    reference.load_and_run(FIB_WORKLOAD, max_instructions=10_000)
+    assert machine.cycles == reference.cycles
+    assert machine.core.regs == reference.core.regs
+
+
+# ---------------------------------------------------------------------------
+# counters and snapshot interaction
+# ---------------------------------------------------------------------------
+
+def test_perf_counters_surface():
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], with_caches=False)
+    machine.load_and_run(FIB_WORKLOAD, max_instructions=10_000)
+    perf = machine.perf
+    stats = perf.tcache
+    assert perf.guest_instructions > 0
+    assert perf.host_seconds > 0
+    assert perf.host_mips > 0
+    assert stats.blocks_compiled > 0
+    assert stats.hits > 0
+    assert stats.hit_rate > 0.5
+    assert stats.fast_instructions > 0
+    assert stats.fast_instructions <= perf.guest_instructions
+    summary = perf.summary()
+    assert "host MIPS" in summary and "hit rate" in summary
+
+
+def test_snapshot_restore_flushes():
+    from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], with_caches=False)
+    program = machine.assemble(SMC_PROGRAM.format(
+        new_word=_word_of("addi a0, a0, 100")), base=0x1000)
+    machine.load(program)
+    machine.core.pc = 0x1000
+    snap = take_snapshot(machine)
+    machine.run(max_instructions=10_000)
+    assert machine.reg("a0") == 101
+    # Restore rewrites RAM wholesale (bypassing write hooks); cached
+    # translations of the patched code must not survive.
+    restore_snapshot(machine, snap)
+    machine.run(max_instructions=10_000)
+    assert machine.reg("a0") == 101
