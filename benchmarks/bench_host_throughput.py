@@ -11,18 +11,32 @@ per host second (host MIPS) with the predecoded translation cache
   and returns: stresses the MRAM block namespace and Metal transitions;
 * **intercept_heavy** — every iteration's ``lw`` is intercepted and
   emulated by an mroutine: the tcache's worst case (interception active
-  disables normal-mode blocks entirely).
+  disables normal-mode blocks entirely);
+* **chain_trampoline** — straight-line work split across blocks glued by
+  unconditional jumps: the superblock chainer's best case (one chained
+  trace per iteration instead of three dispatches).
+
+Since PR 2 every tcache-on configuration is measured twice — with
+superblock chaining disabled (``tcache_nochain``, the PR-1 behaviour)
+and enabled (``tcache_on``) — so the JSON records both the cache win
+over the interpreter (``speedup``) and the chaining win over the plain
+cache (``chain_speedup``).  A ``trajectory`` list in the JSON keeps the
+tight-loop functional numbers of every PR for trend tracking.
 
 The tcache is architecture-invisible, so for every workload and engine
 the guest results (``RunResult.instructions`` / ``cycles``) must be
-bit-identical with the flag on and off — this file asserts that, plus
-the headline ≥2× host-MIPS win for the functional engine on the tight
-loop.  Results land in ``BENCH_host_throughput.json`` at the repo root.
+bit-identical across all three modes — this file asserts that, plus the
+headline wins for the functional engine on the tight loop: ≥2.6× over
+the interpreter and ≥1.3× over the unchained cache.  Results land in
+``BENCH_host_throughput.json`` at the repo root.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_host_throughput.py``)
 or via pytest.  ``--smoke`` runs a <30s subset for CI: it checks the
-tight-loop hit rate (≥90%) and on/off result equality, but skips the
-wall-clock speedup assertion (too noisy for shared runners).
+tight-loop hit rate (≥90%), three-way result equality and that chains
+actually engage, but skips the wall-clock speedup assertions (too noisy
+for shared runners); its results land in
+``BENCH_host_throughput_smoke.json`` (uploaded as a CI artifact) so the
+committed full-run JSON is never clobbered by a smoke run.
 """
 
 from __future__ import annotations
@@ -40,6 +54,10 @@ from common import perf_summary
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                          "BENCH_host_throughput.json")
+SMOKE_JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                               "BENCH_host_throughput_smoke.json")
+#: Label this PR's tight-loop numbers carry in the JSON trajectory.
+TRAJECTORY_LABEL = "pr2_superblock_chaining"
 
 #: mroutine for the tight loop machine (never invoked; keeps the machine
 #: shape identical to the others).
@@ -113,6 +131,32 @@ loop:
 """
 
 
+def _chain_trampoline(iters: int) -> str:
+    """Straight-line ALU work spread over three blocks joined by
+    unconditional jumps plus the loop's backward branch — every block
+    transition is chainable."""
+    return f"""
+_start:
+    li t0, {iters}
+loop:
+    addi t1, t1, 1
+    xor  t3, t1, t2
+    slli t4, t1, 3
+    j    hop1
+hop1:
+    add  t5, t3, t4
+    srli t6, t5, 1
+    or   s2, t5, t6
+    j    hop2
+hop2:
+    and  s3, s2, t3
+    sub  s4, s3, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
 def _intercept_loop(iters: int) -> str:
     return f"""
 _start:
@@ -133,7 +177,7 @@ def _build(workload: str, engine: str):
     """Build the machine for *workload*.  Always built with the tcache
     enabled; measurements toggle it with ``Machine.set_tcache`` to show
     the flag is switchable inside one process."""
-    if workload == "tight_loop":
+    if workload in ("tight_loop", "chain_trampoline"):
         return build_metal_machine([NOOP], engine=engine, with_caches=False)
     if workload == "syscall_heavy":
         m = build_metal_machine([SYS], engine=engine, with_caches=False)
@@ -147,23 +191,33 @@ def _build(workload: str, engine: str):
 
 _PROGRAMS = {
     "tight_loop": _tight_loop,
+    "chain_trampoline": _chain_trampoline,
     "syscall_heavy": _syscall_loop,
     "intercept_heavy": _intercept_loop,
 }
 
+#: Measurement modes: (tcache, chaining).
+_MODES = {
+    "tcache_off": (False, False),
+    "tcache_nochain": (True, False),
+    "tcache_on": (True, True),
+}
 
-def _measure(workload: str, engine: str, tcache: bool, iters: int,
+
+def _measure(workload: str, engine: str, mode: str, iters: int,
              reps: int) -> dict:
     """Best-of-*reps* host MIPS for one configuration (fresh machine per
     rep; deterministic guest results are cross-checked across reps)."""
+    tcache, chain = _MODES[mode]
     source = _PROGRAMS[workload](iters)
     best_mips = 0.0
     ref = None
-    hit_rate = 0.0
+    best_stats = None
     last_machine = None
     for _ in range(reps):
         machine = _build(workload, engine)
         machine.set_tcache(tcache)
+        machine.set_tcache_chaining(chain)
         host0 = perf_counter()
         result = machine.load_and_run(source, max_instructions=50_000_000)
         host = perf_counter() - host0
@@ -178,16 +232,23 @@ def _measure(workload: str, engine: str, tcache: bool, iters: int,
         mips = result.instructions / host / 1e6 if host > 0 else 0.0
         if mips >= best_mips or last_machine is None:
             best_mips = mips
-            hit_rate = machine.perf.tcache.hit_rate
+            best_stats = machine.perf.tcache
             last_machine = machine
-    perf_summary(last_machine,
-                 f"{workload}/{engine}/tcache={'on' if tcache else 'off'}")
-    return {
+    perf_summary(last_machine, f"{workload}/{engine}/{mode}")
+    row = {
         "mips": round(best_mips, 4),
         "instructions": ref[0],
         "cycles": ref[1],
-        "hit_rate": round(hit_rate, 4),
+        "hit_rate": round(best_stats.hit_rate, 4),
     }
+    if tcache and chain:
+        row["chains"] = {
+            "links": best_stats.chain_links,
+            "hits": best_stats.chain_hits,
+            "breaks": best_stats.chain_breaks,
+            "longest": best_stats.chain_longest,
+        }
+    return row
 
 
 def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
@@ -195,27 +256,81 @@ def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
     for workload, n in iters.items():
         results[workload] = {}
         for engine in engines:
-            off = _measure(workload, engine, False, n, reps)
-            on = _measure(workload, engine, True, n, reps)
-            speedup = on["mips"] / off["mips"] if off["mips"] else 0.0
-            results[workload][engine] = {
-                "iterations": n,
-                "tcache_off": off,
-                "tcache_on": on,
-                "speedup": round(speedup, 3),
-            }
-            # The tcache is guest-invisible: identical results either way.
-            for key in ("instructions", "cycles"):
-                assert on[key] == off[key], (
-                    f"{workload}/{engine}: tcache changed guest-visible "
-                    f"{key}: on={on[key]} off={off[key]}"
-                )
+            row = {"iterations": n}
+            for mode in _MODES:
+                row[mode] = _measure(workload, engine, mode, n, reps)
+            off, nochain, on = (row["tcache_off"], row["tcache_nochain"],
+                                row["tcache_on"])
+            row["speedup"] = round(
+                on["mips"] / off["mips"] if off["mips"] else 0.0, 3)
+            row["chain_speedup"] = round(
+                on["mips"] / nochain["mips"] if nochain["mips"] else 0.0, 3)
+            results[workload][engine] = row
+            # The tcache (chained or not) is guest-invisible: identical
+            # results in all three modes.
+            for mode in ("tcache_nochain", "tcache_on"):
+                for key in ("instructions", "cycles"):
+                    assert row[mode][key] == off[key], (
+                        f"{workload}/{engine}/{mode}: tcache changed "
+                        f"guest-visible {key}: {row[mode][key]} vs "
+                        f"{off[key]}"
+                    )
     return results
 
 
-def _emit_json(results: dict) -> str:
-    payload = {"benchmark": "host_throughput", "results": results}
-    path = os.path.abspath(JSON_PATH)
+def _load_previous(path: str):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _trajectory(results: dict, previous) -> list:
+    """Per-PR history of the tight-loop functional numbers.
+
+    Carries the previous file's trajectory forward; a pre-trajectory file
+    (PR 1) is bootstrapped from its recorded results.  The current run
+    replaces any earlier entry with the same label.
+    """
+    trajectory = list(previous.get("trajectory", [])) if previous else []
+    if not trajectory and previous:
+        old = (previous.get("results", {})
+               .get("tight_loop", {}).get("functional"))
+        if old and "tcache_on" in old:
+            trajectory.append({
+                "label": "pr1_tcache",
+                "tight_loop_functional": {
+                    "tcache_off_mips": old["tcache_off"]["mips"],
+                    "tcache_on_mips": old["tcache_on"]["mips"],
+                    "speedup": old["speedup"],
+                },
+            })
+    tight = results.get("tight_loop", {}).get("functional")
+    if tight:
+        entry = {
+            "label": TRAJECTORY_LABEL,
+            "tight_loop_functional": {
+                "tcache_off_mips": tight["tcache_off"]["mips"],
+                "tcache_nochain_mips": tight["tcache_nochain"]["mips"],
+                "tcache_on_mips": tight["tcache_on"]["mips"],
+                "speedup": tight["speedup"],
+                "chain_speedup": tight["chain_speedup"],
+            },
+        }
+        trajectory = [e for e in trajectory
+                      if e.get("label") != entry["label"]]
+        trajectory.append(entry)
+    return trajectory
+
+
+def _emit_json(results: dict, json_path: str = JSON_PATH) -> str:
+    path = os.path.abspath(json_path)
+    payload = {
+        "benchmark": "host_throughput",
+        "results": results,
+        "trajectory": _trajectory(results, _load_previous(path)),
+    }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -224,14 +339,17 @@ def _emit_json(results: dict) -> str:
 
 def _print_table(results: dict) -> None:
     print()
-    print(f"{'workload':<18} {'engine':<11} {'off MIPS':>9} {'on MIPS':>9} "
-          f"{'speedup':>8} {'hit rate':>9}")
+    print(f"{'workload':<18} {'engine':<11} {'off MIPS':>9} "
+          f"{'nochain':>9} {'on MIPS':>9} {'speedup':>8} {'chain':>7} "
+          f"{'hit rate':>9}")
     for workload, engines in results.items():
         for engine, row in engines.items():
             print(f"{workload:<18} {engine:<11} "
                   f"{row['tcache_off']['mips']:>9.3f} "
+                  f"{row['tcache_nochain']['mips']:>9.3f} "
                   f"{row['tcache_on']['mips']:>9.3f} "
                   f"{row['speedup']:>7.2f}x "
+                  f"{row['chain_speedup']:>6.2f}x "
                   f"{row['tcache_on']['hit_rate']:>8.1%}")
     print()
 
@@ -239,6 +357,7 @@ def _print_table(results: dict) -> None:
 def run_full() -> dict:
     iters = {
         "tight_loop": 100_000,
+        "chain_trampoline": 60_000,
         "syscall_heavy": 20_000,
         "intercept_heavy": 15_000,
     }
@@ -247,11 +366,22 @@ def run_full() -> dict:
     path = _emit_json(results)
     print(f"results written to {path}")
     tight = results["tight_loop"]["functional"]
-    assert tight["speedup"] >= 2.0, (
-        f"tight-loop functional speedup {tight['speedup']}x < 2x"
+    assert tight["speedup"] >= 2.6, (
+        f"tight-loop functional speedup {tight['speedup']}x < 2.6x"
+    )
+    assert tight["chain_speedup"] >= 1.3, (
+        f"tight-loop chaining speedup {tight['chain_speedup']}x < 1.3x "
+        f"over the unchained cache"
     )
     assert tight["tcache_on"]["hit_rate"] >= 0.90, (
         f"tight-loop hit rate {tight['tcache_on']['hit_rate']:.1%} < 90%"
+    )
+    tramp = results["chain_trampoline"]["functional"]
+    assert tramp["chain_speedup"] >= 1.2, (
+        f"trampoline chaining speedup {tramp['chain_speedup']}x < 1.2x"
+    )
+    assert tramp["tcache_on"]["chains"]["hits"] > 0, (
+        "trampoline workload never followed a chain link"
     )
     return results
 
@@ -259,20 +389,30 @@ def run_full() -> dict:
 def run_smoke() -> dict:
     """CI subset: functional engine, small iteration counts, one rep.
 
-    Asserts the structural properties (hit rate, on/off equality) but not
-    the wall-clock speedup, which is too noisy for shared runners.
+    Asserts the structural properties (hit rate, three-way equality,
+    chains engaging) but not the wall-clock speedups, which are too
+    noisy for shared runners.  Writes its numbers to a separate smoke
+    JSON so the committed full-run results stay untouched.
     """
     iters = {
         "tight_loop": 20_000,
+        "chain_trampoline": 10_000,
         "syscall_heavy": 2_000,
         "intercept_heavy": 1_500,
     }
     results = run_suite(iters, reps=1, engines=("functional",))
     _print_table(results)
+    path = _emit_json(results, json_path=SMOKE_JSON_PATH)
+    print(f"smoke results written to {path}")
     tight = results["tight_loop"]["functional"]
     assert tight["tcache_on"]["hit_rate"] >= 0.90, (
         f"tight-loop hit rate {tight['tcache_on']['hit_rate']:.1%} < 90%"
     )
+    for workload in ("tight_loop", "chain_trampoline"):
+        chains = results[workload]["functional"]["tcache_on"]["chains"]
+        assert chains["hits"] > 0, (
+            f"{workload}: chaining never engaged (links={chains['links']})"
+        )
     return results
 
 

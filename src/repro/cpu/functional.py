@@ -106,10 +106,12 @@ class FunctionalSimulator:
     """Reference engine: functional semantics + analytic timing.
 
     With the translation cache enabled (the default) the engine runs
-    predecoded basic blocks between interrupt/intercept sample points;
-    :meth:`step` remains the one-instruction-at-a-time reference path and
-    both paths produce bit-identical architectural state, instruction
-    counts and cycle counts (see docs/PERF.md).
+    predecoded basic blocks between interrupt/intercept sample points,
+    chaining blocks into superblocks across pure control flow so hot
+    traces never return to the dispatch loop; :meth:`step` remains the
+    one-instruction-at-a-time reference path and both paths produce
+    bit-identical architectural state, instruction counts and cycle
+    counts (see docs/PERF.md).
     """
 
     #: Safety valve for WFI with no event source.
@@ -375,9 +377,12 @@ class FunctionalSimulator:
         trace = self.trace_fn
         stats = self.perf.tcache
         metal = core.metal
-        # Interrupt deliverability is constant inside a block: only
-        # terminator instructions (CSR writes, Metal transitions) or trap
-        # entries can change it, and both end the block.
+        tcache = self._tcache
+        chain = tcache.chain
+        # Interrupt deliverability is constant inside a block — and along
+        # a superblock chain: only terminator instructions (CSR writes,
+        # Metal transitions) or trap entries can change it; traps exit the
+        # loop and only branch/jal/jalr terminators are chainable.
         irq = core.irq
         if irq is None:
             poll = False
@@ -389,27 +394,44 @@ class FunctionalSimulator:
         sync = self._sync_devices
         take_irq = self._maybe_take_interrupt
         note = timer.note
-        entries = block.entries
-        f_sync, f_csr, f_break = F_SYNC, F_CSR, F_TERM | F_STORE
+        f_sync, f_csr, f_term, f_break = F_SYNC, F_CSR, F_TERM, F_TERM | F_STORE
         retired = 0
+        chained = 0
 
         if (not poll and not check_stop and icache is None and trace is None
-                and budget >= len(entries)
+                and budget >= len(block.entries)
                 and type(timer) is SimpleTimer):
-            # Specialized loop for the common unguarded case: no
-            # per-entry budget/stop/interrupt checks are needed, fetch
-            # latency is the constant memory latency, ``core.pc`` /
-            # ``core.instret`` / ``timer.cycles`` are published at sample
-            # points (CSR reads, syncs, traps, block exit) instead of per
-            # entry, and the :meth:`SimpleTimer.note` cost formula is
-            # inlined (it must stay in lockstep with that method).
+            # Specialized loop for the common unguarded case: the block's
+            # precompiled ``ops`` program is dispatched computed-goto
+            # style — plain entries run as pre-bound micro-ops with no
+            # flag tests, StepInfo or timing branches at all — and
+            # ``core.pc`` / ``core.instret`` / ``timer.cycles`` are
+            # published at sample points (CSR reads, syncs, traps, chain
+            # exit) instead of per entry.  The :meth:`SimpleTimer.note`
+            # cost formula is inlined for the remaining execute() entries
+            # (it must stay in lockstep with that method).  Chainable
+            # exits (branch/jal/jalr, length-limit fall-through) follow
+            # the superblock link to the successor block without bouncing
+            # back to ``run()``.
             timing = timer.timing
+            bus = core.bus
             base_cost = mem_latency if mem_latency > 1 else 1
             instret0 = core.instret
             cyc = 0
-            step = None
-            for instr, op_fn, pc, flags, _hint in entries:
-                if flags:
+            while True:
+                next_pc = block.end
+                aborted = False
+                for seg in block.ops:
+                    if not seg[0]:  # OP_RUN: flag-free micro-op run
+                        _kind, uops, count, run_end = seg
+                        regs = core.regs
+                        for uop in uops:
+                            uop(regs)
+                        retired += count
+                        cyc += count * base_cost
+                        next_pc = run_end
+                        continue
+                    _kind, instr, pc, flags = seg
                     if flags & f_sync:
                         timer.cycles += cyc
                         cyc = 0
@@ -427,51 +449,60 @@ class FunctionalSimulator:
                         cyc = 0
                         core._timer_cycles = timer.cycles
                         core.instret = instret0 + retired
-                try:
-                    step = op_fn(core, instr, pc, fetch_latency=mem_latency)
-                except TrapException as trap:
-                    timer.cycles += cyc
-                    core.instret = instret0 + retired
-                    stats.fast_instructions += retired
-                    self._dispatch_trap(trap, pc)
-                    sync()
-                    return
-                retired += 1
-                cost = base_cost
-                ml = step.mem_latency
-                if ml > 1:
-                    cost += ml - 1
-                if step.cls is _MULDIV:
-                    cost += (
-                        timing.div_extra
-                        if step.mnemonic.startswith(("div", "rem"))
-                        else timing.mul_extra
-                    )
-                control = step.control
-                if control is not None:
-                    if control == "branch":
-                        cost += timing.branch_taken_penalty
-                    elif control == "jal":
-                        cost += timing.jump_penalty
-                    elif control == "jalr":
-                        cost += timing.branch_taken_penalty
-                    elif control == "mret":
-                        cost += timing.mret_penalty
-                    elif control == "menter":
-                        cost += timing.menter_cost
-                    elif control == "mexit":
-                        cost += timing.mexit_cost
-                    elif control == "mraise":
-                        cost += timing.jump_penalty
-                cyc += cost
-                if flags & f_break:
-                    if flags & F_TERM:
-                        break
-                    if not block.valid:
+                    try:
+                        step = execute(core, instr, pc,
+                                       fetch_latency=mem_latency)
+                    except TrapException as trap:
+                        timer.cycles += cyc
+                        core.instret = instret0 + retired
+                        stats.fast_instructions += retired
+                        self._dispatch_trap(trap, pc)
+                        sync()
+                        return
+                    retired += 1
+                    cost = base_cost
+                    ml = step.mem_latency
+                    if ml > 1:
+                        cost += ml - 1
+                    if step.cls is _MULDIV:
+                        cost += (
+                            timing.div_extra
+                            if step.mnemonic.startswith(("div", "rem"))
+                            else timing.mul_extra
+                        )
+                    control = step.control
+                    if control is not None:
+                        if control == "branch":
+                            cost += timing.branch_taken_penalty
+                        elif control == "jal":
+                            cost += timing.jump_penalty
+                        elif control == "jalr":
+                            cost += timing.branch_taken_penalty
+                        elif control == "mret":
+                            cost += timing.mret_penalty
+                        elif control == "menter":
+                            cost += timing.menter_cost
+                        elif control == "mexit":
+                            cost += timing.mexit_cost
+                        elif control == "mraise":
+                            cost += timing.jump_penalty
+                    cyc += cost
+                    next_pc = step.next_pc
+                    if flags & F_STORE and not block.valid:
                         # The store we just executed evicted this block
                         # (self-modifying code): re-dispatch.
+                        aborted = True
                         break
-            core.pc = step.next_pc
+                core.pc = next_pc
+                if aborted or not chain or not block.chainable:
+                    break
+                nxt = tcache.chain_next_mem(block, next_pc, bus)
+                if nxt is None or budget - retired < len(nxt.entries):
+                    break
+                chained += 1
+                if chained > stats.chain_longest:
+                    stats.chain_longest = chained
+                block = nxt
             core.instret = instret0 + retired
             timer.cycles += cyc
             stats.fast_instructions += retired
@@ -479,50 +510,72 @@ class FunctionalSimulator:
             return
 
         icache_access = icache.access if icache is not None else None
-        for instr, op_fn, pc, flags, _hint in entries:
-            if retired:
-                if retired >= budget:
-                    break
-                if check_stop and pc == stop_pc:
-                    break
-                if poll:
-                    sync()
-                    if not block.valid:
-                        break  # DMA rewrote this page; core.pc == pc
-                    # pending_bitmap() is side-effect-free, so the cheap
-                    # precheck is equivalent to calling take_irq() always.
-                    if irq.pending_bitmap() and take_irq():
+        while True:
+            aborted = False
+            for instr, op_fn, pc, flags, _hint in block.entries:
+                if retired:
+                    if retired >= budget:
+                        aborted = True
+                        break
+                    if check_stop and pc == stop_pc:
+                        aborted = True
+                        break
+                    if poll:
                         sync()
-                        stats.fast_instructions += retired
-                        return
-            if flags:
-                if flags & f_sync:
+                        if not block.valid:
+                            aborted = True
+                            break  # DMA rewrote this page; core.pc == pc
+                        # pending_bitmap() is side-effect-free, so the
+                        # cheap precheck is equivalent to calling
+                        # take_irq() always.
+                        if irq.pending_bitmap() and take_irq():
+                            sync()
+                            stats.fast_instructions += retired
+                            return
+                if flags:
+                    if flags & f_sync:
+                        sync()
+                        if not block.valid:
+                            aborted = True
+                            break  # DMA rewrote this page; core.pc == pc
+                    if flags & f_csr:
+                        core._timer_cycles = timer.cycles
+                latency = (icache_access(pc) if icache_access is not None
+                           else mem_latency)
+                try:
+                    step = op_fn(core, instr, pc, fetch_latency=latency)
+                except TrapException as trap:
+                    stats.fast_instructions += retired
+                    self._dispatch_trap(trap, pc)
                     sync()
+                    return
+                core.pc = step.next_pc
+                core.instret += 1
+                retired += 1
+                note(step)
+                if trace is not None:
+                    trace(step)
+                if flags & f_break:
+                    if flags & f_term:
+                        break
                     if not block.valid:
-                        break  # DMA rewrote this page; core.pc == pc
-                if flags & f_csr:
-                    core._timer_cycles = timer.cycles
-            latency = icache_access(pc) if icache_access is not None else mem_latency
-            try:
-                step = op_fn(core, instr, pc, fetch_latency=latency)
-            except TrapException as trap:
-                stats.fast_instructions += retired
-                self._dispatch_trap(trap, pc)
-                sync()
-                return
-            core.pc = step.next_pc
-            core.instret += 1
-            retired += 1
-            note(step)
-            if trace is not None:
-                trace(step)
-            if flags & f_break:
-                if flags & F_TERM:
-                    break
-                if not block.valid:
-                    # The store we just executed evicted this block
-                    # (self-modifying code): re-dispatch from core.pc.
-                    break
+                        # The store we just executed evicted this block
+                        # (self-modifying code): re-dispatch from core.pc.
+                        aborted = True
+                        break
+            # Chain to the successor when the exit was a pure control
+            # transfer (or the fall-through of a length-limited block);
+            # the per-entry budget/stop/poll guards above keep running
+            # inside the successor, so no extra prechecks are needed.
+            if aborted or not chain or not block.chainable:
+                break
+            nxt = tcache.chain_next_mem(block, core.pc, core.bus)
+            if nxt is None:
+                break
+            chained += 1
+            if chained > stats.chain_longest:
+                stats.chain_longest = chained
+            block = nxt
         stats.fast_instructions += retired
         sync()
 
@@ -530,38 +583,57 @@ class FunctionalSimulator:
         # Metal mode: no interrupt sampling (paper §2.1), no interception,
         # no stop_pc, constant MRAM fetch latency, and ``mst`` can only
         # reach the data segment — so blocks never self-invalidate.
+        # Branch/jal/jalr terminators (loops inside mroutines) chain to
+        # the successor MRAM block; ``mexit`` leaves Metal mode and is
+        # never chainable.
         core = self.core
         timer = self.timer
+        mram = core.metal.mram
         mram_latency = core.timing.mram_fetch
         trace = self.trace_fn
         stats = self.perf.tcache
+        tcache = self._tcache
+        chain = tcache.chain
         sync = self._sync_devices
         note = timer.note
         f_sync, f_csr, f_term = F_SYNC, F_CSR, F_TERM
         retired = 0
-        for instr, op_fn, pc, flags, _hint in block.entries:
-            if retired and retired >= budget:
-                break
-            if flags:
-                if flags & f_sync:
+        chained = 0
+        while True:
+            aborted = False
+            for instr, op_fn, pc, flags, _hint in block.entries:
+                if retired and retired >= budget:
+                    aborted = True
+                    break
+                if flags:
+                    if flags & f_sync:
+                        sync()
+                    if flags & f_csr:
+                        core._timer_cycles = timer.cycles
+                try:
+                    step = op_fn(core, instr, pc, fetch_latency=mram_latency)
+                except TrapException as trap:
+                    stats.fast_instructions += retired
+                    self._dispatch_trap(trap, pc)  # double fault -> GuestPanic
                     sync()
-                if flags & f_csr:
-                    core._timer_cycles = timer.cycles
-            try:
-                step = op_fn(core, instr, pc, fetch_latency=mram_latency)
-            except TrapException as trap:
-                stats.fast_instructions += retired
-                self._dispatch_trap(trap, pc)  # double fault -> GuestPanic
-                sync()
-                return
-            core.pc = step.next_pc
-            core.instret += 1
-            retired += 1
-            note(step)
-            if trace is not None:
-                trace(step)
-            if flags & f_term:
+                    return
+                core.pc = step.next_pc
+                core.instret += 1
+                retired += 1
+                note(step)
+                if trace is not None:
+                    trace(step)
+                if flags & f_term:
+                    break
+            if aborted or not chain or not block.chainable:
                 break
+            nxt = tcache.chain_next_mram(block, core.pc, mram)
+            if nxt is None:
+                break
+            chained += 1
+            if chained > stats.chain_longest:
+                stats.chain_longest = chained
+            block = nxt
         stats.fast_instructions += retired
         sync()
 

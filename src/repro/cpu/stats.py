@@ -31,15 +31,27 @@ class TcacheStats:
     flushes: int = 0
     #: Guest instructions retired through the block fast path.
     fast_instructions: int = 0
+    #: Superblock links installed between blocks.
+    chain_links: int = 0
+    #: Block transitions that followed an existing chain link.
+    chain_hits: int = 0
+    #: Chain links severed (successor evicted, or observed target
+    #: differed from the linked pc).
+    chain_breaks: int = 0
+    #: Longest run of chained block transitions inside one dispatch.
+    chain_longest: int = 0
 
     @property
     def dispatches(self) -> int:
-        return self.hits + self.misses
+        """Block dispatches, including chained transitions (which reach
+        their block through the superblock link without probing the
+        block map — the strongest form of hit)."""
+        return self.hits + self.misses + self.chain_hits
 
     @property
     def hit_rate(self) -> float:
         total = self.dispatches
-        return self.hits / total if total else 0.0
+        return (self.hits + self.chain_hits) / total if total else 0.0
 
     def reset(self) -> None:
         self.blocks_compiled = 0
@@ -48,6 +60,10 @@ class TcacheStats:
         self.invalidations = 0
         self.flushes = 0
         self.fast_instructions = 0
+        self.chain_links = 0
+        self.chain_hits = 0
+        self.chain_breaks = 0
+        self.chain_longest = 0
 
 
 @dataclass
@@ -89,6 +105,9 @@ class PerfCounters:
             f"(hit rate {tc.hit_rate:.1%})",
             f"tcache invalidated : {tc.invalidations} blocks, "
             f"{tc.flushes} flushes",
+            f"tcache chains      : {tc.chain_links} links, "
+            f"{tc.chain_hits} followed, {tc.chain_breaks} broken "
+            f"(longest {tc.chain_longest})",
             f"fast-path instrs   : {tc.fast_instructions} "
             f"({self.slow_instructions} slow)",
         ])

@@ -12,6 +12,28 @@ architectural-feature instruction that could change an invariant blocks
 are compiled under.  ``op_fn`` is :func:`repro.cpu.executor.execute` —
 semantics stay single-sourced; only the fetch/decode/probe work is cached.
 
+On top of the entry list each block carries two build-time artifacts:
+
+* ``ops`` — a computed-goto-style dispatch program.  Runs of *plain*
+  entries (ALU, LUI/AUIPC, FENCE — no traps, no memory, no control, unit
+  base cost) are folded into tuples of micro-op closures specialised per
+  instruction at compile time; only entries that can sync devices, trap,
+  or terminate the block remain full ``execute()`` dispatches.  The
+  functional engine's unguarded fast loop runs ``ops`` with no per-entry
+  flag tests at all.
+* ``link``/``link_pc`` — the **superblock chain**: after a block exits
+  through a pure control-flow terminator (branch/jal/jalr, or the
+  fall-through of a length-limited block) the engine links it to the
+  successor block and on later dispatches follows the link directly,
+  never returning to the dispatch loop.  A link is followed only when
+  the observed ``next_pc`` equals ``link_pc`` *and* the successor is
+  still valid, so evictions sever chains instead of executing stale
+  code.  Only branch/jal/jalr terminators are chainable: every other
+  terminator (CSR, SYSTEM, Metal transitions, architectural-feature
+  instructions) can move an invariant the chain was built under
+  (interrupt enables, translation, interception, halt/wfi), so those
+  always return to the dispatcher.
+
 Two separate block namespaces keep Metal-mode fetch locality intact:
 
 * ``mem`` — normal-mode code fetched from main memory.  Blocks are valid
@@ -38,11 +60,18 @@ paging enabled            mem blocks bypassed at dispatch (no eviction
                           needed: block content is translation-free)
 snapshot restore          full flush (RAM bytes replaced wholesale)
 ========================  =============================================
+
+Superblock chains participate implicitly: every eviction path above marks
+the victim blocks ``valid = False`` *before* dropping them, and every
+chain traversal re-checks the successor's ``valid`` flag (plus the
+observed next pc), so an evicted successor breaks the link rather than
+executing stale code.
 """
 
 from __future__ import annotations
 
 from repro.errors import BusError, DecodeError, MramError
+from repro.cpu import alu
 from repro.cpu.executor import execute
 from repro.isa.decoder import decode
 from repro.isa.instruction import InstrClass
@@ -73,17 +102,39 @@ _PLAIN_CLASSES = frozenset((
 #: devices or modify code, so they need neither sync nor validity checks).
 _PLAIN_METAL_MNEMONICS = frozenset(("rmr", "wmr", "mld", "mst"))
 
+#: Terminator classes a superblock chain may continue *through*: pure
+#: control flow that cannot change interrupt enables, privilege,
+#: translation, interception, or halt/wfi state.
+_CHAIN_CLASSES = frozenset((
+    InstrClass.BRANCH,
+    InstrClass.JAL,
+    InstrClass.JALR,
+))
+
 
 class Block:
-    """One predecoded basic block."""
+    """One predecoded basic block (plus its superblock chain link)."""
 
-    __slots__ = ("start", "end", "entries", "valid")
+    __slots__ = ("start", "end", "entries", "ops", "valid",
+                 "chainable", "link", "link_pc")
 
-    def __init__(self, start: int, end: int, entries):
+    def __init__(self, start: int, end: int, entries,
+                 chainable: bool = False, link_pc: int = None):
         self.start = start
         self.end = end            # byte address just past the last entry
         self.entries = entries    # list of (instr, op_fn, pc, flags, hint)
+        self.ops = _build_ops(entries, end)
         self.valid = True
+        #: Whether the block's exit is eligible for chaining (branch/jal/
+        #: jalr terminator, or the fall-through of a length-limited block).
+        self.chainable = chainable
+        #: Chained successor block and the guest pc the link is valid for.
+        #: ``link_pc`` is seeded from the terminator's decoded static
+        #: target (the ``next_pc_hint``); the link itself is installed on
+        #: first traversal and re-validated against the observed next pc
+        #: every time it is followed.
+        self.link = None
+        self.link_pc = link_pc
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -113,6 +164,121 @@ def _classify(instr, mram: bool):
     return flags, True
 
 
+def _static_hint(instr, pc: int) -> int:
+    """Decoded static successor of the instruction at *pc*.
+
+    For direct jumps this is the jump target and for conditional branches
+    the *taken* target (the loop-heavy common case); everything else —
+    including ``jalr``, whose target is indirect — falls through to
+    ``pc + 4``.  The hint seeds the chain's ``link_pc``; it is advisory
+    only and every chain traversal re-validates it against the executed
+    ``next_pc``, so a wrong guess costs one lookup, never correctness.
+    """
+    cls = instr.spec.cls
+    if cls is InstrClass.JAL or cls is InstrClass.BRANCH:
+        return (pc + instr.imm) & 0xFFFFFFFF
+    return (pc + 4) & 0xFFFFFFFF
+
+
+def _noop_uop(regs):
+    return None
+
+
+def _make_uop(instr, pc: int):
+    """Micro-op closure for a *plain* entry, or ``None``.
+
+    A micro-op is the computed-goto-style replacement for the generic
+    ``execute()`` dispatch: the operand registers, immediate and ALU
+    callable are bound at block-build time, so the fast loop just calls
+    ``uop(regs)`` — no flag tests, no class dispatch, no StepInfo.  Only
+    entries that can never trap, never touch memory/devices, never
+    redirect control and always cost the base fetch cycle qualify.
+    """
+    cls = instr.spec.cls
+    rd = instr.rd
+    if cls is InstrClass.ALU_IMM:
+        if not rd:
+            return _noop_uop
+        op = alu.IMM_OPS[instr.mnemonic]
+        rs1 = instr.rs1
+        imm = instr.imm
+
+        def uop(regs, rd=rd, rs1=rs1, imm=imm, op=op):
+            regs[rd] = op(regs[rs1], imm)
+        return uop
+    if cls is InstrClass.ALU_REG:
+        if not rd:
+            return _noop_uop
+        op = alu.REG_OPS[instr.mnemonic]
+        rs1 = instr.rs1
+        rs2 = instr.rs2
+
+        def uop(regs, rd=rd, rs1=rs1, rs2=rs2, op=op):
+            regs[rd] = op(regs[rs1], regs[rs2])
+        return uop
+    if cls is InstrClass.LUI:
+        if not rd:
+            return _noop_uop
+        value = instr.imm & 0xFFFFFFFF
+
+        def uop(regs, rd=rd, value=value):
+            regs[rd] = value
+        return uop
+    if cls is InstrClass.AUIPC:
+        if not rd:
+            return _noop_uop
+        value = (pc + instr.imm) & 0xFFFFFFFF
+
+        def uop(regs, rd=rd, value=value):
+            regs[rd] = value
+        return uop
+    if cls is InstrClass.FENCE:
+        return _noop_uop
+    return None
+
+
+#: ``ops`` segment kinds (first tuple element).
+OP_RUN = 0   #: (OP_RUN, uops, count, end_pc) — flag-free micro-op run
+OP_EXEC = 1  #: (OP_EXEC, instr, pc, flags) — full execute() dispatch
+
+
+def _build_ops(entries, end: int):
+    """Fold *entries* into the block's computed-goto dispatch program.
+
+    Consecutive plain entries (``flags == 0`` with a micro-op available)
+    become one ``OP_RUN`` segment — a tuple of pre-bound closures plus the
+    pc following the run (for publishing ``core.pc`` without a StepInfo).
+    MULDIV and plain-METAL entries have data-dependent or non-unit cycle
+    costs, so they stay ``OP_EXEC`` even though their flags are zero.
+    """
+    ops = []
+    run = []
+    for instr, _op_fn, pc, flags, _hint in entries:
+        uop = _make_uop(instr, pc) if not flags else None
+        if uop is not None:
+            run.append(uop)
+            continue
+        if run:
+            ops.append((OP_RUN, tuple(run), len(run), pc))
+            run = []
+        ops.append((OP_EXEC, instr, pc, flags))
+    if run:
+        ops.append((OP_RUN, tuple(run), len(run), end))
+    return ops
+
+
+def _chain_shape(entries, end: int, terminated: bool):
+    """``(chainable, link_pc seed)`` for a freshly compiled block."""
+    if not terminated:
+        # Length-limited (or decode/bus-bounded) block: the only exit is
+        # the fall-through, which is always chainable.
+        return True, end
+    last_instr, _op_fn, _pc, _flags, hint = entries[-1]
+    if last_instr.spec.cls in _CHAIN_CLASSES:
+        return True, hint
+    return False, None
+
+
 class TranslationCache:
     """Per-engine cache of predecoded basic blocks, in two namespaces."""
 
@@ -123,6 +289,10 @@ class TranslationCache:
     def __init__(self, stats, max_block_len: int = None):
         self.stats = stats
         self.max_block_len = max_block_len or self.MAX_BLOCK_LEN
+        #: Superblock chaining toggle (host-side, guest-invisible).  With
+        #: it off the engines bounce back to the dispatch loop after every
+        #: block, i.e. the PR-1 per-block behaviour.
+        self.chain = True
         self._mem = {}          # start pc -> Block
         self._mem_pages = {}    # page number -> set of start pcs
         self._mram = {}         # start offset -> Block
@@ -146,6 +316,7 @@ class TranslationCache:
         entries = []
         p = pc
         limit = self.max_block_len
+        terminated = False
         while len(entries) < limit:
             # Never compile through a device region: device reads have
             # side effects, and instruction fetch from MMIO takes the
@@ -161,13 +332,15 @@ class TranslationCache:
             except DecodeError:
                 break
             flags, term = _classify(instr, mram=False)
-            entries.append((instr, execute, p, flags, p + 4))
+            entries.append((instr, execute, p, flags, _static_hint(instr, p)))
             p += 4
             if term:
+                terminated = True
                 break
         if not entries:
             return None
-        block = Block(pc, p, entries)
+        block = Block(pc, p, entries,
+                      *_chain_shape(entries, p, terminated))
         self._mem[pc] = block
         pages = self._mem_pages
         for page in range(pc >> PAGE_SHIFT, ((p - 1) >> PAGE_SHIFT) + 1):
@@ -183,8 +356,12 @@ class TranslationCache:
         version = mram.code_version
         if version != self._mram_version:
             # Lazy namespace invalidation: mroutine load/unload bumped the
-            # code version since we last compiled.
+            # code version since we last compiled.  Mark the blocks invalid
+            # (not just unreachable) so chain links held by surviving
+            # predecessors can never be followed into the stale code.
             if self._mram:
+                for block in self._mram.values():
+                    block.valid = False
                 self.stats.invalidations += len(self._mram)
                 self._mram.clear()
             self._mram_version = version
@@ -201,6 +378,7 @@ class TranslationCache:
         entries = []
         p = pc
         limit = self.max_block_len
+        terminated = False
         while len(entries) < limit:
             try:
                 word = mram.fetch(p)
@@ -211,16 +389,66 @@ class TranslationCache:
             except DecodeError:
                 break
             flags, term = _classify(instr, mram=True)
-            entries.append((instr, execute, p, flags, p + 4))
+            entries.append((instr, execute, p, flags, _static_hint(instr, p)))
             p += 4
             if term:
+                terminated = True
                 break
         if not entries:
             return None
-        block = Block(pc, p, entries)
+        block = Block(pc, p, entries,
+                      *_chain_shape(entries, p, terminated))
         self._mram[pc] = block
         self.stats.blocks_compiled += 1
         return block
+
+    # ------------------------------------------------------------------
+    # superblock chaining
+    # ------------------------------------------------------------------
+    def chain_next_mem(self, block, next_pc: int, bus):
+        """Follow (or install) *block*'s chain link toward *next_pc*.
+
+        Returns the successor mem-namespace block, or ``None`` when the
+        target cannot be translated.  A stale link — successor evicted, or
+        the observed target differs from ``link_pc`` — is severed and
+        re-resolved through :meth:`mem_block`, so a chain can never reach
+        stale code.
+        """
+        stats = self.stats
+        link = block.link
+        if link is not None:
+            if link.valid and block.link_pc == next_pc:
+                stats.chain_hits += 1
+                return link
+            stats.chain_breaks += 1
+            block.link = None
+        if next_pc % 4:
+            return None
+        nxt = self.mem_block(next_pc, bus)
+        if nxt is not None:
+            block.link = nxt
+            block.link_pc = next_pc
+            stats.chain_links += 1
+        return nxt
+
+    def chain_next_mram(self, block, next_pc: int, mram):
+        """MRAM-namespace twin of :meth:`chain_next_mem`."""
+        stats = self.stats
+        link = block.link
+        if link is not None:
+            if link.valid and block.link_pc == next_pc:
+                stats.chain_hits += 1
+                return link
+            stats.chain_breaks += 1
+            block.link = None
+        if next_pc % 4:
+            return None
+        nxt = self.mram_block(next_pc, mram)
+        if nxt is not None:
+            block.link = nxt
+            block.link_pc = next_pc
+            stats.chain_links += 1
+        return nxt
 
     # ------------------------------------------------------------------
     # invalidation

@@ -126,6 +126,12 @@ class Machine:
         """Toggle the translation-cache fast path (guest-invisible)."""
         self.sim.tcache_enabled = enabled
 
+    def set_tcache_chaining(self, enabled: bool) -> None:
+        """Toggle superblock chaining inside the tcache fast path
+        (guest-invisible; with it off every block bounces back to the
+        dispatch loop, the PR-1 behaviour)."""
+        self.sim.tcache.chain = bool(enabled)
+
     # -- mroutine (re)loading --------------------------------------------
     def reload_mroutines(self, routines) -> None:
         """Replace the loaded mroutine image in place (Metal machines).

@@ -7,6 +7,14 @@ import pytest
 from repro import MRoutine, build_metal_machine, build_trap_machine
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seeds", type=int, default=200,
+        help="number of seeded cases for the superblock differential "
+             "fuzz harness (tests/test_superblock_differential.py)",
+    )
+
+
 @pytest.fixture
 def noop_routine():
     """An mroutine that immediately returns."""

@@ -339,3 +339,186 @@ def test_snapshot_restore_flushes():
     restore_snapshot(machine, snap)
     machine.run(max_instructions=10_000)
     assert machine.reg("a0") == 101
+
+
+# ---------------------------------------------------------------------------
+# superblock chaining
+# ---------------------------------------------------------------------------
+
+def test_next_pc_hint_matches_decoded_target():
+    """The per-entry next_pc_hint must be computed from the decoded
+    instruction, not assumed sequential: a stale hint would chain a block
+    to its fall-through even when the terminator always jumps backward.
+
+    Regression test for the hint bug fixed alongside chaining: probe the
+    cache directly and compare each terminator's hint with the decoded
+    jal/branch target.
+    """
+    from repro.cpu.stats import TcacheStats
+    from repro.cpu.tcache import TranslationCache
+
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], with_caches=False)
+    program = machine.assemble("""
+_start:
+    addi a0, a0, 1
+loop:
+    addi a1, a1, 1
+    bnez a1, loop
+after:
+    j    _start
+""", base=0x1000)
+    machine.load(program)
+
+    cache = TranslationCache(TcacheStats())
+    loop = program.symbols["loop"]
+    start = program.symbols["_start"]
+    after = program.symbols["after"]
+
+    block = cache.mem_block(start, machine.bus)
+    # Terminator is `bnez a1, loop`: hint must be the branch target.
+    instr, _fn, pc, _flags, hint = block.entries[-1]
+    assert pc == loop + 4
+    assert hint == loop, f"branch hint {hint:#x} != decoded target {loop:#x}"
+
+    block = cache.mem_block(after, machine.bus)
+    instr, _fn, pc, _flags, hint = block.entries[-1]
+    assert pc == after
+    assert hint == start, f"jal hint {hint:#x} != decoded target {start:#x}"
+
+
+def _hop_program(machine, new_word):
+    """A loop at 0x1000 chained through a one-instruction stub on a
+    *different* page at 0x2000; the guest patches the stub mid-run while
+    the predecessor's chain link is warm.
+
+    Iterations 1..97 add 1, iterations 98..100 add 100: a0 ends at 397.
+    """
+    main = machine.assemble(f"""
+_start:
+    li   s1, hop
+    li   s2, {new_word:#x}
+    li   s0, 100
+loop:
+    j    hop
+back:
+    addi s0, s0, -1
+    li   t1, 3
+    bne  s0, t1, cont
+    sw   s2, 0(s1)           # evict hop's block while loop chains to it
+cont:
+    bnez s0, loop
+    halt
+""", base=0x1000, extra_symbols={"hop": 0x2000})
+    stub = machine.assemble("""
+hop:
+    addi a0, a0, 1           # becomes "addi a0, a0, 100" when s0 == 3
+    j    back
+""", base=0x2000, extra_symbols={"back": main.symbols["back"]})
+    machine.load(main)
+    machine.load(stub)
+    machine.core.pc = 0x1000
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chained_successor_evicted_mid_run(engine):
+    """Evicting the *successor* of a chained pair mid-run must break the
+    link: the predecessor's next traversal has to re-dispatch and see the
+    patched code, with identical results to the tcache-off run."""
+    new_word = _word_of("addi a0, a0, 100")
+    outcomes = {}
+    for tcache in TCACHE:
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        machine = build_metal_machine([noop], engine=engine,
+                                      with_caches=False, tcache=tcache)
+        _hop_program(machine, new_word)
+        result = machine.run(max_instructions=10_000)
+        assert machine.reg("a0") == 397, (
+            f"tcache={tcache}: stale chained successor executed after "
+            f"cross-page SMC store"
+        )
+        outcomes[tcache] = (result.instructions, result.cycles,
+                            tuple(machine.core.regs))
+        if tcache and engine == "functional":
+            stats = machine.perf.tcache
+            assert stats.chain_hits > 0
+            assert stats.chain_breaks >= 1, (
+                "evicting a chained successor must sever the link"
+            )
+    assert outcomes[True] == outcomes[False]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("tcache", TCACHE)
+def test_intercept_edge_severs_warm_chain(engine, tcache):
+    """Installing the first intercept rule while a chained trampoline
+    loop is hot must flush the whole mem namespace — including blocks
+    only reachable through chain links."""
+    machine = build_metal_machine([SETUP, EMUL_PLUS], engine=engine,
+                                  with_caches=False, tcache=tcache)
+    machine.load_and_run("""
+_start:
+    li   s2, 0x3000
+    li   t2, 7
+    sw   t2, 0(s2)
+    li   s0, 60
+warm:
+    lw   a0, 0(s2)
+    j    mid                 # unconditional hop: warms a chain link
+mid:
+    addi s0, s0, -1
+    bnez s0, warm
+    li   a0, 0x503           # opcode LOAD, funct3 2: lw only
+    li   a1, MR_EMUL
+    menter MR_SETUP
+    lw   a2, 0(s2)           # must be intercepted, not run from a chain
+    halt
+""", max_instructions=10_000)
+    assert machine.core.metal.intercept.hits == 1
+    assert machine.reg("a2") == 1007, (
+        "load after micept escaped interception through a warm chain"
+    )
+    if tcache and engine == "functional":
+        assert machine.perf.tcache.chain_hits > 0, (
+            "trampoline loop should have followed chain links"
+        )
+
+
+def test_snapshot_restore_severs_chains():
+    """flush_all on snapshot restore must also kill chained successors:
+    a link into a dropped block may never execute stale code."""
+    from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+    noop = MRoutine(name="noop", entry=0, source="mexit\n")
+    machine = build_metal_machine([noop], with_caches=False)
+    new_word = _word_of("addi a0, a0, 100")
+    _hop_program(machine, new_word)
+    snap = take_snapshot(machine)
+    machine.run(max_instructions=10_000)
+    assert machine.reg("a0") == 397
+    restore_snapshot(machine, snap)
+    machine.run(max_instructions=10_000)
+    assert machine.reg("a0") == 397, (
+        "chain link survived snapshot restore and replayed patched code"
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chaining_toggle(engine):
+    """set_tcache_chaining(False) reverts to per-block dispatch (the
+    PR-1 behaviour): no chain counters move, guest results unchanged."""
+    outcomes = {}
+    for chain in (True, False):
+        noop = MRoutine(name="noop", entry=0, source="mexit\n")
+        machine = build_metal_machine([noop], engine=engine,
+                                      with_caches=False)
+        machine.set_tcache_chaining(chain)
+        result = machine.load_and_run(FIB_WORKLOAD, max_instructions=10_000)
+        outcomes[chain] = (result.instructions, result.cycles,
+                           tuple(machine.core.regs))
+        stats = machine.perf.tcache
+        if not chain:
+            assert stats.chain_links == 0
+            assert stats.chain_hits == 0
+            assert stats.chain_breaks == 0
+    assert outcomes[True] == outcomes[False]
