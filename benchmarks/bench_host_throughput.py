@@ -14,18 +14,25 @@ per host second (host MIPS) with the predecoded translation cache
   disables normal-mode blocks entirely);
 * **chain_trampoline** — straight-line work split across blocks glued by
   unconditional jumps: the superblock chainer's best case (one chained
-  trace per iteration instead of three dispatches).
+  trace per iteration instead of three dispatches);
+* **mcode_heavy** — every iteration ``menter``s a pure mroutine that
+  spins in MRAM: the best case for the MAS-driven unguarded pure loop
+  (PR 3), which skips the per-store eviction guards inside routines the
+  analyzer proved free of RAM writes.
 
-Since PR 2 every tcache-on configuration is measured twice — with
-superblock chaining disabled (``tcache_nochain``, the PR-1 behaviour)
-and enabled (``tcache_on``) — so the JSON records both the cache win
-over the interpreter (``speedup``) and the chaining win over the plain
-cache (``chain_speedup``).  A ``trajectory`` list in the JSON keeps the
+Since PR 2 every tcache-on configuration is measured with superblock
+chaining disabled (``tcache_nochain``, the PR-1 behaviour) and enabled;
+since PR 3 the chained configuration is additionally measured with the
+analysis-driven pure mram loop off (``tcache_nopure``) and on
+(``tcache_on``).  The JSON records the cache win over the interpreter
+(``speedup``), the chaining win over the plain cache
+(``chain_speedup``) and the purity win over the guarded chained cache
+(``pure_speedup``).  A ``trajectory`` list in the JSON keeps the
 tight-loop functional numbers of every PR for trend tracking.
 
 The tcache is architecture-invisible, so for every workload and engine
 the guest results (``RunResult.instructions`` / ``cycles``) must be
-bit-identical across all three modes — this file asserts that, plus the
+bit-identical across all four modes — this file asserts that, plus the
 headline wins for the functional engine on the tight loop: ≥2.6× over
 the interpreter and ≥1.3× over the unchained cache.  Results land in
 ``BENCH_host_throughput.json`` at the repo root.
@@ -57,7 +64,7 @@ JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 SMOKE_JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                                "BENCH_host_throughput_smoke.json")
 #: Label this PR's tight-loop numbers carry in the JSON trajectory.
-TRAJECTORY_LABEL = "pr2_superblock_chaining"
+TRAJECTORY_LABEL = "pr3_mas_purity"
 
 #: mroutine for the tight loop machine (never invoked; keeps the machine
 #: shape identical to the others).
@@ -97,6 +104,18 @@ EMUL = MRoutine(name="emul", entry=1, source="""
     rmr  t0, m13
     mexitm
 """, shared_mregs=(13, 14))
+
+#: Pure spin mroutine for the mcode_heavy workload: MAS proves it free
+#: of RAM access, so its blocks dispatch through the unguarded loop.
+SPIN = MRoutine(name="spin", entry=0, source="""
+    li   t0, 24
+spin_loop:
+    addi t1, t1, 3
+    xor  t2, t1, t0
+    addi t0, t0, -1
+    bnez t0, spin_loop
+    mexit
+""")
 
 
 def _tight_loop(iters: int) -> str:
@@ -157,6 +176,18 @@ hop2:
 """
 
 
+def _mcode_loop(iters: int) -> str:
+    return f"""
+_start:
+    li s0, {iters}
+loop:
+    menter MR_SPIN
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+"""
+
+
 def _intercept_loop(iters: int) -> str:
     return f"""
 _start:
@@ -186,6 +217,8 @@ def _build(workload: str, engine: str):
     if workload == "intercept_heavy":
         return build_metal_machine([SETUP, EMUL], engine=engine,
                                    with_caches=False)
+    if workload == "mcode_heavy":
+        return build_metal_machine([SPIN], engine=engine, with_caches=False)
     raise ValueError(workload)
 
 
@@ -194,13 +227,15 @@ _PROGRAMS = {
     "chain_trampoline": _chain_trampoline,
     "syscall_heavy": _syscall_loop,
     "intercept_heavy": _intercept_loop,
+    "mcode_heavy": _mcode_loop,
 }
 
-#: Measurement modes: (tcache, chaining).
+#: Measurement modes: (tcache, chaining, pure loop).
 _MODES = {
-    "tcache_off": (False, False),
-    "tcache_nochain": (True, False),
-    "tcache_on": (True, True),
+    "tcache_off": (False, False, False),
+    "tcache_nochain": (True, False, False),
+    "tcache_nopure": (True, True, False),
+    "tcache_on": (True, True, True),
 }
 
 
@@ -208,7 +243,7 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
              reps: int) -> dict:
     """Best-of-*reps* host MIPS for one configuration (fresh machine per
     rep; deterministic guest results are cross-checked across reps)."""
-    tcache, chain = _MODES[mode]
+    tcache, chain, pure = _MODES[mode]
     source = _PROGRAMS[workload](iters)
     best_mips = 0.0
     ref = None
@@ -218,6 +253,7 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
         machine = _build(workload, engine)
         machine.set_tcache(tcache)
         machine.set_tcache_chaining(chain)
+        machine.set_tcache_pure_loop(pure)
         host0 = perf_counter()
         result = machine.load_and_run(source, max_instructions=50_000_000)
         host = perf_counter() - host0
@@ -248,6 +284,11 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
             "breaks": best_stats.chain_breaks,
             "longest": best_stats.chain_longest,
         }
+    if pure:
+        row["pure"] = {
+            "blocks": best_stats.pure_blocks,
+            "instructions": best_stats.pure_fast_instructions,
+        }
     return row
 
 
@@ -259,16 +300,19 @@ def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
             row = {"iterations": n}
             for mode in _MODES:
                 row[mode] = _measure(workload, engine, mode, n, reps)
-            off, nochain, on = (row["tcache_off"], row["tcache_nochain"],
-                                row["tcache_on"])
+            off, nochain, nopure, on = (
+                row["tcache_off"], row["tcache_nochain"],
+                row["tcache_nopure"], row["tcache_on"])
             row["speedup"] = round(
                 on["mips"] / off["mips"] if off["mips"] else 0.0, 3)
             row["chain_speedup"] = round(
                 on["mips"] / nochain["mips"] if nochain["mips"] else 0.0, 3)
+            row["pure_speedup"] = round(
+                on["mips"] / nopure["mips"] if nopure["mips"] else 0.0, 3)
             results[workload][engine] = row
-            # The tcache (chained or not) is guest-invisible: identical
-            # results in all three modes.
-            for mode in ("tcache_nochain", "tcache_on"):
+            # The tcache (chained, pure or not) is guest-invisible:
+            # identical results in all four modes.
+            for mode in ("tcache_nochain", "tcache_nopure", "tcache_on"):
                 for key in ("instructions", "cycles"):
                     assert row[mode][key] == off[key], (
                         f"{workload}/{engine}/{mode}: tcache changed "
@@ -318,6 +362,13 @@ def _trajectory(results: dict, previous) -> list:
                 "chain_speedup": tight["chain_speedup"],
             },
         }
+        mcode = results.get("mcode_heavy", {}).get("functional")
+        if mcode:
+            entry["mcode_heavy_functional"] = {
+                "tcache_nopure_mips": mcode["tcache_nopure"]["mips"],
+                "tcache_on_mips": mcode["tcache_on"]["mips"],
+                "pure_speedup": mcode["pure_speedup"],
+            }
         trajectory = [e for e in trajectory
                       if e.get("label") != entry["label"]]
         trajectory.append(entry)
@@ -340,16 +391,18 @@ def _emit_json(results: dict, json_path: str = JSON_PATH) -> str:
 def _print_table(results: dict) -> None:
     print()
     print(f"{'workload':<18} {'engine':<11} {'off MIPS':>9} "
-          f"{'nochain':>9} {'on MIPS':>9} {'speedup':>8} {'chain':>7} "
-          f"{'hit rate':>9}")
+          f"{'nochain':>9} {'nopure':>9} {'on MIPS':>9} {'speedup':>8} "
+          f"{'chain':>7} {'pure':>7} {'hit rate':>9}")
     for workload, engines in results.items():
         for engine, row in engines.items():
             print(f"{workload:<18} {engine:<11} "
                   f"{row['tcache_off']['mips']:>9.3f} "
                   f"{row['tcache_nochain']['mips']:>9.3f} "
+                  f"{row['tcache_nopure']['mips']:>9.3f} "
                   f"{row['tcache_on']['mips']:>9.3f} "
                   f"{row['speedup']:>7.2f}x "
                   f"{row['chain_speedup']:>6.2f}x "
+                  f"{row['pure_speedup']:>6.2f}x "
                   f"{row['tcache_on']['hit_rate']:>8.1%}")
     print()
 
@@ -360,6 +413,7 @@ def run_full() -> dict:
         "chain_trampoline": 60_000,
         "syscall_heavy": 20_000,
         "intercept_heavy": 15_000,
+        "mcode_heavy": 15_000,
     }
     results = run_suite(iters, reps=3)
     _print_table(results)
@@ -383,6 +437,14 @@ def run_full() -> dict:
     assert tramp["tcache_on"]["chains"]["hits"] > 0, (
         "trampoline workload never followed a chain link"
     )
+    mcode = results["mcode_heavy"]["functional"]
+    assert mcode["tcache_on"]["pure"]["instructions"] > 0, (
+        "mcode_heavy workload never ran through the pure loop"
+    )
+    assert mcode["pure_speedup"] >= 1.05, (
+        f"mcode_heavy pure-loop speedup {mcode['pure_speedup']}x < 1.05x "
+        f"over the guarded chained cache"
+    )
     return results
 
 
@@ -399,6 +461,7 @@ def run_smoke() -> dict:
         "chain_trampoline": 10_000,
         "syscall_heavy": 2_000,
         "intercept_heavy": 1_500,
+        "mcode_heavy": 2_000,
     }
     results = run_suite(iters, reps=1, engines=("functional",))
     _print_table(results)
@@ -413,6 +476,10 @@ def run_smoke() -> dict:
         assert chains["hits"] > 0, (
             f"{workload}: chaining never engaged (links={chains['links']})"
         )
+    pure = results["mcode_heavy"]["functional"]["tcache_on"]["pure"]
+    assert pure["instructions"] > 0, (
+        f"mcode_heavy: the pure loop never engaged (blocks={pure['blocks']})"
+    )
     return results
 
 

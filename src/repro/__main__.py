@@ -5,6 +5,7 @@ Usage::
     python -m repro program.s                 # Metal machine, no mroutines
     python -m repro program.s --machine trap  # trap baseline
     python -m repro program.s --engine pipeline --trace --regs
+    python -m repro lint --apps               # MAS static analysis (mcode)
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -53,6 +54,11 @@ def dump_regs(machine) -> str:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.lint import lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

@@ -1,0 +1,261 @@
+"""Control-flow graphs over decoded mroutine words.
+
+The CFG is word-granular: node addresses are word indices into the
+routine's ``code_words`` (the Metal-mode PC divided by four, relative to
+the routine's code offset).  Undecodable words terminate their block —
+the structural pass reports them; the graph just refuses to flow through
+them.
+
+Edge policy (mirrors the execution model):
+
+* conditional branches get a *taken* and a *fall-through* edge;
+* ``jal`` gets its (static) target edge only — mcode has no call stack,
+  a ``jal`` that expects to be returned to must arrange that itself;
+* ``jalr`` is a dynamic jump: it gets no static successors and the block
+  is marked :attr:`BasicBlock.dynamic`.  Passes treat it per the
+  routine's ``allow_dynamic_jumps`` declaration;
+* ``mexit``/``mexitm``/``mraise`` end the routine (no successors);
+* an escaping branch/jump target produces no edge (the structural pass
+  rejects the word anyway);
+* a block whose straight-line flow runs past the last word is marked
+  ``falls_off`` — the exit pass turns that into a hard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError
+from repro.isa.decoder import decode
+from repro.isa.instruction import InstrClass
+
+#: Mnemonics that leave Metal mode (successor is outside the routine).
+EXIT_MNEMONICS = frozenset(("mexit", "mexitm", "mraise"))
+
+#: Terminator kinds.
+T_FALL = "fall"          #: straight-line flow into the next block
+T_BRANCH = "branch"      #: conditional branch (taken + fall-through)
+T_JUMP = "jump"          #: unconditional jal
+T_DYNAMIC = "dynamic"    #: jalr — statically unknown target
+T_EXIT = "exit"          #: mexit / mexitm
+T_RAISE = "raise"        #: mraise
+T_FALL_OFF = "fall_off"  #: flow runs past the last word of the routine
+T_BAD_WORD = "bad_word"  #: block ends at an undecodable word
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: words ``[start, end)`` of the routine."""
+
+    index: int
+    start: int                    # first word index
+    end: int                      # one past the last word index
+    instrs: list = field(default_factory=list)   # Instruction | None
+    succs: tuple = ()             # successor block indices
+    terminator: str = T_FALL
+    #: Word index of the block's terminating instruction.
+    term_word: int = 0
+    #: True when the block ends in a ``jalr`` (statically unknown target).
+    dynamic: bool = False
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BB{self.index} words [{self.start},{self.end}) "
+                f"{self.terminator} -> {list(self.succs)}>")
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one mroutine."""
+
+    blocks: list = field(default_factory=list)
+    #: word index -> block index (for every word covered by a block).
+    block_of_word: dict = field(default_factory=dict)
+    #: Decoded instructions, index-aligned with ``code_words``
+    #: (``None`` for undecodable words).
+    instrs: list = field(default_factory=list)
+    #: word index -> DecodeError for undecodable words.
+    decode_errors: dict = field(default_factory=dict)
+    #: Block indices reachable from the entry block.
+    reachable: set = field(default_factory=set)
+    #: Back edges (src block index, dst block index) found by DFS.
+    back_edges: set = field(default_factory=set)
+    #: pred block indices per block.
+    preds: dict = field(default_factory=dict)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_at(self, word: int) -> BasicBlock:
+        """The block containing word index *word*."""
+        return self.blocks[self.block_of_word[word]]
+
+    def path_to(self, block_index: int):
+        """A shortest entry-to-*block_index* path (list of block indices),
+        or ``None`` if the block is unreachable.  Used for diagnostics'
+        path witnesses."""
+        if block_index not in self.reachable:
+            return None
+        parent = {0: None}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for b in frontier:
+                if b == block_index:
+                    path = []
+                    while b is not None:
+                        path.append(b)
+                        b = parent[b]
+                    return list(reversed(path))
+                for s in self.blocks[b].succs:
+                    if s not in parent:
+                        parent[s] = b
+                        nxt.append(s)
+            frontier = nxt
+        return None  # pragma: no cover - reachable implies a path
+
+    def witness(self, block_index: int):
+        """Path witness as word indices (block leaders), or ``None``."""
+        path = self.path_to(block_index)
+        if path is None:
+            return None
+        return tuple(self.blocks[b].start for b in path)
+
+
+def _branch_target(instr, word_index: int, n_words: int):
+    """Static target word index of a branch/jal, or ``None`` if the
+    target escapes the routine or is misaligned."""
+    target = 4 * word_index + instr.imm
+    if target % 4 or not 0 <= target < 4 * n_words:
+        return None
+    return target // 4
+
+
+def build_cfg(words) -> CFG:
+    """Build the CFG of *words* (a sequence of raw 32-bit words)."""
+    cfg = CFG()
+    n = len(words)
+    instrs = []
+    for i, word in enumerate(words):
+        try:
+            instrs.append(decode(word))
+        except DecodeError as exc:
+            instrs.append(None)
+            cfg.decode_errors[i] = exc
+    cfg.instrs = instrs
+    if not n:
+        return cfg
+
+    # -- leaders -----------------------------------------------------------
+    leaders = {0}
+    for i, instr in enumerate(instrs):
+        if instr is None:
+            if i + 1 < n:
+                leaders.add(i + 1)
+            continue
+        cls = instr.cls
+        m = instr.mnemonic
+        if cls is InstrClass.BRANCH or m == "jal":
+            target = _branch_target(instr, i, n)
+            if target is not None:
+                leaders.add(target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif cls is InstrClass.JALR or m in EXIT_MNEMONICS:
+            if i + 1 < n:
+                leaders.add(i + 1)
+
+    # -- blocks ------------------------------------------------------------
+    ordered = sorted(leaders)
+    bounds = ordered + [n]
+    start_to_index = {start: idx for idx, start in enumerate(ordered)}
+    for idx, start in enumerate(ordered):
+        end = bounds[idx + 1]
+        block = BasicBlock(index=idx, start=start, end=end,
+                           instrs=instrs[start:end])
+        cfg.blocks.append(block)
+        for w in range(start, end):
+            cfg.block_of_word[w] = idx
+
+    # -- edges -------------------------------------------------------------
+    for block in cfg.blocks:
+        last = block.end - 1
+        instr = instrs[last]
+        block.term_word = last
+        if instr is None:
+            block.terminator = T_BAD_WORD
+            block.succs = ()
+            continue
+        cls = instr.cls
+        m = instr.mnemonic
+        if m in EXIT_MNEMONICS:
+            block.terminator = T_RAISE if m == "mraise" else T_EXIT
+            block.succs = ()
+        elif cls is InstrClass.BRANCH:
+            # A branch keeps its taken edge even when the fall-through
+            # would run past the end — the fall-off itself is the error.
+            succs = []
+            target = _branch_target(instr, last, n)
+            if target is not None:
+                succs.append(start_to_index[target])
+            if last + 1 < n:
+                succs.append(start_to_index[last + 1])
+                block.terminator = T_BRANCH
+            else:
+                block.terminator = T_FALL_OFF
+            block.succs = tuple(succs)
+        elif m == "jal":
+            target = _branch_target(instr, last, n)
+            block.terminator = T_JUMP
+            block.succs = (start_to_index[target],) if target is not None else ()
+        elif cls is InstrClass.JALR:
+            block.terminator = T_DYNAMIC
+            block.dynamic = True
+            block.succs = ()
+        else:
+            # Straight-line flow into the next block.
+            if last + 1 < n:
+                block.terminator = T_FALL
+                block.succs = (start_to_index[last + 1],)
+            else:
+                block.terminator = T_FALL_OFF
+                block.succs = ()
+
+    # -- reachability, preds, back edges -----------------------------------
+    preds = {b.index: set() for b in cfg.blocks}
+    reachable = set()
+    stack = [0]
+    while stack:
+        b = stack.pop()
+        if b in reachable:
+            continue
+        reachable.add(b)
+        for s in cfg.blocks[b].succs:
+            preds[s].add(b)
+            stack.append(s)
+    cfg.reachable = reachable
+    cfg.preds = preds
+
+    # Iterative DFS with colouring for back edges.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {b.index: WHITE for b in cfg.blocks}
+    stack = [(0, iter(cfg.blocks[0].succs))]
+    colour[0] = GREY
+    while stack:
+        b, it = stack[-1]
+        advanced = False
+        for s in it:
+            if colour[s] == GREY:
+                cfg.back_edges.add((b, s))
+            elif colour[s] == WHITE:
+                colour[s] = GREY
+                stack.append((s, iter(cfg.blocks[s].succs)))
+                advanced = True
+                break
+        if not advanced:
+            colour[b] = BLACK
+            stack.pop()
+    return cfg

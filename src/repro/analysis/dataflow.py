@@ -1,0 +1,75 @@
+"""Worklist dataflow solver over a :class:`~repro.analysis.cfg.CFG`.
+
+The framework is deliberately tiny: a forward solver parameterised by the
+lattice operations it needs.  Passes supply
+
+* an initial state for the entry block,
+* ``transfer(block, state) -> state`` — the per-block transfer function
+  (it must not mutate its input),
+* ``join(a, b) -> state`` — least upper bound of two states,
+* ``eq(a, b) -> bool`` — fixpoint test,
+* optionally ``widen(old, new, visits) -> state`` — applied at the
+  targets of back edges to guarantee termination on infinite-height
+  domains (the interval domain widens to TOP after a few visits),
+* optionally ``edge_transfer(block, succ, state) -> state | None`` —
+  refines the state flowing along one specific edge (branch condition
+  refinement).  Returning ``None`` marks the edge infeasible and stops
+  propagation along it.
+
+States are opaque to the solver.  Unreachable blocks never receive a
+state (their entry in the result dict is absent).
+"""
+
+from __future__ import annotations
+
+
+def solve_forward(cfg, entry_state, transfer, join, eq, widen=None,
+                  edge_transfer=None, max_visits=64):
+    """Run a forward dataflow analysis to fixpoint.
+
+    Returns ``(in_states, out_states)`` — dicts mapping block index to
+    the state at block entry / exit.  *max_visits* is a hard safety cap
+    per block; with a sensible ``widen`` it is never hit.
+    """
+    if not cfg.blocks:
+        return {}, {}
+
+    loop_heads = {dst for (_src, dst) in cfg.back_edges}
+    in_states = {0: entry_state}
+    out_states = {}
+    visits = {}
+    worklist = [0]
+    in_worklist = {0}
+    while worklist:
+        b = worklist.pop(0)
+        in_worklist.discard(b)
+        count = visits.get(b, 0) + 1
+        visits[b] = count
+        if count > max_visits:
+            continue
+        state_in = in_states[b]
+        state_out = transfer(cfg.blocks[b], state_in)
+        prev_out = out_states.get(b)
+        if prev_out is not None and eq(prev_out, state_out):
+            continue
+        out_states[b] = state_out
+        for s in cfg.blocks[b].succs:
+            flowed = state_out
+            if edge_transfer is not None:
+                flowed = edge_transfer(cfg.blocks[b], s, state_out)
+                if flowed is None:
+                    continue  # infeasible edge
+            existing = in_states.get(s)
+            if existing is None:
+                merged = flowed
+            else:
+                merged = join(existing, flowed)
+                if widen is not None and s in loop_heads:
+                    merged = widen(existing, merged, visits.get(s, 0))
+                if eq(existing, merged):
+                    continue
+            in_states[s] = merged
+            if s not in in_worklist:
+                worklist.append(s)
+                in_worklist.add(s)
+    return in_states, out_states

@@ -1,0 +1,284 @@
+"""Interval abstract domain over unsigned 32-bit values.
+
+An abstract value is either an :class:`Interval` ``[lo, hi]`` with
+``0 <= lo <= hi <= 2**32 - 1`` or ``None`` (TOP: any u32).  There is no
+explicit bottom — the dataflow solver simply never propagates a state
+into an unreachable block.
+
+The transfer functions are sound but deliberately coarse: anything that
+could wrap around 2**32, or whose precise bound is not worth the code
+(division, remainder, xor), goes to a conservative interval or TOP.
+This is plenty to bound the common mcode addressing idiom — a base
+constant from ``lui``/``la`` plus a shifted, masked index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+U32_MAX = 0xFFFFFFFF
+#: TOP — any u32 value.  Kept as ``None`` so "unknown" tests are cheap.
+TOP = None
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed unsigned interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        value &= U32_MAX
+        return Interval(value, value)
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        if self.is_const:
+            return f"{{{self.lo:#x}}}"
+        return f"[{self.lo:#x}, {self.hi:#x}]"
+
+
+FULL = Interval(0, U32_MAX)
+#: Values representable as non-negative in signed 32-bit terms; signed
+#: comparisons are only refined when both operands fit in here.
+NON_NEG = Interval(0, 0x7FFFFFFF)
+
+
+def _mk(lo: int, hi: int):
+    """Interval from raw bounds, TOP if they escape u32."""
+    if lo < 0 or hi > U32_MAX or lo > hi:
+        return TOP
+    return Interval(lo, hi)
+
+
+def join(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def meet(a, b):
+    """Greatest lower bound; ``None`` here means *empty* (contradiction),
+    so callers must only use meet for refinement where they handle it."""
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+    if lo > hi:
+        return None  # empty: the refined edge is infeasible
+    return Interval(lo, hi)
+
+
+def widen(old, new):
+    """Classic interval widening: any bound that moved jumps to the
+    extreme.  Applied at loop heads after a few precise iterations."""
+    if old is TOP or new is TOP:
+        return TOP
+    lo = new.lo if new.lo >= old.lo else 0
+    hi = new.hi if new.hi <= old.hi else U32_MAX
+    return Interval(lo, hi)
+
+
+# -- arithmetic --------------------------------------------------------------
+
+def add(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return _mk(a.lo + b.lo, a.hi + b.hi)
+
+
+def add_imm(a, imm: int):
+    """``a + imm`` with *imm* a sign-extended immediate (may be negative)."""
+    if a is TOP:
+        return TOP
+    return _mk(a.lo + imm, a.hi + imm)
+
+
+def sub(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return _mk(a.lo - b.hi, a.hi - b.lo)
+
+
+def mul(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return _mk(a.lo * b.lo, a.hi * b.hi)
+
+
+def shl(a, b):
+    if a is TOP or b is TOP or not b.is_const:
+        return TOP
+    sh = b.lo & 31
+    return _mk(a.lo << sh, a.hi << sh)
+
+
+def shr(a, b):
+    if b is TOP or not b.is_const:
+        return TOP
+    sh = b.lo & 31
+    if a is TOP:
+        return Interval(0, U32_MAX >> sh)
+    return Interval(a.lo >> sh, a.hi >> sh)
+
+
+def sra(a, b):
+    if a is TOP or b is TOP or not b.is_const:
+        return TOP
+    sh = b.lo & 31
+    if a.hi <= 0x7FFFFFFF:  # non-negative: arithmetic == logical
+        return Interval(a.lo >> sh, a.hi >> sh)
+    return TOP
+
+
+def and_(a, b):
+    """Bitwise AND.  A non-negative constant mask bounds the result."""
+    if a is not TOP and b is not TOP and a.is_const and b.is_const:
+        return Interval.const(a.lo & b.lo)
+    bound = U32_MAX
+    if b is not TOP:
+        bound = min(bound, b.hi)
+    if a is not TOP:
+        bound = min(bound, a.hi)
+    return Interval(0, bound)
+
+
+def or_(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    if a.is_const and b.is_const:
+        return Interval.const(a.lo | b.lo)
+    # x | y < 2 * max(x, y) rounded up to a power of two; keep it simple:
+    hi = a.hi | b.hi
+    bit = 1
+    while bit <= hi:
+        bit <<= 1
+    return Interval(min(a.lo, b.lo), min(bit - 1, U32_MAX))
+
+
+def xor(a, b):
+    if a is not TOP and b is not TOP and a.is_const and b.is_const:
+        return Interval.const(a.lo ^ b.lo)
+    return or_(a, b) if a is not TOP and b is not TOP else TOP
+
+
+def div(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    if b.is_const and b.lo == 0:
+        return Interval.const(U32_MAX)  # RISC-V divu by zero
+    lo_div = max(b.lo, 1)
+    return Interval(a.lo // b.hi if b.hi else 0, a.hi // lo_div)
+
+
+def rem(a, b):
+    if b is TOP:
+        return a  # remu result never exceeds the dividend
+    if b.hi == 0:
+        return a  # remu by zero yields the dividend
+    if a is TOP:
+        return Interval(0, b.hi - 1 if b.lo > 0 else U32_MAX)
+    return Interval(0, min(a.hi, b.hi - 1) if b.lo > 0 else a.hi)
+
+
+def bool_interval():
+    return Interval(0, 1)
+
+
+# -- comparisons (for branch refinement) -------------------------------------
+
+def refine_eq(a, b):
+    """Refine (a, b) under ``a == b``; returns (a', b') or ``None`` if
+    the edge is infeasible."""
+    m = meet(a if a is not TOP else FULL, b if b is not TOP else FULL)
+    if m is None:
+        return None
+    return m, m
+
+
+def refine_ltu(a, b):
+    """Refine (a, b) under unsigned ``a < b``."""
+    av = a if a is not TOP else FULL
+    bv = b if b is not TOP else FULL
+    if bv.hi == 0:
+        return None  # nothing is < 0 unsigned
+    new_a = meet(av, Interval(0, bv.hi - 1))
+    new_b = meet(bv, Interval(min(av.lo + 1, U32_MAX), U32_MAX))
+    if new_a is None or new_b is None:
+        return None
+    return new_a, new_b
+
+
+def refine_geu(a, b):
+    """Refine (a, b) under unsigned ``a >= b``."""
+    av = a if a is not TOP else FULL
+    bv = b if b is not TOP else FULL
+    new_a = meet(av, Interval(bv.lo, U32_MAX))
+    new_b = meet(bv, Interval(0, av.hi))
+    if new_a is None or new_b is None:
+        return None
+    return new_a, new_b
+
+
+# -- environments ------------------------------------------------------------
+
+class IntervalEnv:
+    """Abstract machine state: one interval per GPR and per MReg.
+
+    ``x0`` is pinned to the constant 0.  Equality, join and widening are
+    pointwise; instances are treated as immutable by the solver (transfer
+    functions copy before writing).
+    """
+
+    __slots__ = ("regs", "mregs")
+
+    N_REGS = 32
+    N_MREGS = 32
+
+    def __init__(self, regs=None, mregs=None):
+        self.regs = list(regs) if regs is not None else [TOP] * self.N_REGS
+        self.mregs = list(mregs) if mregs is not None else [TOP] * self.N_MREGS
+        self.regs[0] = Interval(0, 0)
+
+    def copy(self) -> "IntervalEnv":
+        return IntervalEnv(self.regs, self.mregs)
+
+    def get(self, reg: int):
+        return self.regs[reg]
+
+    def set(self, reg: int, value) -> None:
+        if reg:
+            self.regs[reg] = value
+
+    def __eq__(self, other):
+        return (isinstance(other, IntervalEnv)
+                and self.regs == other.regs and self.mregs == other.mregs)
+
+    def __hash__(self):  # pragma: no cover - envs are not dict keys
+        return id(self)
+
+    def join(self, other: "IntervalEnv") -> "IntervalEnv":
+        return IntervalEnv(
+            [join(a, b) for a, b in zip(self.regs, other.regs)],
+            [join(a, b) for a, b in zip(self.mregs, other.mregs)],
+        )
+
+    def widen(self, new: "IntervalEnv") -> "IntervalEnv":
+        return IntervalEnv(
+            [widen(a, b) for a, b in zip(self.regs, new.regs)],
+            [widen(a, b) for a, b in zip(self.mregs, new.mregs)],
+        )
+
+    @staticmethod
+    def entry() -> "IntervalEnv":
+        """State at mroutine entry: nothing is known except x0."""
+        return IntervalEnv()

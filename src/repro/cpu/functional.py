@@ -164,6 +164,15 @@ class FunctionalSimulator:
             watch = getattr(metal.intercept, "watch_transitions", None)
             if watch is not None:
                 watch(tcache.on_intercept_transition)
+            # Analysis facts for the pure mram loop.  Read through
+            # ``metal.image`` at call time so reload_mroutines (which
+            # replaces the image object) is picked up along with the
+            # code-version bump that re-invokes the provider.
+            def nonstore_ranges(metal=metal):
+                image = getattr(metal, "image", None)
+                getter = getattr(image, "nonstore_code_ranges", None)
+                return getter() if getter is not None else ()
+            tcache.set_mram_facts(nonstore_ranges)
         self._hooks_installed = True
 
     # ------------------------------------------------------------------
@@ -599,6 +608,93 @@ class FunctionalSimulator:
         f_sync, f_csr, f_term = F_SYNC, F_CSR, F_TERM
         retired = 0
         chained = 0
+
+        if (block.pure and trace is None and budget >= len(block.entries)
+                and type(timer) is SimpleTimer):
+            # Unguarded loop for blocks of analysis-proven non-store
+            # mroutines (MAS facts, see docs/ANALYSIS.md): every entry is
+            # flag-free or the F_TERM terminator, so there are no RAM-write
+            # eviction guards, no device syncs and no CSR latches to test
+            # per entry.  Plain ALU runs execute as pre-bound micro-ops;
+            # MULDIV and rmr/wmr/mld/mst entries keep full execute()
+            # dispatch with the SimpleTimer cost formula inlined (it must
+            # stay in lockstep with :meth:`SimpleTimer.note`).  The loop
+            # chains only into other pure blocks so the invariants hold
+            # along the whole superblock.
+            timing = timer.timing
+            base_cost = mram_latency if mram_latency > 1 else 1
+            instret0 = core.instret
+            cyc = 0
+            while True:
+                next_pc = block.end
+                for seg in block.ops:
+                    if not seg[0]:  # OP_RUN: flag-free micro-op run
+                        _kind, uops, count, run_end = seg
+                        regs = core.regs
+                        for uop in uops:
+                            uop(regs)
+                        retired += count
+                        cyc += count * base_cost
+                        next_pc = run_end
+                        continue
+                    _kind, instr, pc, _flags = seg
+                    try:
+                        step = execute(core, instr, pc,
+                                       fetch_latency=mram_latency)
+                    except TrapException as trap:
+                        timer.cycles += cyc
+                        core.instret = instret0 + retired
+                        stats.fast_instructions += retired
+                        stats.pure_fast_instructions += retired
+                        self._dispatch_trap(trap, pc)  # double fault
+                        sync()
+                        return
+                    retired += 1
+                    cost = base_cost
+                    ml = step.mem_latency
+                    if ml > 1:
+                        cost += ml - 1
+                    if step.cls is _MULDIV:
+                        cost += (
+                            timing.div_extra
+                            if step.mnemonic.startswith(("div", "rem"))
+                            else timing.mul_extra
+                        )
+                    control = step.control
+                    if control is not None:
+                        if control == "branch":
+                            cost += timing.branch_taken_penalty
+                        elif control == "jal":
+                            cost += timing.jump_penalty
+                        elif control == "jalr":
+                            cost += timing.branch_taken_penalty
+                        elif control == "mret":
+                            cost += timing.mret_penalty
+                        elif control == "menter":
+                            cost += timing.menter_cost
+                        elif control == "mexit":
+                            cost += timing.mexit_cost
+                        elif control == "mraise":
+                            cost += timing.jump_penalty
+                    cyc += cost
+                    next_pc = step.next_pc
+                core.pc = next_pc
+                if not chain or not block.chainable:
+                    break
+                nxt = tcache.chain_next_mram(block, next_pc, mram)
+                if (nxt is None or not nxt.pure
+                        or budget - retired < len(nxt.entries)):
+                    break
+                chained += 1
+                if chained > stats.chain_longest:
+                    stats.chain_longest = chained
+                block = nxt
+            core.instret = instret0 + retired
+            timer.cycles += cyc
+            stats.fast_instructions += retired
+            stats.pure_fast_instructions += retired
+            sync()
+            return
         while True:
             aborted = False
             for instr, op_fn, pc, flags, _hint in block.entries:

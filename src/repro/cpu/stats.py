@@ -40,6 +40,11 @@ class TcacheStats:
     chain_breaks: int = 0
     #: Longest run of chained block transitions inside one dispatch.
     chain_longest: int = 0
+    #: MRAM blocks compiled inside an analysis-proven non-store routine
+    #: (dispatchable through the unguarded pure loop).
+    pure_blocks: int = 0
+    #: Guest instructions retired through the pure mram fast loop.
+    pure_fast_instructions: int = 0
 
     @property
     def dispatches(self) -> int:
@@ -64,6 +69,8 @@ class TcacheStats:
         self.chain_hits = 0
         self.chain_breaks = 0
         self.chain_longest = 0
+        self.pure_blocks = 0
+        self.pure_fast_instructions = 0
 
 
 @dataclass
@@ -108,6 +115,8 @@ class PerfCounters:
             f"tcache chains      : {tc.chain_links} links, "
             f"{tc.chain_hits} followed, {tc.chain_breaks} broken "
             f"(longest {tc.chain_longest})",
+            f"tcache pure mram   : {tc.pure_blocks} blocks, "
+            f"{tc.pure_fast_instructions} instrs via the unguarded loop",
             f"fast-path instrs   : {tc.fast_instructions} "
             f"({self.slow_instructions} slow)",
         ])

@@ -116,7 +116,7 @@ class Block:
     """One predecoded basic block (plus its superblock chain link)."""
 
     __slots__ = ("start", "end", "entries", "ops", "valid",
-                 "chainable", "link", "link_pc")
+                 "chainable", "link", "link_pc", "pure")
 
     def __init__(self, start: int, end: int, entries,
                  chainable: bool = False, link_pc: int = None):
@@ -125,6 +125,11 @@ class Block:
         self.entries = entries    # list of (instr, op_fn, pc, flags, hint)
         self.ops = _build_ops(entries, end)
         self.valid = True
+        #: True for mram blocks inside an analysis-proven non-store
+        #: routine (see :meth:`TranslationCache.set_mram_facts`): every
+        #: entry is flag-free (or the F_TERM terminator), so the engine
+        #: may dispatch the block through its unguarded pure loop.
+        self.pure = False
         #: Whether the block's exit is eligible for chaining (branch/jal/
         #: jalr terminator, or the fall-through of a length-limited block).
         self.chainable = chainable
@@ -267,6 +272,20 @@ def _build_ops(entries, end: int):
     return ops
 
 
+def _entries_pure(entries) -> bool:
+    """True when every entry is flag-free except an F_TERM terminator.
+
+    Belt and braces under the analysis facts: a block inside a proven
+    non-store routine can only contain such entries, but the flags are
+    what the unguarded loop actually relies on, so they are what is
+    checked.
+    """
+    for _instr, _op_fn, _pc, flags, _hint in entries:
+        if flags not in (0, F_TERM):
+            return False
+    return True
+
+
 def _chain_shape(entries, end: int, terminated: bool):
     """``(chainable, link_pc seed)`` for a freshly compiled block."""
     if not terminated:
@@ -293,10 +312,19 @@ class TranslationCache:
         #: it off the engines bounce back to the dispatch loop after every
         #: block, i.e. the PR-1 per-block behaviour.
         self.chain = True
+        #: Purity-specialisation toggle (host-side, guest-invisible).
+        #: With it off, mram blocks are never marked pure even when the
+        #: analysis facts would allow it (measurement baseline).
+        self.pure_loop = True
         self._mem = {}          # start pc -> Block
         self._mem_pages = {}    # page number -> set of start pcs
         self._mram = {}         # start offset -> Block
         self._mram_version = None
+        #: Callable returning the current non-store code ranges of the
+        #: loaded Metal image (see MetalImage.nonstore_code_ranges), or
+        #: None when no analysis facts are available.
+        self._mram_facts = None
+        self._nonstore_ranges = ()
 
     # ------------------------------------------------------------------
     # dispatch (normal mode, main memory)
@@ -351,6 +379,18 @@ class TranslationCache:
     # ------------------------------------------------------------------
     # dispatch (Metal mode, MRAM)
     # ------------------------------------------------------------------
+    def set_mram_facts(self, provider) -> None:
+        """Install the analysis-facts *provider* for the mram namespace.
+
+        *provider* is a zero-argument callable returning the non-store
+        code ranges of the currently loaded image (byte ``(lo, hi)``
+        pairs, sorted); it is re-invoked whenever the MRAM code version
+        changes, so ``reload_mroutines`` naturally refreshes the facts
+        along with the blocks they describe.
+        """
+        self._mram_facts = provider
+        self._nonstore_ranges = tuple(provider()) if provider is not None else ()
+
     def mram_block(self, pc: int, mram):
         """Cached (or freshly compiled) MRAM block at offset *pc*, or None."""
         version = mram.code_version
@@ -365,6 +405,9 @@ class TranslationCache:
                 self.stats.invalidations += len(self._mram)
                 self._mram.clear()
             self._mram_version = version
+            # The new image has new routines — and new analysis facts.
+            if self._mram_facts is not None:
+                self._nonstore_ranges = tuple(self._mram_facts())
         block = self._mram.get(pc)
         if block is not None:
             self.stats.hits += 1
@@ -398,9 +441,21 @@ class TranslationCache:
             return None
         block = Block(pc, p, entries,
                       *_chain_shape(entries, p, terminated))
+        if self.pure_loop and self._in_nonstore_range(pc, p) \
+                and _entries_pure(entries):
+            block.pure = True
+            self.stats.pure_blocks += 1
         self._mram[pc] = block
         self.stats.blocks_compiled += 1
         return block
+
+    def _in_nonstore_range(self, lo: int, hi: int) -> bool:
+        """Whether code bytes ``[lo, hi)`` lie inside one routine that
+        the analysis proved free of guarded side effects."""
+        for rlo, rhi in self._nonstore_ranges:
+            if rlo <= lo and hi <= rhi:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # superblock chaining

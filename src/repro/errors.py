@@ -104,7 +104,21 @@ class MroutineLoadError(MetalError):
 
 
 class MroutineVerifyError(MroutineLoadError):
-    """Static verification failed (resource budget, illegal instruction)."""
+    """Static verification failed (resource budget, illegal instruction).
+
+    Carries the offending location when the verifier can name one:
+    ``routine`` (name), ``word_index``, ``word`` (raw 32-bit encoding)
+    and ``disasm`` (None when the word does not decode).
+    """
+
+    def __init__(self, message: str, routine: str = None,
+                 word_index: int = None, word: int = None,
+                 disasm: str = None):
+        self.routine = routine
+        self.word_index = word_index
+        self.word = word
+        self.disasm = disasm
+        super().__init__(message)
 
 
 class MetalModeError(MetalError):

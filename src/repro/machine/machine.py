@@ -132,6 +132,13 @@ class Machine:
         dispatch loop, the PR-1 behaviour)."""
         self.sim.tcache.chain = bool(enabled)
 
+    def set_tcache_pure_loop(self, enabled: bool) -> None:
+        """Toggle the analysis-driven unguarded mram loop
+        (guest-invisible).  Flushes compiled blocks so already-compiled
+        mram blocks pick up (or drop) their purity marking."""
+        self.sim.tcache.pure_loop = bool(enabled)
+        self.sim.tcache.flush_all()
+
     # -- mroutine (re)loading --------------------------------------------
     def reload_mroutines(self, routines) -> None:
         """Replace the loaded mroutine image in place (Metal machines).

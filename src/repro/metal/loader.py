@@ -41,6 +41,28 @@ class MetalImage:
     symbols: dict = field(default_factory=dict)       # shared symbol env
     code_used_bytes: int = 0
     data_used_bytes: int = 0
+    #: name -> AnalysisResult from load-time verification (empty when the
+    #: image was built with ``verify=False``).
+    analysis: dict = field(default_factory=dict, repr=False)
+
+    def nonstore_code_ranges(self):
+        """Code-segment byte ranges of routines MAS proved free of RAM
+        access and guarded side effects (``facts.pure_dispatch``).
+
+        The translation cache uses these to dispatch mram-namespace
+        blocks through its unguarded fast loop: nothing inside such a
+        range can invalidate a translation mid-run.
+        """
+        ranges = []
+        for name, result in self.analysis.items():
+            if not result.facts.pure_dispatch:
+                continue
+            routine = self.routines.get(name)
+            if routine is None or routine.code_words is None:
+                continue
+            ranges.append((routine.code_offset,
+                           routine.code_offset + 4 * len(routine.code_words)))
+        return sorted(ranges)
 
     def entry_offset(self, entry: int) -> int:
         """MRAM byte offset of mroutine *entry* (menter target)."""
@@ -126,6 +148,7 @@ def load_mroutines(routines, mram: Mram = None, extra_symbols: dict = None,
         by_name[routine.name] = routine
         by_entry[routine.entry] = routine
 
+    analysis = {}
     if verify:
         for routine in routines:
             ranges = [_data_range(routine)]
@@ -138,7 +161,10 @@ def load_mroutines(routines, mram: Mram = None, extra_symbols: dict = None,
                     )
                 ranges.append(_data_range(other))
             ranges = [r for r in ranges if r[0] < r[1]]
-            verify_or_raise(routine, allowed_data_ranges=ranges or [(0, 0)])
+            report = verify_or_raise(routine,
+                                     allowed_data_ranges=ranges or [(0, 0)])
+            analysis[routine.name] = report.result
+            routine.facts = report.facts
 
     # Commit: write code and initial data.
     for routine in routines:
@@ -157,6 +183,7 @@ def load_mroutines(routines, mram: Mram = None, extra_symbols: dict = None,
         symbols=symbols,
         code_used_bytes=code_ptr,
         data_used_bytes=data_ptr,
+        analysis=analysis,
     )
 
 

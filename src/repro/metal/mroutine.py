@@ -48,6 +48,9 @@ class MRoutine:
     code_offset: int = field(default=None, compare=False)
     code_words: list = field(default=None, compare=False, repr=False)
     data_offset: int = field(default=None, compare=False)
+    #: Analysis facts (repro.analysis.facts.RoutineFacts), attached by the
+    #: loader after verification.
+    facts: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if not 0 <= self.entry < MAX_MROUTINES:

@@ -1,120 +1,113 @@
-"""Static verification of mroutines.
+"""Static verification of mroutines — a façade over :mod:`repro.analysis`.
 
 Paper §2.1: "Static allocation and non-interruptibility improve
 performance, security and reliability by eliminating potential resource
-exhaustion and simplifying mroutine verification."  This module is that
-verifier: it runs at load time, before any mroutine becomes reachable via
-``menter``, and rejects routines that could break the Metal execution
-model.
+exhaustion and simplifying mroutine verification."  This module is the
+load-time entry point to that verifier: it runs before any mroutine
+becomes reachable via ``menter`` and rejects routines that could break
+the Metal execution model.
 
-Checks:
+The actual checking lives in the Mcode Analysis Suite
+(:func:`repro.analysis.analyze_routine`): a CFG + dataflow analyzer
+whose load-time configuration enforces
 
 1. every word decodes to a valid MRV32 instruction;
-2. no nested ``menter`` (base Metal is non-reentrant; the layered
-   dispatcher of :mod:`repro.metal.nested` composes routines in software);
-3. no baseline-machine instructions (``csrrw``.., ``mret``, ``wfi``,
-   ``ecall``, ``ebreak``, ``halt``) — those belong to the trap architecture
-   Metal replaces;
-4. direct branches and ``jal`` stay inside the routine's own code;
-5. ``jalr`` (a dynamic jump) only when the routine declares
-   ``allow_dynamic_jumps``;
-6. at least one exit (``mexit`` or ``mraise``) exists;
-7. ``mld``/``mst`` with a constant address (``rs1 == zero``) stay inside
-   the routine's declared data allocation.
+2. no nested ``menter``; no baseline-machine instructions (``csrrw``..,
+   ``mret``, ``wfi``, ``ecall``, ``ebreak``, ``halt``);
+3. direct branches and ``jal`` stay inside the routine's own code (and
+   land word-aligned); ``jalr`` only with ``allow_dynamic_jumps``;
+4. **every path** from entry reaches ``mexit``/``mexitm``/``mraise`` —
+   no falling off the end of the routine, no stuck infinite loops;
+5. ``mld``/``mst`` addresses — constant *or computed, via interval
+   abstract interpretation* — stay inside the routine's declared data
+   allocation.  Addresses the analyzer cannot bound are recorded as
+   warnings (the runtime bounds check still applies), not load failures.
+
+``python -m repro lint`` runs the same passes in a stricter
+configuration (MReg ownership, dead code, cycle budgets); see
+``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import DecodeError, MroutineVerifyError
-from repro.isa.decoder import decode
-from repro.isa.instruction import InstrClass
-
-#: Instructions from the trap-architecture baseline, illegal in mcode.
-_FORBIDDEN = {
-    "csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci",
-    "mret", "wfi", "ecall", "ebreak", "halt",
-}
+from repro.analysis.passes import LOAD_CONFIG, analyze_routine
+from repro.errors import MroutineVerifyError
 
 
 @dataclass
 class VerifyReport:
-    """Outcome of verifying one mroutine."""
+    """Outcome of verifying one mroutine.
+
+    ``problems`` keeps the historical ``[word i] message`` string form;
+    ``diagnostics``/``warnings``/``facts`` expose the underlying MAS
+    result for callers that want structure.
+    """
 
     name: str
     problems: list = field(default_factory=list)
     instruction_count: int = 0
+    #: Non-fatal findings (e.g. unprovable computed-address accesses).
+    warnings: list = field(default_factory=list)
+    #: The full AnalysisResult (None only for hand-built reports).
+    result: object = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
         return not self.problems
 
+    @property
+    def facts(self):
+        """Side-effect / purity facts, or None for hand-built reports."""
+        return self.result.facts if self.result is not None else None
+
+    @property
+    def diagnostics(self):
+        return self.result.diagnostics if self.result is not None else []
+
     def fail(self, index: int, message: str) -> None:
         self.problems.append(f"[word {index}] {message}")
 
 
-def verify_mroutine(routine, allowed_data_ranges=None) -> VerifyReport:
+def verify_mroutine(routine, allowed_data_ranges=None,
+                    config=LOAD_CONFIG) -> VerifyReport:
     """Verify *routine* (an :class:`~repro.metal.mroutine.MRoutine` with
     ``code_words`` populated).  Returns a :class:`VerifyReport`; callers
     that want exceptions use :func:`verify_or_raise`.
 
     *allowed_data_ranges* is a list of ``(lo, hi)`` byte ranges of the MRAM
-    data segment the routine may touch with constant addresses — its own
-    allocation plus any allocations explicitly shared with it (see
-    ``MRoutine.shared_data``).  ``None`` skips the data check (routine not
-    yet placed).
+    data segment the routine may touch — its own allocation plus any
+    allocations explicitly shared with it (see ``MRoutine.shared_data``).
+    ``None`` skips the data check (routine not yet placed).
     """
-    report = VerifyReport(name=routine.name)
-    words = routine.code_words or []
-    report.instruction_count = len(words)
-    if not words:
-        report.fail(0, "empty routine")
-        return report
-
-    code_len = 4 * len(words)
-    has_exit = False
-    for i, word in enumerate(words):
-        try:
-            instr = decode(word)
-        except DecodeError as exc:
-            report.fail(i, f"undecodable word {word:#010x} ({exc.reason})")
-            continue
-        m = instr.mnemonic
-        if m in _FORBIDDEN:
-            report.fail(i, f"{m} is illegal in mcode")
-        if m == "menter":
-            report.fail(i, "nested menter is not allowed in base Metal")
-        if m in ("mexit", "mexitm", "mraise"):
-            has_exit = True
-        if m == "jalr" and not routine.allow_dynamic_jumps:
-            report.fail(
-                i, "dynamic jump (jalr) requires allow_dynamic_jumps=True"
-            )
-        if instr.cls is InstrClass.BRANCH or m == "jal":
-            target = 4 * i + instr.imm
-            if not 0 <= target < code_len:
-                report.fail(
-                    i,
-                    f"{m} target {target:+#x} escapes the routine "
-                    f"(code is {code_len:#x} bytes)",
-                )
-        if m in ("mld", "mst") and instr.rs1 == 0 and allowed_data_ranges is not None:
-            if not any(lo <= instr.imm < hi for lo, hi in allowed_data_ranges):
-                report.fail(
-                    i,
-                    f"{m} constant offset {instr.imm:#x} outside the "
-                    f"routine's allowed data ranges {allowed_data_ranges}",
-                )
-    if not has_exit:
-        report.fail(len(words) - 1, "routine has no mexit/mraise")
+    result = analyze_routine(routine, allowed_data_ranges=allowed_data_ranges,
+                             config=config)
+    report = VerifyReport(
+        name=routine.name,
+        instruction_count=len(routine.code_words or []),
+        result=result,
+    )
+    for diag in result.diagnostics:
+        if diag.is_error:
+            report.problems.append(diag.legacy())
+        else:
+            report.warnings.append(diag.legacy())
     return report
 
 
-def verify_or_raise(routine, allowed_data_ranges=None) -> VerifyReport:
+def verify_or_raise(routine, allowed_data_ranges=None,
+                    config=LOAD_CONFIG) -> VerifyReport:
     """Like :func:`verify_mroutine` but raises on any problem."""
-    report = verify_mroutine(routine, allowed_data_ranges)
+    report = verify_mroutine(routine, allowed_data_ranges, config=config)
     if not report.ok:
         detail = "; ".join(report.problems)
-        raise MroutineVerifyError(f"{routine.name}: {detail}")
+        first = next((d for d in report.result.diagnostics if d.is_error), None)
+        raise MroutineVerifyError(
+            f"{routine.name}: {detail}",
+            routine=routine.name,
+            word_index=first.word_index if first else None,
+            word=first.raw if first else None,
+            disasm=first.disasm if first else None,
+        )
     return report

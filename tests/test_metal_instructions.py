@@ -121,14 +121,17 @@ _start:
 
     def test_mram_runtime_bounds_panic(self):
         # Dynamic out-of-bounds mld inside an mroutine is a double fault.
+        # The address arrives in a guest register so the static analyzer
+        # cannot bound it (a constant 0x10000 would be rejected at load).
         r = MRoutine(name="r", entry=0, source="""
-            li   t0, 0x10000
             mld  a0, 0(t0)
             mexit
         """)
         m = machine_with([r])
         with pytest.raises(GuestPanic):
-            m.load_and_run("_start:\n    menter MR_R\n    halt\n")
+            m.load_and_run(
+                "_start:\n    li t0, 0x10000\n    menter MR_R\n    halt\n"
+            )
 
 
 class TestArchFeatures:
