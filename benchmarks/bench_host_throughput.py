@@ -15,10 +15,17 @@ per host second (host MIPS) with the predecoded translation cache
 * **chain_trampoline** — straight-line work split across blocks glued by
   unconditional jumps: the superblock chainer's best case (one chained
   trace per iteration instead of three dispatches);
+* **poly_branch** — a branch whose target flips every iteration: the
+  polymorphic target map's showcase (PR 4; the monomorphic single-slot
+  chainer of PR 2 broke and relinked this chain on every flip);
 * **mcode_heavy** — every iteration ``menter``s a pure mroutine that
   spins in MRAM: the best case for the MAS-driven unguarded pure loop
   (PR 3), which skips the per-store eviction guards inside routines the
   analyzer proved free of RAM writes.
+
+The workload programs and machine shapes live in
+:mod:`repro.profile.workloads`, shared with ``python -m repro profile``
+so a profiled workload and a benchmarked one are the same program.
 
 Since PR 2 every tcache-on configuration is measured with superblock
 chaining disabled (``tcache_nochain``, the PR-1 behaviour) and enabled;
@@ -29,6 +36,20 @@ analysis-driven pure mram loop off (``tcache_nopure``) and on
 (``chain_speedup``) and the purity win over the guarded chained cache
 (``pure_speedup``).  A ``trajectory`` list in the JSON keeps the
 tight-loop functional numbers of every PR for trend tracking.
+
+Since PR 4 the JSON also records the MPROF numbers:
+
+* ``profiler`` — tight-loop functional MIPS with the trace event sink
+  detached vs attached.  Detached must track the PR-3 trajectory entry
+  (the sink costs one pointer test per retired trace when off);
+  attached overhead is asserted ≤15% in the full run.
+* ``preformation`` — mcode_heavy functional MIPS with the dynamic
+  chainer warming up on its own vs profile-guided superblock
+  preformation (``Machine.preform_superblocks``) seeding the blocks and
+  links at build time.  Guest results must be bit-identical; the MIPS
+  delta is recorded win or lose (preformation buys first-delivery
+  latency, not steady-state throughput, so expect ~parity on a
+  long-running loop).
 
 The tcache is architecture-invisible, so for every workload and engine
 the guest results (``RunResult.instructions`` / ``cycles``) must be
@@ -54,8 +75,7 @@ import os
 import sys
 from time import perf_counter
 
-from repro import MRoutine, build_metal_machine
-from repro.cpu.exceptions import Cause
+from repro.profile.workloads import build_workload, workload_source
 
 from common import perf_summary
 
@@ -64,171 +84,16 @@ JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 SMOKE_JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                                "BENCH_host_throughput_smoke.json")
 #: Label this PR's tight-loop numbers carry in the JSON trajectory.
-TRAJECTORY_LABEL = "pr3_mas_purity"
-
-#: mroutine for the tight loop machine (never invoked; keeps the machine
-#: shape identical to the others).
-NOOP = MRoutine(name="noop", entry=0, source="mexit\n")
-
-#: ECALL handler: skip the ecall (delivery resumes at epc) and return.
-SYS = MRoutine(name="sys", entry=0, source="""
-    wmr  m13, t0
-    rmr  t0, m31
-    addi t0, t0, 4
-    wmr  m31, t0
-    rmr  t0, m13
-    mexit
-""", shared_mregs=(13,))
-
-#: Boot mroutine installing the ``lw`` intercept rule (a0=spec, a1=entry).
-SETUP = MRoutine(name="setup", entry=0, source="""
-    micept a0, a1
-    mexit
-""")
-
-#: Emulating ``lw`` handler (same shape as bench_interception's).
-EMUL = MRoutine(name="emul", entry=1, source="""
-    wmr  m13, t0
-    wmr  m14, t1
-    rmr  t0, m29
-    srai t1, t0, 20
-    rmr  t0, m25
-    add  t0, t0, t1
-    lw   t1, 0(t0)
-    wmr  m27, t1
-    rmr  t0, m29
-    srli t0, t0, 7
-    andi t0, t0, 31
-    wmr  m26, t0
-    rmr  t1, m14
-    rmr  t0, m13
-    mexitm
-""", shared_mregs=(13, 14))
-
-#: Pure spin mroutine for the mcode_heavy workload: MAS proves it free
-#: of RAM access, so its blocks dispatch through the unguarded loop.
-SPIN = MRoutine(name="spin", entry=0, source="""
-    li   t0, 24
-spin_loop:
-    addi t1, t1, 3
-    xor  t2, t1, t0
-    addi t0, t0, -1
-    bnez t0, spin_loop
-    mexit
-""")
-
-
-def _tight_loop(iters: int) -> str:
-    return f"""
-_start:
-    li t0, {iters}
-loop:
-    addi t1, t1, 1
-    addi t2, t2, 2
-    xor  t3, t1, t2
-    slli t4, t1, 3
-    add  t5, t3, t4
-    srli t6, t5, 1
-    or   s2, t5, t6
-    and  s3, s2, t3
-    sub  s4, s3, t1
-    addi t0, t0, -1
-    bnez t0, loop
-    halt
-"""
-
-
-def _syscall_loop(iters: int) -> str:
-    return f"""
-_start:
-    li t0, {iters}
-loop:
-    ecall
-    addi t0, t0, -1
-    bnez t0, loop
-    halt
-"""
-
-
-def _chain_trampoline(iters: int) -> str:
-    """Straight-line ALU work spread over three blocks joined by
-    unconditional jumps plus the loop's backward branch — every block
-    transition is chainable."""
-    return f"""
-_start:
-    li t0, {iters}
-loop:
-    addi t1, t1, 1
-    xor  t3, t1, t2
-    slli t4, t1, 3
-    j    hop1
-hop1:
-    add  t5, t3, t4
-    srli t6, t5, 1
-    or   s2, t5, t6
-    j    hop2
-hop2:
-    and  s3, s2, t3
-    sub  s4, s3, t1
-    addi t0, t0, -1
-    bnez t0, loop
-    halt
-"""
-
-
-def _mcode_loop(iters: int) -> str:
-    return f"""
-_start:
-    li s0, {iters}
-loop:
-    menter MR_SPIN
-    addi s0, s0, -1
-    bnez s0, loop
-    halt
-"""
-
-
-def _intercept_loop(iters: int) -> str:
-    return f"""
-_start:
-    li   a0, 0x503           # match: opcode LOAD, funct3 2 (lw only)
-    li   a1, MR_EMUL
-    menter MR_SETUP
-    li   s2, 0x3000
-    li   t0, {iters}
-loop:
-    lw   t2, 0(s2)
-    addi t0, t0, -1
-    bnez t0, loop
-    halt
-"""
+TRAJECTORY_LABEL = "pr4_mprof"
 
 
 def _build(workload: str, engine: str):
-    """Build the machine for *workload*.  Always built with the tcache
-    enabled; measurements toggle it with ``Machine.set_tcache`` to show
-    the flag is switchable inside one process."""
-    if workload in ("tight_loop", "chain_trampoline"):
-        return build_metal_machine([NOOP], engine=engine, with_caches=False)
-    if workload == "syscall_heavy":
-        m = build_metal_machine([SYS], engine=engine, with_caches=False)
-        m.route_cause(Cause.ECALL, "sys")
-        return m
-    if workload == "intercept_heavy":
-        return build_metal_machine([SETUP, EMUL], engine=engine,
-                                   with_caches=False)
-    if workload == "mcode_heavy":
-        return build_metal_machine([SPIN], engine=engine, with_caches=False)
-    raise ValueError(workload)
+    """Build the machine for *workload* (see repro.profile.workloads).
+    Always built with the tcache enabled; measurements toggle it with
+    ``Machine.set_tcache`` to show the flag is switchable inside one
+    process."""
+    return build_workload(workload, engine=engine)
 
-
-_PROGRAMS = {
-    "tight_loop": _tight_loop,
-    "chain_trampoline": _chain_trampoline,
-    "syscall_heavy": _syscall_loop,
-    "intercept_heavy": _intercept_loop,
-    "mcode_heavy": _mcode_loop,
-}
 
 #: Measurement modes: (tcache, chaining, pure loop).
 _MODES = {
@@ -244,7 +109,7 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
     """Best-of-*reps* host MIPS for one configuration (fresh machine per
     rep; deterministic guest results are cross-checked across reps)."""
     tcache, chain, pure = _MODES[mode]
-    source = _PROGRAMS[workload](iters)
+    source = workload_source(workload, iters)
     best_mips = 0.0
     ref = None
     best_stats = None
@@ -281,6 +146,7 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
         row["chains"] = {
             "links": best_stats.chain_links,
             "hits": best_stats.chain_hits,
+            "poly_hits": best_stats.chain_poly_hits,
             "breaks": best_stats.chain_breaks,
             "longest": best_stats.chain_longest,
         }
@@ -322,6 +188,106 @@ def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
     return results
 
 
+def measure_profiler_overhead(iters: int, reps: int,
+                              engine: str = "functional") -> dict:
+    """Tight-loop MIPS with the MPROF sink detached vs attached.
+
+    Detached is the tax every user pays for the subsystem existing (one
+    pointer test per retired trace, one comparison per chained
+    transition); attached is the cost of actually recording.  Guest
+    results must be bit-identical in both configurations.
+    """
+    source = workload_source("tight_loop", iters)
+
+    def best(profiling: bool):
+        best_mips, ref, traces = 0.0, None, 0
+        for _ in range(reps):
+            machine = _build("tight_loop", engine)
+            if profiling:
+                machine.set_profiling(True)
+            host0 = perf_counter()
+            result = machine.load_and_run(source,
+                                          max_instructions=50_000_000)
+            host = perf_counter() - host0
+            outcome = (result.instructions, result.cycles)
+            if ref is None:
+                ref = outcome
+            elif outcome != ref:
+                raise AssertionError(
+                    f"profiler run non-deterministic: {outcome} vs {ref}")
+            best_mips = max(best_mips,
+                            result.instructions / host / 1e6 if host else 0.0)
+            if profiling:
+                traces = machine.profiler.total_traces
+        return best_mips, ref, traces
+
+    off_mips, off_ref, _ = best(False)
+    on_mips, on_ref, traces = best(True)
+    assert on_ref == off_ref, (
+        f"profiling changed guest-visible results: {on_ref} vs {off_ref}"
+    )
+    overhead = 1.0 - (on_mips / off_mips) if off_mips else 0.0
+    return {
+        "workload": "tight_loop",
+        "engine": engine,
+        "iterations": iters,
+        "profiling_off_mips": round(off_mips, 4),
+        "profiling_on_mips": round(on_mips, 4),
+        "enabled_overhead": round(overhead, 4),
+        "traces_recorded": traces,
+    }
+
+
+def measure_preformation(iters: int, reps: int,
+                         engine: str = "functional") -> dict:
+    """mcode_heavy MIPS: dynamic chain warmup vs superblock preformation.
+
+    Preformation compiles and pre-chains the pure mroutine's blocks at
+    build time (``Machine.preform_superblocks``); the dynamic baseline
+    lets the chainer discover them on first dispatch.  Results must be
+    bit-identical; the MIPS delta is recorded win or lose.
+    """
+    source = workload_source("mcode_heavy", iters)
+
+    def best(preform: bool):
+        best_mips, ref = 0.0, None
+        blocks = links = 0
+        for _ in range(reps):
+            machine = _build("mcode_heavy", engine)
+            if preform:
+                blocks, links = machine.preform_superblocks()
+            host0 = perf_counter()
+            result = machine.load_and_run(source,
+                                          max_instructions=50_000_000)
+            host = perf_counter() - host0
+            outcome = (result.instructions, result.cycles)
+            if ref is None:
+                ref = outcome
+            elif outcome != ref:
+                raise AssertionError(
+                    f"preform run non-deterministic: {outcome} vs {ref}")
+            best_mips = max(best_mips,
+                            result.instructions / host / 1e6 if host else 0.0)
+        return best_mips, ref, blocks, links
+
+    dyn_mips, dyn_ref, _, _ = best(False)
+    pre_mips, pre_ref, blocks, links = best(True)
+    assert pre_ref == dyn_ref, (
+        f"preformation changed guest-visible results: {pre_ref} vs {dyn_ref}"
+    )
+    return {
+        "workload": "mcode_heavy",
+        "engine": engine,
+        "iterations": iters,
+        "dynamic_mips": round(dyn_mips, 4),
+        "preformed_mips": round(pre_mips, 4),
+        "preform_speedup": round(
+            pre_mips / dyn_mips if dyn_mips else 0.0, 3),
+        "preformed_blocks": blocks,
+        "preformed_links": links,
+    }
+
+
 def _load_previous(path: str):
     try:
         with open(path) as fh:
@@ -330,7 +296,7 @@ def _load_previous(path: str):
         return None
 
 
-def _trajectory(results: dict, previous) -> list:
+def _trajectory(results: dict, previous, profiler: dict = None) -> list:
     """Per-PR history of the tight-loop functional numbers.
 
     Carries the previous file's trajectory forward; a pre-trajectory file
@@ -369,19 +335,51 @@ def _trajectory(results: dict, previous) -> list:
                 "tcache_on_mips": mcode["tcache_on"]["mips"],
                 "pure_speedup": mcode["pure_speedup"],
             }
+        if profiler:
+            entry["profiler"] = {
+                "profiling_off_mips": profiler["profiling_off_mips"],
+                "profiling_on_mips": profiler["profiling_on_mips"],
+                "enabled_overhead": profiler["enabled_overhead"],
+            }
         trajectory = [e for e in trajectory
                       if e.get("label") != entry["label"]]
         trajectory.append(entry)
     return trajectory
 
 
-def _emit_json(results: dict, json_path: str = JSON_PATH) -> str:
+def _disabled_vs_pr3(trajectory: list) -> float:
+    """Relative tight-loop tcache_on MIPS change of this run vs the PR-3
+    trajectory entry (negative = slower than PR 3).  Records whether the
+    dormant profiling hooks cost anything; cross-run wall clock, so
+    recorded rather than asserted."""
+    by_label = {e.get("label"): e for e in trajectory}
+    pr3 = by_label.get("pr3_mas_purity")
+    pr4 = by_label.get(TRAJECTORY_LABEL)
+    if not pr3 or not pr4:
+        return None
+    old = pr3["tight_loop_functional"]["tcache_on_mips"]
+    new = pr4["tight_loop_functional"]["tcache_on_mips"]
+    return round(new / old - 1.0, 4) if old else None
+
+
+def _emit_json(results: dict, json_path: str = JSON_PATH,
+               profiler: dict = None, preformation: dict = None) -> str:
     path = os.path.abspath(json_path)
+    trajectory = _trajectory(results, _load_previous(path),
+                             profiler=profiler)
     payload = {
         "benchmark": "host_throughput",
         "results": results,
-        "trajectory": _trajectory(results, _load_previous(path)),
+        "trajectory": trajectory,
     }
+    if profiler:
+        profiler = dict(profiler)
+        delta = _disabled_vs_pr3(trajectory)
+        if delta is not None:
+            profiler["disabled_mips_vs_pr3"] = delta
+        payload["profiler"] = profiler
+    if preformation:
+        payload["preformation"] = preformation
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -411,14 +409,40 @@ def run_full() -> dict:
     iters = {
         "tight_loop": 100_000,
         "chain_trampoline": 60_000,
+        "poly_branch": 60_000,
         "syscall_heavy": 20_000,
         "intercept_heavy": 15_000,
         "mcode_heavy": 15_000,
     }
     results = run_suite(iters, reps=3)
     _print_table(results)
-    path = _emit_json(results)
+    profiler = measure_profiler_overhead(iters["tight_loop"], reps=3)
+    preformation = measure_preformation(iters["mcode_heavy"], reps=3)
+    print(f"profiler overhead  : off {profiler['profiling_off_mips']:.3f} "
+          f"MIPS, on {profiler['profiling_on_mips']:.3f} MIPS "
+          f"({profiler['enabled_overhead']:.1%} enabled overhead)")
+    print(f"preformation       : dynamic {preformation['dynamic_mips']:.3f} "
+          f"MIPS, preformed {preformation['preformed_mips']:.3f} MIPS "
+          f"({preformation['preform_speedup']:.3f}x, "
+          f"{preformation['preformed_blocks']} blocks / "
+          f"{preformation['preformed_links']} links ahead)")
+    path = _emit_json(results, profiler=profiler, preformation=preformation)
     print(f"results written to {path}")
+    assert profiler["enabled_overhead"] <= 0.15, (
+        f"profiling-enabled overhead {profiler['enabled_overhead']:.1%} "
+        f"> 15% on the tight loop"
+    )
+    assert preformation["preformed_blocks"] > 0, (
+        "preformation compiled no blocks on mcode_heavy"
+    )
+    poly = results["poly_branch"]["functional"]["tcache_on"]["chains"]
+    assert poly["poly_hits"] > 0, (
+        "poly_branch workload never hit a secondary chain target"
+    )
+    assert poly["breaks"] <= poly["poly_hits"] // 10 + 8, (
+        f"poly_branch still breaking chains ({poly['breaks']} breaks vs "
+        f"{poly['poly_hits']} polymorphic hits) — LRU target map inactive?"
+    )
     tight = results["tight_loop"]["functional"]
     assert tight["speedup"] >= 2.6, (
         f"tight-loop functional speedup {tight['speedup']}x < 2.6x"
@@ -459,13 +483,17 @@ def run_smoke() -> dict:
     iters = {
         "tight_loop": 20_000,
         "chain_trampoline": 10_000,
+        "poly_branch": 10_000,
         "syscall_heavy": 2_000,
         "intercept_heavy": 1_500,
         "mcode_heavy": 2_000,
     }
     results = run_suite(iters, reps=1, engines=("functional",))
     _print_table(results)
-    path = _emit_json(results, json_path=SMOKE_JSON_PATH)
+    profiler = measure_profiler_overhead(iters["tight_loop"], reps=1)
+    preformation = measure_preformation(iters["mcode_heavy"], reps=1)
+    path = _emit_json(results, json_path=SMOKE_JSON_PATH,
+                      profiler=profiler, preformation=preformation)
     print(f"smoke results written to {path}")
     tight = results["tight_loop"]["functional"]
     assert tight["tcache_on"]["hit_rate"] >= 0.90, (
@@ -476,9 +504,18 @@ def run_smoke() -> dict:
         assert chains["hits"] > 0, (
             f"{workload}: chaining never engaged (links={chains['links']})"
         )
+    poly = results["poly_branch"]["functional"]["tcache_on"]["chains"]
+    assert poly["poly_hits"] > 0, (
+        "poly_branch: the polymorphic target map never hit"
+    )
     pure = results["mcode_heavy"]["functional"]["tcache_on"]["pure"]
     assert pure["instructions"] > 0, (
         f"mcode_heavy: the pure loop never engaged (blocks={pure['blocks']})"
+    )
+    # Structural profiler/preformation checks (no wall-clock asserts).
+    assert profiler["traces_recorded"] > 0, "profiler recorded no traces"
+    assert preformation["preformed_blocks"] > 0, (
+        "preformation compiled no blocks"
     )
     return results
 

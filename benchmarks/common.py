@@ -36,14 +36,39 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
-def perf_summary(machine, label: str = None) -> str:
+def perf_summary(machine, label: str = None, top_traces: int = 5) -> str:
     """Format (and print) a machine's host-side perf counters.
 
     See :mod:`repro.cpu.stats` — these measure the simulator (translation
-    cache behaviour, host MIPS), not the simulated machine.
+    cache behaviour, host MIPS), not the simulated machine.  When an
+    MPROF sink is attached (``machine.set_profiling(True)``) the summary
+    gains a "hottest traces" section: the top-*top_traces* traces by
+    retired instructions with their per-mroutine attribution.
     """
     header = f"host perf [{label or machine.name}]"
     text = header + "\n" + "-" * len(header) + "\n" + machine.perf.summary()
+    text += _hottest_traces(machine, top_traces)
     print()
     print(text)
     return text
+
+
+def _hottest_traces(machine, top: int) -> str:
+    """The "hottest traces" section (empty string without a profiler)."""
+    sink = getattr(machine, "profiler", None)
+    if sink is None or not sink.total_traces:
+        return ""
+    from repro.profile.registry import MetricsRegistry
+
+    rows = MetricsRegistry(machine).attribute(top=top)
+    total = machine.perf.guest_instructions
+    lines = [f"hottest traces     : ({sink.total_traces} retirements "
+             f"recorded)"]
+    for row in rows:
+        share = row.instructions / total if total else 0.0
+        lines.append(
+            f"  {row.head_pc:#010x} {row.label:<24} "
+            f"{row.instructions:>10} instrs ({share:5.1%})  "
+            f"avg chain {row.avg_chain:.1f}"
+        )
+    return "\n" + "\n".join(lines)

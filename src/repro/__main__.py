@@ -6,6 +6,7 @@ Usage::
     python -m repro program.s --machine trap  # trap baseline
     python -m repro program.s --engine pipeline --trace --regs
     python -m repro lint --apps               # MAS static analysis (mcode)
+    python -m repro profile tight_loop        # MPROF hot-trace profiling
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -59,6 +60,11 @@ def main(argv=None) -> int:
     if argv and argv[0] == "lint":
         from repro.analysis.lint import lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # Imported lazily: the CLI builds machines, which would close an
+        # import cycle if pulled in at repro.profile import time.
+        from repro.profile.cli import profile_main
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

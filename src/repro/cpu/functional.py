@@ -28,8 +28,12 @@ from repro.cpu.tcache import F_CSR, F_STORE, F_SYNC, F_TERM, TranslationCache
 from repro.cpu.timing import TimingModel
 from repro.isa.decoder import decode
 from repro.isa.instruction import InstrClass
+from repro.profile.sink import StepHub
 
 _MULDIV = InstrClass.MULDIV
+
+#: Effectively-unbounded chain quantum used when no profiler is attached.
+_CHAIN_UNLIMITED = 1 << 62
 
 
 class SimpleTimer:
@@ -117,15 +121,30 @@ class FunctionalSimulator:
     #: Safety valve for WFI with no event source.
     MAX_WFI_CYCLES = 50_000_000
 
+    #: Chained block transitions one dispatch may make while a profiler
+    #: is attached.  Bounding the quantum keeps retired-trace records
+    #: meaningful (a hot loop shows up as many records headed at its
+    #: loop body instead of one run-length record headed at ``_start``)
+    #: while amortising the per-record cost over dozens of blocks.
+    PROFILE_CHAIN_QUANTUM = 64
+
     def __init__(self, core, timer=None, tcache: bool = True):
         self.core = core
         self.timer = timer or SimpleTimer(core.timing)
         self._ticked = 0
         #: Optional per-step hook: fn(StepInfo) (tracing/debugging).
+        #: Prefer :meth:`add_step_hook`, which multiplexes this slot.
         self.trace_fn = None
+        self._step_hub = None
+        self._hub_dispatch = None
         #: Host-side performance counters (see repro.cpu.stats).
         self.perf = PerfCounters()
         self._tcache = TranslationCache(self.perf.tcache)
+        #: Optional trace-profiling sink (repro.profile.sink); attach via
+        #: :meth:`set_profile_sink`.  None keeps the run loops at one
+        #: pointer test per retired trace.
+        self._profile_sink = None
+        self._profile_chain_limit = _CHAIN_UNLIMITED
         self._hooks_installed = False
         self._tcache_enabled = False
         if tcache:
@@ -151,6 +170,65 @@ class FunctionalSimulator:
     def flush_tcache(self) -> None:
         """Drop every compiled block (snapshot restore, tests)."""
         self._tcache.flush_all()
+
+    # ------------------------------------------------------------------
+    # profiling / per-step hooks (see repro.profile)
+    # ------------------------------------------------------------------
+    @property
+    def profile_sink(self):
+        """The attached trace-event sink, or None (profiling off)."""
+        return self._profile_sink
+
+    def set_profile_sink(self, sink) -> None:
+        """Attach (or with ``None`` detach) a trace-event sink.
+
+        Guest-invisible: the sink only observes retirements and tcache
+        events.  While attached, chained dispatches are bounded at
+        :attr:`PROFILE_CHAIN_QUANTUM` block transitions per trace record
+        — the same place a budget exhaustion would break the chain, so
+        architectural state, instruction counts and cycle counts are
+        bit-identical with profiling on or off.
+        """
+        self._profile_sink = sink
+        self._tcache.sink = sink
+        if sink is not None:
+            timer = self.timer
+            sink.clock = lambda: timer.cycles
+            self._profile_chain_limit = self.PROFILE_CHAIN_QUANTUM
+        else:
+            self._profile_chain_limit = _CHAIN_UNLIMITED
+
+    def add_step_hook(self, fn) -> None:
+        """Subscribe *fn(StepInfo)* to the per-step event stream.
+
+        Multiplexes the single ``trace_fn`` slot through a
+        :class:`repro.profile.sink.StepHub` so tracers, debuggers and
+        profilers can coexist; a raw ``trace_fn`` someone installed by
+        hand is absorbed into the hub and keeps firing.
+        """
+        hub = self._step_hub
+        if hub is None:
+            hub = self._step_hub = StepHub()
+            # Bind once: ``hub.dispatch`` makes a fresh bound method per
+            # access, which would defeat the identity tests below.
+            self._hub_dispatch = hub.dispatch
+        if self.trace_fn is not self._hub_dispatch:
+            if self.trace_fn is not None:
+                hub.fns.append(self.trace_fn)
+            self.trace_fn = self._hub_dispatch
+        hub.fns.append(fn)
+
+    def remove_step_hook(self, fn) -> None:
+        """Unsubscribe *fn*; clears ``trace_fn`` when no hooks remain."""
+        hub = self._step_hub
+        if hub is None:
+            return
+        try:
+            hub.fns.remove(fn)
+        except ValueError:
+            return
+        if not hub.fns and self.trace_fn is self._hub_dispatch:
+            self.trace_fn = None
 
     def _install_tcache_hooks(self) -> None:
         core = self.core
@@ -388,6 +466,10 @@ class FunctionalSimulator:
         metal = core.metal
         tcache = self._tcache
         chain = tcache.chain
+        sink = self._profile_sink
+        chain_limit = self._profile_chain_limit
+        head = block.start
+        cycles0 = timer.cycles if sink is not None else 0
         # Interrupt deliverability is constant inside a block — and along
         # a superblock chain: only terminator instructions (CSR writes,
         # Metal transitions) or trap entries can change it; traps exit the
@@ -452,6 +534,10 @@ class FunctionalSimulator:
                             core.pc = pc
                             core.instret = instret0 + retired
                             stats.fast_instructions += retired
+                            if sink is not None:
+                                sink.note_trace(
+                                    "mem", head, chained, retired,
+                                    timer.cycles, timer.cycles - cycles0)
                             return
                     if flags & f_csr:
                         timer.cycles += cyc
@@ -465,6 +551,10 @@ class FunctionalSimulator:
                         timer.cycles += cyc
                         core.instret = instret0 + retired
                         stats.fast_instructions += retired
+                        if sink is not None:
+                            sink.note_trace(
+                                "mem", head, chained, retired,
+                                timer.cycles, timer.cycles - cycles0)
                         self._dispatch_trap(trap, pc)
                         sync()
                         return
@@ -503,7 +593,8 @@ class FunctionalSimulator:
                         aborted = True
                         break
                 core.pc = next_pc
-                if aborted or not chain or not block.chainable:
+                if (aborted or not chain or not block.chainable
+                        or chained >= chain_limit):
                     break
                 nxt = tcache.chain_next_mem(block, next_pc, bus)
                 if nxt is None or budget - retired < len(nxt.entries):
@@ -515,6 +606,9 @@ class FunctionalSimulator:
             core.instret = instret0 + retired
             timer.cycles += cyc
             stats.fast_instructions += retired
+            if sink is not None:
+                sink.note_trace("mem", head, chained, retired,
+                                timer.cycles, timer.cycles - cycles0)
             sync()
             return
 
@@ -540,6 +634,10 @@ class FunctionalSimulator:
                         if irq.pending_bitmap() and take_irq():
                             sync()
                             stats.fast_instructions += retired
+                            if sink is not None:
+                                sink.note_trace(
+                                    "mem", head, chained, retired,
+                                    timer.cycles, timer.cycles - cycles0)
                             return
                 if flags:
                     if flags & f_sync:
@@ -555,6 +653,9 @@ class FunctionalSimulator:
                     step = op_fn(core, instr, pc, fetch_latency=latency)
                 except TrapException as trap:
                     stats.fast_instructions += retired
+                    if sink is not None:
+                        sink.note_trace("mem", head, chained, retired,
+                                        timer.cycles, timer.cycles - cycles0)
                     self._dispatch_trap(trap, pc)
                     sync()
                     return
@@ -576,7 +677,8 @@ class FunctionalSimulator:
             # transfer (or the fall-through of a length-limited block);
             # the per-entry budget/stop/poll guards above keep running
             # inside the successor, so no extra prechecks are needed.
-            if aborted or not chain or not block.chainable:
+            if (aborted or not chain or not block.chainable
+                    or chained >= chain_limit):
                 break
             nxt = tcache.chain_next_mem(block, core.pc, core.bus)
             if nxt is None:
@@ -586,6 +688,9 @@ class FunctionalSimulator:
                 stats.chain_longest = chained
             block = nxt
         stats.fast_instructions += retired
+        if sink is not None:
+            sink.note_trace("mem", head, chained, retired,
+                            timer.cycles, timer.cycles - cycles0)
         sync()
 
     def _exec_mram_block(self, block, budget: int) -> None:
@@ -603,6 +708,10 @@ class FunctionalSimulator:
         stats = self.perf.tcache
         tcache = self._tcache
         chain = tcache.chain
+        sink = self._profile_sink
+        chain_limit = self._profile_chain_limit
+        head = block.start
+        cycles0 = timer.cycles if sink is not None else 0
         sync = self._sync_devices
         note = timer.note
         f_sync, f_csr, f_term = F_SYNC, F_CSR, F_TERM
@@ -646,6 +755,10 @@ class FunctionalSimulator:
                         core.instret = instret0 + retired
                         stats.fast_instructions += retired
                         stats.pure_fast_instructions += retired
+                        if sink is not None:
+                            sink.note_trace(
+                                "mram", head, chained, retired,
+                                timer.cycles, timer.cycles - cycles0)
                         self._dispatch_trap(trap, pc)  # double fault
                         sync()
                         return
@@ -679,7 +792,8 @@ class FunctionalSimulator:
                     cyc += cost
                     next_pc = step.next_pc
                 core.pc = next_pc
-                if not chain or not block.chainable:
+                if (not chain or not block.chainable
+                        or chained >= chain_limit):
                     break
                 nxt = tcache.chain_next_mram(block, next_pc, mram)
                 if (nxt is None or not nxt.pure
@@ -693,6 +807,9 @@ class FunctionalSimulator:
             timer.cycles += cyc
             stats.fast_instructions += retired
             stats.pure_fast_instructions += retired
+            if sink is not None:
+                sink.note_trace("mram", head, chained, retired,
+                                timer.cycles, timer.cycles - cycles0)
             sync()
             return
         while True:
@@ -710,6 +827,9 @@ class FunctionalSimulator:
                     step = op_fn(core, instr, pc, fetch_latency=mram_latency)
                 except TrapException as trap:
                     stats.fast_instructions += retired
+                    if sink is not None:
+                        sink.note_trace("mram", head, chained, retired,
+                                        timer.cycles, timer.cycles - cycles0)
                     self._dispatch_trap(trap, pc)  # double fault -> GuestPanic
                     sync()
                     return
@@ -721,7 +841,8 @@ class FunctionalSimulator:
                     trace(step)
                 if flags & f_term:
                     break
-            if aborted or not chain or not block.chainable:
+            if (aborted or not chain or not block.chainable
+                    or chained >= chain_limit):
                 break
             nxt = tcache.chain_next_mram(block, core.pc, mram)
             if nxt is None:
@@ -731,6 +852,9 @@ class FunctionalSimulator:
                 stats.chain_longest = chained
             block = nxt
         stats.fast_instructions += retired
+        if sink is not None:
+            sink.note_trace("mram", head, chained, retired,
+                            timer.cycles, timer.cycles - cycles0)
         sync()
 
     # ------------------------------------------------------------------

@@ -35,8 +35,12 @@ class TcacheStats:
     chain_links: int = 0
     #: Block transitions that followed an existing chain link.
     chain_hits: int = 0
+    #: Chain-link follows satisfied by a *secondary* entry of the
+    #: polymorphic target map (an alternating-target branch that would
+    #: have been a break+relink under the monomorphic single slot).
+    chain_poly_hits: int = 0
     #: Chain links severed (successor evicted, or observed target
-    #: differed from the linked pc).
+    #: missing from the target map).
     chain_breaks: int = 0
     #: Longest run of chained block transitions inside one dispatch.
     chain_longest: int = 0
@@ -45,6 +49,11 @@ class TcacheStats:
     pure_blocks: int = 0
     #: Guest instructions retired through the pure mram fast loop.
     pure_fast_instructions: int = 0
+    #: MRAM blocks compiled ahead of execution by profile-guided
+    #: superblock preformation (repro.profile.preform).
+    preformed_blocks: int = 0
+    #: Chain links installed ahead of execution by preformation.
+    preformed_links: int = 0
 
     @property
     def dispatches(self) -> int:
@@ -67,10 +76,13 @@ class TcacheStats:
         self.fast_instructions = 0
         self.chain_links = 0
         self.chain_hits = 0
+        self.chain_poly_hits = 0
         self.chain_breaks = 0
         self.chain_longest = 0
         self.pure_blocks = 0
         self.pure_fast_instructions = 0
+        self.preformed_blocks = 0
+        self.preformed_links = 0
 
 
 @dataclass
@@ -113,10 +125,12 @@ class PerfCounters:
             f"tcache invalidated : {tc.invalidations} blocks, "
             f"{tc.flushes} flushes",
             f"tcache chains      : {tc.chain_links} links, "
-            f"{tc.chain_hits} followed, {tc.chain_breaks} broken "
-            f"(longest {tc.chain_longest})",
+            f"{tc.chain_hits} followed ({tc.chain_poly_hits} polymorphic), "
+            f"{tc.chain_breaks} broken (longest {tc.chain_longest})",
             f"tcache pure mram   : {tc.pure_blocks} blocks, "
             f"{tc.pure_fast_instructions} instrs via the unguarded loop",
+            f"tcache preformed   : {tc.preformed_blocks} blocks, "
+            f"{tc.preformed_links} links ahead of execution",
             f"fast-path instrs   : {tc.fast_instructions} "
             f"({self.slow_instructions} slow)",
         ])

@@ -21,12 +21,16 @@ On top of the entry list each block carries two build-time artifacts:
   or terminate the block remain full ``execute()`` dispatches.  The
   functional engine's unguarded fast loop runs ``ops`` with no per-entry
   flag tests at all.
-* ``link``/``link_pc`` — the **superblock chain**: after a block exits
-  through a pure control-flow terminator (branch/jal/jalr, or the
-  fall-through of a length-limited block) the engine links it to the
-  successor block and on later dispatches follows the link directly,
-  never returning to the dispatch loop.  A link is followed only when
-  the observed ``next_pc`` equals ``link_pc`` *and* the successor is
+* ``link``/``link_pc``/``links`` — the **superblock chain**: after a
+  block exits through a pure control-flow terminator (branch/jal/jalr,
+  or the fall-through of a length-limited block) the engine links it to
+  the successor block and on later dispatches follows the link directly,
+  never returning to the dispatch loop.  The chain slot is a small LRU
+  **target map** (an MRU ``link``/``link_pc`` pair plus up to three
+  secondary ``links`` entries), so indirect jumps and data-dependent
+  branches that alternate between a few targets keep all of them linked
+  instead of relinking on every flip.  A link is followed only when the
+  observed ``next_pc`` matches a map entry *and* that successor is
   still valid, so evictions sever chains instead of executing stale
   code.  Only branch/jal/jalr terminators are chainable: every other
   terminator (CSR, SYSTEM, Metal transitions, architectural-feature
@@ -112,11 +116,18 @@ _CHAIN_CLASSES = frozenset((
 ))
 
 
+#: Polymorphic chain capacity: the MRU ``link`` slot plus up to
+#: ``LINKS_MAX - 1`` secondary targets in :attr:`Block.links`.  Four
+#: targets cover the alternating-branch / small-switch cases the
+#: monomorphic slot thrashed on without growing every block.
+LINKS_MAX = 4
+
+
 class Block:
-    """One predecoded basic block (plus its superblock chain link)."""
+    """One predecoded basic block (plus its superblock chain links)."""
 
     __slots__ = ("start", "end", "entries", "ops", "valid",
-                 "chainable", "link", "link_pc", "pure")
+                 "chainable", "link", "link_pc", "links", "pure")
 
     def __init__(self, start: int, end: int, entries,
                  chainable: bool = False, link_pc: int = None):
@@ -133,13 +144,19 @@ class Block:
         #: Whether the block's exit is eligible for chaining (branch/jal/
         #: jalr terminator, or the fall-through of a length-limited block).
         self.chainable = chainable
-        #: Chained successor block and the guest pc the link is valid for.
-        #: ``link_pc`` is seeded from the terminator's decoded static
-        #: target (the ``next_pc_hint``); the link itself is installed on
-        #: first traversal and re-validated against the observed next pc
-        #: every time it is followed.
+        #: Most-recently-used chained successor block and the guest pc the
+        #: link is valid for.  ``link_pc`` is seeded from the terminator's
+        #: decoded static target (the ``next_pc_hint``); the link itself is
+        #: installed on first traversal and re-validated against the
+        #: observed next pc every time it is followed.
         self.link = None
         self.link_pc = link_pc
+        #: Secondary chain targets, MRU-first: a list of ``(pc, Block)``
+        #: pairs (or None until first needed).  Together with the ``link``
+        #: slot this forms a small LRU target map so alternating-target
+        #: branches stop relinking on every flip; capped at
+        #: ``LINKS_MAX - 1`` entries.
+        self.links = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -308,6 +325,11 @@ class TranslationCache:
     def __init__(self, stats, max_block_len: int = None):
         self.stats = stats
         self.max_block_len = max_block_len or self.MAX_BLOCK_LEN
+        #: Optional profiling sink (repro.profile.sink.TraceEventSink).
+        #: When attached, compile/invalidate/flush/chain-break events are
+        #: reported for the exported timeline; ``None`` costs nothing on
+        #: the hot paths (checked only on the cold branches).
+        self.sink = None
         #: Superblock chaining toggle (host-side, guest-invisible).  With
         #: it off the engines bounce back to the dispatch loop after every
         #: block, i.e. the PR-1 per-block behaviour.
@@ -374,6 +396,8 @@ class TranslationCache:
         for page in range(pc >> PAGE_SHIFT, ((p - 1) >> PAGE_SHIFT) + 1):
             pages.setdefault(page, set()).add(pc)
         self.stats.blocks_compiled += 1
+        if self.sink is not None:
+            self.sink.tcache_event("compile", "mem", pc, len(entries))
         return block
 
     # ------------------------------------------------------------------
@@ -400,10 +424,13 @@ class TranslationCache:
             # (not just unreachable) so chain links held by surviving
             # predecessors can never be followed into the stale code.
             if self._mram:
+                count = len(self._mram)
                 for block in self._mram.values():
                     block.valid = False
-                self.stats.invalidations += len(self._mram)
+                self.stats.invalidations += count
                 self._mram.clear()
+                if self.sink is not None:
+                    self.sink.tcache_event("flush", "mram", 0, count)
             self._mram_version = version
             # The new image has new routines — and new analysis facts.
             if self._mram_facts is not None:
@@ -447,6 +474,8 @@ class TranslationCache:
             self.stats.pure_blocks += 1
         self._mram[pc] = block
         self.stats.blocks_compiled += 1
+        if self.sink is not None:
+            self.sink.tcache_event("compile", "mram", pc, len(entries))
         return block
 
     def _in_nonstore_range(self, lo: int, hi: int) -> bool:
@@ -464,46 +493,145 @@ class TranslationCache:
         """Follow (or install) *block*'s chain link toward *next_pc*.
 
         Returns the successor mem-namespace block, or ``None`` when the
-        target cannot be translated.  A stale link — successor evicted, or
-        the observed target differs from ``link_pc`` — is severed and
+        target cannot be translated.  The chain slot is a small LRU
+        target map (the MRU ``link``/``link_pc`` pair plus up to three
+        secondaries in ``links``), so a branch that alternates between a
+        handful of targets keeps every successor linked instead of
+        relinking on each flip.  A stale entry — successor evicted, or
+        the observed target absent from the map — is severed and
         re-resolved through :meth:`mem_block`, so a chain can never reach
         stale code.
         """
-        stats = self.stats
         link = block.link
-        if link is not None:
-            if link.valid and block.link_pc == next_pc:
-                stats.chain_hits += 1
-                return link
-            stats.chain_breaks += 1
-            block.link = None
+        if link is not None and block.link_pc == next_pc and link.valid:
+            self.stats.chain_hits += 1
+            return link
+        nxt = self._chain_alt(block, next_pc)
+        if nxt is not None:
+            return nxt
         if next_pc % 4:
             return None
         nxt = self.mem_block(next_pc, bus)
         if nxt is not None:
-            block.link = nxt
-            block.link_pc = next_pc
-            stats.chain_links += 1
+            self._chain_install(block, next_pc, nxt)
         return nxt
 
     def chain_next_mram(self, block, next_pc: int, mram):
         """MRAM-namespace twin of :meth:`chain_next_mem`."""
-        stats = self.stats
         link = block.link
-        if link is not None:
-            if link.valid and block.link_pc == next_pc:
-                stats.chain_hits += 1
-                return link
-            stats.chain_breaks += 1
-            block.link = None
+        if link is not None and block.link_pc == next_pc and link.valid:
+            self.stats.chain_hits += 1
+            return link
+        nxt = self._chain_alt(block, next_pc)
+        if nxt is not None:
+            return nxt
         if next_pc % 4:
             return None
         nxt = self.mram_block(next_pc, mram)
         if nxt is not None:
-            block.link = nxt
-            block.link_pc = next_pc
-            stats.chain_links += 1
+            self._chain_install(block, next_pc, nxt)
         return nxt
+
+    def _chain_alt(self, block, next_pc: int):
+        """Resolve *next_pc* through the secondary target map.
+
+        Returns the (validated and MRU-promoted) successor on a
+        polymorphic hit, or ``None`` — after accounting the miss as a
+        chain break when the map held any entry for the edge.
+        """
+        stats = self.stats
+        alts = block.links
+        hit = None
+        if alts:
+            for i, (pc, candidate) in enumerate(alts):
+                if pc == next_pc:
+                    del alts[i]
+                    if candidate.valid:
+                        hit = candidate
+                    break
+        if hit is None:
+            # Genuine miss: evicted successor or a target the map has
+            # never seen.  Severing the MRU slot (the historical
+            # monomorphic behaviour) is only needed when it was the
+            # stale entry; map misses leave the other targets linked.
+            link = block.link
+            if link is not None and block.link_pc == next_pc:
+                block.link = None
+                stats.chain_breaks += 1
+            elif link is not None or alts:
+                stats.chain_breaks += 1
+            else:
+                return None
+            if self.sink is not None:
+                ns = "mem" if self._mem.get(block.start) is block else "mram"
+                self.sink.tcache_event("chain_break", ns, block.start)
+            return None
+        self._chain_promote(block, next_pc, hit)
+        stats.chain_hits += 1
+        stats.chain_poly_hits += 1
+        return hit
+
+    def _chain_promote(self, block, next_pc: int, nxt) -> None:
+        """Make *nxt* the MRU entry, demoting the previous MRU into the
+        secondary map (dropping it if evicted)."""
+        prev, prev_pc = block.link, block.link_pc
+        block.link = nxt
+        block.link_pc = next_pc
+        if prev is not None and prev.valid and prev_pc != next_pc:
+            alts = block.links
+            if alts is None:
+                alts = block.links = []
+            alts.insert(0, (prev_pc, prev))
+            del alts[LINKS_MAX - 1:]
+
+    def _chain_install(self, block, next_pc: int, nxt) -> None:
+        self._chain_promote(block, next_pc, nxt)
+        self.stats.chain_links += 1
+
+    # ------------------------------------------------------------------
+    # profile-guided preformation (repro.profile.preform)
+    # ------------------------------------------------------------------
+    def preform_mram(self, starts, mram):
+        """Compile mram blocks at byte offsets *starts* ahead of execution
+        and pre-chain them along their static successor seeds.
+
+        This is the mechanism half of profile-guided superblock
+        formation: the policy half (which pcs are worth preforming —
+        CFG loop heads of ``pure_dispatch`` routines, optionally filtered
+        by a hot-trace profile) lives in :mod:`repro.profile.preform`.
+        Blocks come out of the ordinary :meth:`mram_block` compiler, so a
+        preformed block is bit-identical to the one dynamic dispatch
+        would have built at the same pc; links are installed only toward
+        already-compiled blocks and use the same ``link``/``link_pc``
+        slots the dynamic chainer validates on every traversal, so a
+        wrong static seed costs one relink, never correctness.
+
+        Returns ``(blocks_compiled, links_installed)``.
+        """
+        blocks = []
+        compiled = 0
+        for pc in starts:
+            cached = self._mram.get(pc)
+            block = cached if cached is not None else self.mram_block(pc, mram)
+            if block is None:
+                continue
+            blocks.append(block)
+            if cached is None:
+                compiled += 1
+        links = 0
+        for block in blocks:
+            if not block.chainable or block.link is not None:
+                continue
+            target = block.link_pc
+            if target is None or target % 4:
+                continue
+            succ = self._mram.get(target)
+            if succ is not None and succ.valid:
+                block.link = succ
+                links += 1
+        self.stats.preformed_blocks += compiled
+        self.stats.preformed_links += links
+        return compiled, links
 
     # ------------------------------------------------------------------
     # invalidation
@@ -524,11 +652,14 @@ class TranslationCache:
             if starts is None:
                 continue
             blocks = self._mem
+            sink = self.sink
             for start in starts:
                 block = blocks.pop(start, None)
                 if block is not None and block.valid:
                     block.valid = False
                     self.stats.invalidations += 1
+                    if sink is not None:
+                        sink.tcache_event("invalidate", "mem", start)
 
     def on_intercept_transition(self, active: bool) -> None:
         """Intercept table went empty↔non-empty: flush normal-mode blocks.
@@ -542,21 +673,27 @@ class TranslationCache:
 
     def flush_mem(self) -> None:
         if self._mem:
+            count = len(self._mem)
             for block in self._mem.values():
                 block.valid = False
-            self.stats.invalidations += len(self._mem)
+            self.stats.invalidations += count
             self._mem.clear()
             self._mem_pages.clear()
+            if self.sink is not None:
+                self.sink.tcache_event("flush", "mem", 0, count)
         self.stats.flushes += 1
 
     def flush_all(self) -> None:
         """Drop everything (snapshot restore, tests)."""
         self.flush_mem()
         if self._mram:
+            count = len(self._mram)
             for block in self._mram.values():
                 block.valid = False
-            self.stats.invalidations += len(self._mram)
+            self.stats.invalidations += count
             self._mram.clear()
+            if self.sink is not None:
+                self.sink.tcache_event("flush", "mram", 0, count)
         self._mram_version = None
 
     # ------------------------------------------------------------------

@@ -88,6 +88,10 @@ class MachineConfig:
     #: repro.cpu.tcache).  Architecture-invisible — guest results are
     #: bit-identical either way.
     tcache: bool = True
+    #: Preform superblocks for analysis-proven pure mroutines at build
+    #: time (profile-guided when a profile is replayed later; see
+    #: repro.profile.preform).  Guest-invisible, like the tcache itself.
+    preform: bool = False
     extra_symbols: dict = field(default_factory=dict)
 
 
@@ -160,6 +164,8 @@ def build_metal_machine(routines=(), config: MachineConfig = None,
     machine.metal_image = image
     # Expose entry numbers and data offsets to guest assembly.
     machine.symbols.update(image.symbols)
+    if config.preform and config.tcache:
+        machine.preform_superblocks()
     return machine
 
 

@@ -139,6 +139,46 @@ class Machine:
         self.sim.tcache.pure_loop = bool(enabled)
         self.sim.tcache.flush_all()
 
+    # -- profiling (MPROF) -------------------------------------------------
+    def set_profiling(self, enabled: bool, capacity: int = None):
+        """Attach (or detach) the MPROF trace event sink (guest-invisible).
+
+        Returns the attached :class:`~repro.profile.sink.TraceEventSink`
+        (or ``None`` after detaching).  Re-enabling replaces the sink, so
+        each enable starts a fresh recording; *capacity* sizes the
+        retired-trace ring buffer.
+        """
+        if not enabled:
+            self.sim.set_profile_sink(None)
+            return None
+        from repro.profile.sink import DEFAULT_CAPACITY, TraceEventSink
+
+        sink = TraceEventSink(capacity or DEFAULT_CAPACITY)
+        self.sim.set_profile_sink(sink)
+        return sink
+
+    @property
+    def profiler(self):
+        """The attached trace event sink, or ``None``."""
+        return self.sim.profile_sink
+
+    def metrics(self):
+        """A fresh :class:`~repro.profile.registry.MetricsRegistry` over
+        this machine (works with or without an attached sink)."""
+        from repro.profile.registry import MetricsRegistry
+
+        return MetricsRegistry(self)
+
+    def preform_superblocks(self, profile=None):
+        """Profile-guided superblock preformation (guest-invisible):
+        compile and pre-chain the mram blocks of analysis-proven
+        ``pure_dispatch`` routines ahead of execution, optionally
+        narrowed to routines *profile* recorded as hot.  Returns
+        ``(blocks_compiled, links_installed)``."""
+        from repro.profile.preform import preform_superblocks
+
+        return preform_superblocks(self, profile=profile)
+
     # -- mroutine (re)loading --------------------------------------------
     def reload_mroutines(self, routines) -> None:
         """Replace the loaded mroutine image in place (Metal machines).

@@ -49,7 +49,6 @@ class Tracer:
         self.mnemonics = set(mnemonics) if mnemonics else None
         self.records = []
         self.dropped = 0
-        self._prev_hook = None
 
     # -- step hook ---------------------------------------------------------
     def _on_step(self, step) -> None:
@@ -88,14 +87,16 @@ class Tracer:
             return "<unavailable>"
 
     # -- attach/detach -------------------------------------------------------
+    # Subscribes through the engine's step hub (add_step_hook) rather
+    # than grabbing the raw trace_fn slot, so tracers compose with other
+    # per-step consumers; a raw hook someone installed by hand is
+    # absorbed by the hub and keeps firing.
     def __enter__(self) -> "Tracer":
-        self._prev_hook = self.machine.sim.trace_fn
-        self.machine.sim.trace_fn = self._on_step
+        self.machine.sim.add_step_hook(self._on_step)
         return self
 
     def __exit__(self, *exc) -> None:
-        self.machine.sim.trace_fn = self._prev_hook
-        self._prev_hook = None
+        self.machine.sim.remove_step_hook(self._on_step)
 
     # -- reporting ------------------------------------------------------------
     def format(self) -> str:

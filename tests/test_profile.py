@@ -1,0 +1,399 @@
+"""MPROF tests: trace event sink, metrics registry, exporters,
+profile-guided preformation and the profile CLI.
+
+The load-bearing properties:
+
+* the sink is guest-invisible — enabling profiling never changes
+  architectural state, instruction counts or cycle counts, and with no
+  sink attached the counters don't move;
+* the ring buffer wraps without losing the aggregates;
+* snapshot/delta isolates exactly the metered region;
+* exported Chrome-trace JSON is schema-valid (and the validator actually
+  rejects malformed payloads);
+* preformed superblocks are indistinguishable from dynamically formed
+  ones (lockstep differential).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import MRoutine, build_metal_machine
+from repro.machine.builder import MachineConfig
+from repro.profile.exporters import chrome_trace, validate_chrome_trace
+from repro.profile.preform import plan_preform
+from repro.profile.registry import MetricsRegistry
+from repro.profile.sink import TraceEventSink
+
+LOOP = """
+_start:
+    li   s0, %d
+loop:
+    addi a0, a0, 1
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+"""
+
+#: Pure mroutine with an internal loop: the preformation target.
+SPIN = MRoutine(name="spin", entry=0, source="""
+    li   t0, 12
+spin_loop:
+    addi t1, t1, 3
+    xor  t2, t1, t0
+    addi t0, t0, -1
+    bnez t0, spin_loop
+    mexit
+""")
+
+MCODE = """
+_start:
+    li   s0, %d
+loop:
+    menter MR_SPIN
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+"""
+
+
+def _machine(**kwargs):
+    return build_metal_machine([SPIN], with_caches=False, **kwargs)
+
+
+def _arch_state(m):
+    return (list(m.core.regs), m.core.pc, m.core.instret, m.cycles,
+            m.core.halted)
+
+
+class TestSink:
+    def test_ring_wraparound_keeps_aggregates(self):
+        sink = TraceEventSink(capacity=8)
+        for i in range(20):
+            sink.note_trace("mem", 0x1000 + 4 * (i % 3), i % 5, 10, 100 * i, 7)
+        assert sink.total_traces == 20
+        assert sink.wrapped
+        assert len(sink) == 8
+        records = sink.records()
+        assert len(records) == 8
+        # Oldest-first: the surviving records are the last 8 notes.
+        assert [r[0] for r in records] == [100 * i for i in range(12, 20)]
+        # Aggregates cover all 20 notes, not just the ring survivors.
+        table = sink.trace_table()
+        assert sum(a.hits for a in table.values()) == 20
+        assert sum(a.instructions for a in table.values()) == 200
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceEventSink(capacity=0)
+
+    def test_hot_traces_ordering(self):
+        sink = TraceEventSink()
+        sink.note_trace("mem", 0x1000, 1, 50, 0, 5)
+        sink.note_trace("mem", 0x2000, 1, 500, 0, 5)
+        sink.note_trace("mram", 0x0, 1, 100, 0, 5)
+        hot = sink.hot_traces(top=2)
+        assert [(a.ns, a.head_pc) for a in hot] == [("mem", 0x2000),
+                                                   ("mram", 0x0)]
+
+    def test_event_log_bounded(self):
+        sink = TraceEventSink(capacity=4)
+        for i in range(10):
+            sink.tcache_event("compile", "mem", 4 * i)
+        assert len(sink.events()) == 4
+        assert sink.events_dropped == 6
+
+    def test_clear(self):
+        sink = TraceEventSink(capacity=4)
+        sink.note_trace("mem", 0, 0, 1, 0, 1)
+        sink.tcache_event("flush", "mem", 0)
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.total_traces == 0
+        assert sink.events() == []
+
+
+class TestGuestInvisibility:
+    def test_profiling_on_is_bit_identical(self):
+        m_off = _machine()
+        m_on = _machine()
+        m_on.set_profiling(True)
+        src = MCODE % 50
+        m_off.load_and_run(src)
+        m_on.load_and_run(src)
+        assert _arch_state(m_off) == _arch_state(m_on)
+        assert m_on.profiler.total_traces > 0
+
+    def test_profiling_off_zero_counter_deltas(self):
+        m = _machine()
+        sink = m.set_profiling(True)
+        m.load_and_run(LOOP % 100)
+        recorded = sink.total_traces
+        assert recorded > 0
+        m.set_profiling(False)
+        assert m.profiler is None
+        m.reset(pc=0x1000)
+        m.run(max_instructions=400, raise_on_limit=False)
+        # Detached sink sees nothing new.
+        assert sink.total_traces == recorded
+
+    def test_detach_restores_unbounded_chains(self):
+        m = _machine()
+        m.set_profiling(True)
+        quantum = m.sim.PROFILE_CHAIN_QUANTUM
+        m.load_and_run(LOOP % 2000)
+        assert m.perf.tcache.chain_longest <= quantum
+        m2 = _machine()
+        m2.load_and_run(LOOP % 2000)
+        assert m2.perf.tcache.chain_longest > quantum
+
+
+class TestRegistry:
+    def test_snapshot_delta_isolates_region(self):
+        m = _machine()
+        m.set_profiling(True)
+        reg = MetricsRegistry(m)
+        m.load_and_run(LOOP % 1000)
+        before = reg.snapshot()
+        m.reset(pc=0x1000)
+        m.run(max_instructions=350, raise_on_limit=False)
+        delta = reg.snapshot().delta(before)
+        assert delta.guest_instructions == 350
+        assert delta.counters["fast_instructions"] > 0
+        # Every delta aggregate reflects only the second run.
+        total = sum(a.instructions for a in delta.traces.values())
+        assert 0 < total <= 350
+
+    def test_zero_delta_when_idle(self):
+        m = _machine()
+        reg = MetricsRegistry(m)
+        m.load_and_run(LOOP % 50)
+        snap = reg.snapshot()
+        delta = reg.snapshot().delta(snap)
+        assert delta.guest_instructions == 0
+        assert all(v == 0 for v in delta.counters.values())
+        assert delta.traces == {}
+
+    def test_mroutine_attribution(self):
+        m = _machine()
+        m.set_profiling(True)
+        reg = MetricsRegistry(m)
+        m.load_and_run(MCODE % 60)
+        rows = reg.attribute()
+        spin = [r for r in rows if r.routine == "spin"]
+        assert spin, "no trace attributed to the spin mroutine"
+        assert spin[0].ns == "mram"
+        assert spin[0].offset == 0
+        report = reg.mroutine_report()
+        named = {name for name, *_ in report}
+        assert "spin" in named
+        top_name, _, top_instrs, _, _ = report[0]
+        assert top_name == "spin" and top_instrs > 0
+
+    def test_loop_head_attribution(self):
+        """A trace headed at a CFG back-edge target is flagged as a loop."""
+        from repro.profile.registry import attribute_trace
+        from repro.profile.sink import TraceAggregate
+
+        m = _machine()
+        routine = m.metal_image.routines["spin"]
+        # spin_loop is the third instruction: byte offset 8 (li expands
+        # to lui+addi).
+        head = routine.code_offset + 8
+        row = attribute_trace(m, TraceAggregate("mram", head, 1, 1, 0, 1))
+        assert row.routine == "spin"
+        assert row.loop, "back-edge target not flagged as a loop head"
+        entry = attribute_trace(
+            m, TraceAggregate("mram", routine.code_offset, 1, 1, 0, 1))
+        assert not entry.loop
+
+
+class TestExporters:
+    def _profiled_machine(self):
+        m = _machine()
+        m.set_profiling(True)
+        m.load_and_run(MCODE % 40)
+        return m
+
+    def test_chrome_trace_schema_valid(self):
+        m = self._profiled_machine()
+        payload = chrome_trace(m, m.profiler, registry=MetricsRegistry(m))
+        validate_chrome_trace(payload)                  # must not raise
+        json.dumps(payload)                             # serialisable
+        events = payload["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "i" for e in events)      # tcache compiles
+        # mram retirements carry their attribution as the event name.
+        assert any(e["name"].startswith("spin+") for e in events
+                   if e["ph"] == "X")
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])                   # not an object
+        with pytest.raises(ValueError):
+            validate_chrome_trace({})                   # no traceEvents
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "pid": 1,
+                                  "tid": 1, "ts": 0}]})  # missing dur
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "name": "x", "pid": 1,
+                                  "ts": 0, "s": "z"}]})  # bad scope
+
+    def test_hot_trace_report_contents(self):
+        from repro.profile.exporters import format_hot_traces
+
+        m = self._profiled_machine()
+        reg = MetricsRegistry(m)
+        text = format_hot_traces(m, reg, top=5)
+        assert "spin+0x0" in text
+        assert "per-mroutine attribution" in text
+        assert "addi" in text                           # disassembly
+
+
+class TestPreformation:
+    def test_plan_covers_pure_routine(self):
+        m = _machine()
+        plan = plan_preform(m.metal_image)
+        routine = m.metal_image.routines["spin"]
+        base = routine.code_offset
+        assert base in plan
+        assert base + 8 in plan                          # spin_loop head
+        # Loop heads come first.
+        assert plan[0] == base + 8
+
+    def test_profile_filter(self):
+        m = _machine()
+        # A profile with no mram traces filters everything out.
+        assert plan_preform(m.metal_image, profile=[]) == []
+        sink = TraceEventSink()
+        sink.note_trace("mram", m.metal_image.routines["spin"].code_offset,
+                        1, 10, 0, 5)
+        assert plan_preform(m.metal_image, profile=sink)
+
+    def test_preform_counters(self):
+        m = _machine()
+        blocks, links = m.preform_superblocks()
+        assert blocks > 0
+        assert links > 0
+        assert m.perf.tcache.preformed_blocks == blocks
+        assert m.perf.tcache.preformed_links == links
+        # Idempotent: everything already compiled on the second call.
+        again, _ = m.preform_superblocks()
+        assert again == 0
+
+    def test_lockstep_parity_vs_dynamic(self):
+        """Preformed and dynamically chained machines stay bit-identical
+        through a Metal-heavy run (chunked lockstep, mid-chain
+        boundaries)."""
+        src = MCODE % 80
+        m_dyn = _machine()
+        m_pre = _machine()
+        m_pre.preform_superblocks()
+        for machine in (m_dyn, m_pre):
+            program = machine.assemble(src, base=0x1000)
+            machine.load(program)
+            machine.core.pc = 0x1000
+        for step in range(200):
+            m_dyn.run(max_instructions=97, raise_on_limit=False)
+            m_pre.run(max_instructions=97, raise_on_limit=False)
+            assert _arch_state(m_dyn) == _arch_state(m_pre), (
+                f"step {step}: preformed machine diverged"
+            )
+            if m_dyn.core.halted:
+                break
+        assert m_dyn.core.halted
+        # The preformed machine compiled its mram blocks ahead of time:
+        # no mram compile misses beyond the preformed set.
+        assert m_pre.perf.tcache.preformed_blocks > 0
+
+    def test_builder_preform_flag(self):
+        m = build_metal_machine([SPIN], config=MachineConfig(
+            with_caches=False, preform=True))
+        assert m.perf.tcache.preformed_blocks > 0
+        m.load_and_run(MCODE % 10)
+        assert m.core.halted
+
+
+class TestStepHub:
+    def test_multiple_subscribers(self):
+        m = _machine()
+        seen_a, seen_b = [], []
+        m.sim.add_step_hook(seen_a.append)
+        m.sim.add_step_hook(seen_b.append)
+        m.load_and_run(LOOP % 5)
+        assert len(seen_a) == len(seen_b) > 0
+        m.sim.remove_step_hook(seen_a.append)  # unknown fn: no-op
+        m.sim.remove_step_hook(seen_b[0])      # not a hook either
+
+    def test_absorbs_raw_trace_fn(self):
+        m = _machine()
+        raw, hooked = [], []
+        m.sim.trace_fn = raw.append
+        m.sim.add_step_hook(hooked.append)
+        m.load_and_run(LOOP % 5)
+        assert len(raw) == len(hooked) > 0
+        m.sim.remove_step_hook(hooked.append)
+
+    def test_tracer_composes_with_profiling(self):
+        from repro.machine.trace import Tracer
+
+        m = _machine()
+        m.set_profiling(True)
+        with Tracer(m, limit=100) as tracer:
+            m.load_and_run(LOOP % 10)
+        assert len(tracer) > 0
+        assert m.profiler.total_traces > 0
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "profile", *args],
+            capture_output=True, text=True, timeout=120,
+        )
+
+    def test_list(self):
+        result = self._run("--list")
+        assert result.returncode == 0
+        assert "mcode_heavy" in result.stdout
+
+    def test_workload_report(self):
+        result = self._run("mcode_heavy", "--iters", "50", "--top", "3")
+        assert result.returncode == 0, result.stderr
+        assert "hot traces" in result.stdout
+        assert "spin" in result.stdout                  # attribution
+        assert "per-mroutine attribution" in result.stdout
+
+    def test_json_export(self, tmp_path):
+        out = tmp_path / "trace.json"
+        result = self._run("tight_loop", "--iters", "200",
+                           "--json", str(out))
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(out.read_text())
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"]
+
+    def test_preform_replay(self):
+        result = self._run("mcode_heavy", "--iters", "50", "--preform")
+        assert result.returncode == 0, result.stderr
+        assert "preformation replay" in result.stdout
+
+    def test_source_file(self, tmp_path):
+        path = tmp_path / "prog.s"
+        path.write_text(LOOP % 100)
+        result = self._run(str(path))
+        assert result.returncode == 0, result.stderr
+        assert "[halt]" in result.stdout
+
+    def test_unknown_target(self):
+        result = self._run("/nonexistent/x.s")
+        assert result.returncode == 2

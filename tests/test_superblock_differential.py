@@ -2,11 +2,13 @@
 
 Random guest programs (ALU ops, branches, jumps, loads/stores,
 ``menter``/``mexit`` round-trips into mroutines, and self-modifying
-stores) run in lockstep on two functional machines — one with the
-tcache + superblock chaining enabled, one with the tcache off entirely —
-and every architecturally visible piece of state is compared after every
-chunk of retired instructions.  Any divergence means the host fast path
-leaked into guest-visible behaviour.
+stores) run in lockstep on three functional machines — tcache off
+entirely, tcache + superblock chaining on, and tcache + chaining with
+the MPROF trace sink attached (which bounds chained dispatches at the
+profiling chain quantum) — and every architecturally visible piece of
+state is compared after every chunk of retired instructions.  Any
+divergence means the host fast path (or the profiler) leaked into
+guest-visible behaviour.
 
 Seeds are deterministic and appear both in the test id and in every
 assertion message, so a failure is reproducible with e.g.::
@@ -207,14 +209,17 @@ def _state(machine) -> dict:
     }
 
 
-def _assert_same(seed, step, ref, got, code_len, m_ref, m_got):
+def _assert_same(seed, step, ref, got, code_len, m_ref, m_got,
+                 label: str = "chained"):
     ref_code = m_ref.read_bytes(CODE_BASE, code_len)
     got_code = m_got.read_bytes(CODE_BASE, code_len)
-    assert ref_code == got_code, f"seed {seed} step {step}: code bytes diverge"
+    assert ref_code == got_code, (
+        f"seed {seed} step {step}: code bytes diverge ({label})"
+    )
     for key in ref:
         assert ref[key] == got[key], (
             f"seed {seed} step {step}: {key} diverges "
-            f"(tcache-off={ref[key]!r}, chained={got[key]!r})"
+            f"(tcache-off={ref[key]!r}, {label}={got[key]!r})"
         )
 
 
@@ -230,10 +235,12 @@ def test_differential(seed):
 
     m_ref = _build(tcache=False)       # interpreter, no fast path at all
     m_got = _build(tcache=True)        # predecoded blocks + chaining
+    m_prof = _build(tcache=True)       # chaining + MPROF sink attached
+    m_prof.set_profiling(True)
     assert m_got.sim.tcache.chain, "chaining should default on"
 
     programs = []
-    for machine in (m_ref, m_got):
+    for machine in (m_ref, m_got, m_prof):
         program = machine.assemble(source, base=CODE_BASE)
         machine.load(program)
         machine.core.pc = CODE_BASE
@@ -245,10 +252,13 @@ def test_differential(seed):
     while retired < TOTAL_LIMIT:
         m_ref.run(max_instructions=CHUNK, raise_on_limit=False)
         m_got.run(max_instructions=CHUNK, raise_on_limit=False)
+        m_prof.run(max_instructions=CHUNK, raise_on_limit=False)
         step += 1
         retired += CHUNK
         ref, got = _state(m_ref), _state(m_got)
         _assert_same(seed, step, ref, got, code_len, m_ref, m_got)
+        _assert_same(seed, step, ref, _state(m_prof), code_len,
+                     m_ref, m_prof, label="profiled")
         if ref["halted"]:
             break
 
@@ -257,9 +267,13 @@ def test_differential(seed):
         f"instructions (generator bug)"
     )
     # The fast path must actually have been on the hook: the chained
-    # machine should have dispatched through the tcache.
+    # machine should have dispatched through the tcache, and the
+    # profiled machine's sink should have recorded its dispatches.
     stats = m_got.perf.tcache
     assert stats.dispatches > 0, f"seed {seed}: tcache never dispatched"
+    assert m_prof.profiler.total_traces > 0, (
+        f"seed {seed}: profiler recorded no traces"
+    )
 
 
 def test_chaining_engages_on_loops():
@@ -282,3 +296,78 @@ hop:
     assert stats.chain_links >= 2
     assert stats.chain_hits > 1000
     assert stats.chain_longest > 100
+
+
+def test_polymorphic_branch_stays_chained():
+    """A branch whose target flips every iteration keeps *both*
+    successors linked in the LRU target map: secondary-entry hits
+    accumulate while chain breaks stay O(1).  Under the monomorphic
+    single-slot chainer this program broke and relinked its chain on
+    every flip (≈1 break per iteration)."""
+    m = _build(tcache=True)
+    m.load_and_run("""
+_start:
+    li   s0, 2000
+loop:
+    andi t1, s0, 1
+    beqz t1, even
+odd:
+    addi a0, a0, 1
+    j    next
+even:
+    addi a1, a1, 1
+next:
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+""", base=CODE_BASE)
+    assert m.reg("a0") == 1000        # odd iterations (s0 = 1999, 1997, ...)
+    assert m.reg("a1") == 1000
+    stats = m.perf.tcache
+    assert stats.chain_poly_hits > 1500, (
+        f"LRU target map not engaging: {stats.chain_poly_hits} poly hits"
+    )
+    assert stats.chain_breaks <= 8, (
+        f"alternating branch still breaking chains: {stats.chain_breaks}"
+    )
+    # Polymorphic hits are a subset of chain hits.
+    assert stats.chain_hits >= stats.chain_poly_hits
+
+
+def test_polymorphic_jalr_three_targets():
+    """An indirect jump rotating through three targets fits the
+    LINKS_MAX=4 target map: all three successors stay linked."""
+    m = _build(tcache=True)
+    m.load_and_run("""
+_start:
+    li   s0, 1500
+loop:
+    # t0 = s0 % 3 via repeated subtraction on the low bits (cheap mod):
+    andi t1, s0, 3
+    li   t0, arm0
+    beqz t1, go
+    li   t0, arm1
+    addi t1, t1, -1
+    beqz t1, go
+    li   t0, arm2
+go:
+    jalr zero, 0(t0)
+arm0:
+    addi a0, a0, 1
+    j    next
+arm1:
+    addi a1, a1, 1
+    j    next
+arm2:
+    addi a2, a2, 1
+next:
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+""", base=CODE_BASE)
+    assert m.reg("a0") + m.reg("a1") + m.reg("a2") == 1500
+    stats = m.perf.tcache
+    assert stats.chain_poly_hits > 1000, (
+        f"three-target jalr not staying chained: "
+        f"{stats.chain_poly_hits} poly hits, {stats.chain_breaks} breaks"
+    )
