@@ -1,0 +1,90 @@
+"""MFI fault-campaign benchmark: determinism, containment, coverage.
+
+Unlike the paper-figure benchmarks, this one exercises the MFI
+subsystem (:mod:`repro.fault`, docs/FAULTS.md) as a whole and asserts
+its contract rather than a guest-visible number:
+
+* **containment** — every injected fault is classified; none escapes as
+  a ``host_crash`` (a non-ReproError out of the simulator);
+* **termination** — every run ends (halt, guest-detected error, or the
+  step-budget watchdog); the campaign produces exactly one record per
+  ``(workload, seed)`` cell;
+* **bit-reproducibility** — running the identical seed list twice
+  yields byte-identical report JSON (the acceptance criterion that
+  makes a campaign diff a regression signal);
+* **recovery** — checkpoint-retry brings every retried state-fault run
+  back to a clean halt (the golden-equivalence of individual retries is
+  covered per-class in tests/test_fault.py).
+
+The campaign summary is also fed through
+``common.perf_summary(..., fault_report=...)`` so the host-perf section
+and the outcome table land in one artifact
+(``benchmarks/results/fault_campaign.txt``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from common import emit, perf_summary, run_once
+
+from repro.fault.campaign import (
+    CampaignConfig, format_summary, report_json, run_campaign,
+)
+
+SEEDS = tuple(range(30))
+
+
+def run_experiment() -> dict:
+    config = CampaignConfig(seeds=SEEDS, workers=0, recover=True)
+    report = run_campaign(config)
+    rerun = run_campaign(config)
+    return {"report": report, "identical": report_json(report)
+            == report_json(rerun)}
+
+
+def check_shape(result: dict) -> None:
+    report = result["report"]
+    summary = report["summary"]
+    expected = len(report["config"]["workloads"]) * len(SEEDS)
+    assert summary["runs"] == expected, "campaign lost runs"
+    assert summary["total"]["host_crash"] == 0, "fault escaped the simulator"
+    assert sum(summary["total"].values()) == expected, "unclassified run"
+    assert result["identical"], "campaign report is not bit-reproducible"
+    recovery = summary["recovery"]
+    if recovery["attempted"]:
+        assert recovery["recovered"] == recovery["attempted"], \
+            "checkpoint retry failed to reach a clean halt"
+
+
+def test_fault_campaign(benchmark):
+    result = run_once(benchmark, run_experiment)
+    check_shape(result)
+    report = result["report"]
+    emit("fault_campaign", format_summary(report))
+    with open(os.path.join(os.path.dirname(__file__), "results",
+                           "fault_campaign.json"), "w") as fh:
+        fh.write(report_json(report) + "\n")
+
+
+def test_fault_summary_in_perf_summary():
+    """The campaign table rides along in the shared perf summary."""
+    from repro.profile.workloads import build_workload
+
+    config = CampaignConfig(workloads=("tight_loop",), seeds=(0, 1, 2),
+                            workers=0)
+    report = run_campaign(config)
+    machine = build_workload("tight_loop")
+    machine.load_and_run("_start:\n  addi t0, t0, 1\n  halt\n")
+    text = perf_summary(machine, label="fault-campaign",
+                        fault_report=report)
+    assert "fault campaign (MFI)" in text
+    assert "tight_loop" in text
+
+
+if __name__ == "__main__":
+    result = run_experiment()
+    check_shape(result)
+    print(format_summary(result["report"]))
+    print(json.dumps(result["report"]["summary"]["total"]))

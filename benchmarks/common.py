@@ -36,18 +36,26 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
-def perf_summary(machine, label: str = None, top_traces: int = 5) -> str:
+def perf_summary(machine, label: str = None, top_traces: int = 5,
+                 fault_report: dict = None) -> str:
     """Format (and print) a machine's host-side perf counters.
 
     See :mod:`repro.cpu.stats` — these measure the simulator (translation
     cache behaviour, host MIPS), not the simulated machine.  When an
     MPROF sink is attached (``machine.set_profiling(True)``) the summary
     gains a "hottest traces" section: the top-*top_traces* traces by
-    retired instructions with their per-mroutine attribution.
+    retired instructions with their per-mroutine attribution.  When a
+    *fault_report* (an MFI campaign report, see :mod:`repro.fault`) is
+    passed, the summary gains the campaign's outcome table.
     """
     header = f"host perf [{label or machine.name}]"
     text = header + "\n" + "-" * len(header) + "\n" + machine.perf.summary()
     text += _hottest_traces(machine, top_traces)
+    if fault_report is not None:
+        from repro.fault.campaign import format_summary
+
+        text += "\n\nfault campaign (MFI)\n--------------------\n"
+        text += format_summary(fault_report)
     print()
     print(text)
     return text

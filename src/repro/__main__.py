@@ -7,6 +7,7 @@ Usage::
     python -m repro program.s --engine pipeline --trace --regs
     python -m repro lint --apps               # MAS static analysis (mcode)
     python -m repro profile tight_loop        # MPROF hot-trace profiling
+    python -m repro faultinject --smoke       # MFI fault-injection sweep
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -65,6 +66,10 @@ def main(argv=None) -> int:
         # import cycle if pulled in at repro.profile import time.
         from repro.profile.cli import profile_main
         return profile_main(argv[1:])
+    if argv and argv[0] == "faultinject":
+        # Lazy for the same reason: the campaign builds machines.
+        from repro.fault.cli import faultinject_main
+        return faultinject_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

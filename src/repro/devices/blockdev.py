@@ -12,11 +12,17 @@ Register map (word offsets):
 0x00   SECTOR: target sector number
 0x04   DMA_ADDR: physical buffer address
 0x08   CMD: 1 = read sector -> DMA_ADDR, 2 = write DMA_ADDR -> sector
-0x0C   STATUS: 0 idle, 1 busy, 2 complete (read clears to 0... no:
-       write 0 to acknowledge completion)
+0x0C   STATUS: 0 idle, 1 busy, 2 complete, 3 error (write 0 to
+       acknowledge a completion or error)
 0x10   IRQ_CTRL: bit0 enables the completion interrupt
 0x14   COMPLETED: total completed requests (read-only)
 ====== ========================================================
+
+The host-side fault-injection API (``inject_error``/``inject_timeout``,
+used by :mod:`repro.fault`) makes the in-flight or next request either
+complete with ``STATUS_ERROR`` and no DMA transfer, or never complete at
+all until :meth:`clear_faults` — modelling a failed respectively hung
+I/O.  Both are one-shot unless re-armed.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ REG_COMPLETED = 0x14
 STATUS_IDLE = 0
 STATUS_BUSY = 1
 STATUS_COMPLETE = 2
+STATUS_ERROR = 3
 
 CMD_READ = 1
 CMD_WRITE = 2
@@ -53,8 +60,12 @@ class BlockDevice(MmioDevice):
         self.status = STATUS_IDLE
         self.irq_enabled = False
         self.completed = 0
+        self.errors = 0
         self._pending_cmd = 0
         self._countdown = 0
+        # One-shot fault arming (repro.fault).
+        self._fault_error = False
+        self._fault_timeout = False
 
     # -- host-side API -----------------------------------------------------
     def preload(self, sector: int, payload: bytes) -> None:
@@ -62,12 +73,35 @@ class BlockDevice(MmioDevice):
         data = bytes(payload[:SECTOR_SIZE])
         self.sectors[sector] = data + b"\x00" * (SECTOR_SIZE - len(data))
 
+    # -- fault injection (repro.fault) --------------------------------------
+    def inject_error(self) -> None:
+        """Arm a one-shot I/O error: the in-flight (or next) request
+        completes with STATUS_ERROR and performs no DMA transfer."""
+        self._fault_error = True
+
+    def inject_timeout(self) -> None:
+        """Arm a hung request: the in-flight (or next) command never
+        completes until :meth:`clear_faults` — a guest polling STATUS
+        spins forever (watchdog territory)."""
+        self._fault_timeout = True
+
+    def clear_faults(self) -> None:
+        self._fault_error = False
+        self._fault_timeout = False
+
     # -- simulation ----------------------------------------------------------
     def tick(self, cycles: int) -> None:
         if self.status != STATUS_BUSY:
             return
+        if self._fault_timeout:
+            return                      # request hangs, countdown frozen
         self._countdown -= cycles
         if self._countdown > 0:
+            return
+        if self._fault_error:
+            self._fault_error = False
+            self.status = STATUS_ERROR
+            self.errors += 1
             return
         if self._pending_cmd == CMD_READ:
             payload = self.sectors.get(self.sector_reg, b"\x00" * SECTOR_SIZE)
@@ -82,7 +116,8 @@ class BlockDevice(MmioDevice):
         self.completed += 1
 
     def irq_pending(self) -> bool:
-        return self.irq_enabled and self.status == STATUS_COMPLETE
+        return self.irq_enabled and self.status in (STATUS_COMPLETE,
+                                                    STATUS_ERROR)
 
     # -- register interface -----------------------------------------------------
     def read_reg(self, offset: int) -> int:
@@ -109,7 +144,7 @@ class BlockDevice(MmioDevice):
                 self.status = STATUS_BUSY
                 self._countdown = self.latency_cycles
         elif offset == REG_STATUS:
-            if value == 0 and self.status == STATUS_COMPLETE:
+            if value == 0 and self.status in (STATUS_COMPLETE, STATUS_ERROR):
                 self.status = STATUS_IDLE
         elif offset == REG_IRQ_CTRL:
             self.irq_enabled = bool(value & 1)

@@ -18,7 +18,15 @@ Register map (word offsets):
 0x10   IRQ_CTRL: bit0 enables the RX interrupt
 0x14   RX_TOTAL: packets delivered so far (read-only)
 0x18   RX_HEAD_TS: arrival cycle of head packet (read-only)
+0x1C   RX_FAULT: sticky fault status (1 = DMA target unmapped on the
+       last failed RX_POP); write 0 to clear
 ====== =========================================================
+
+RX_POP is transactional: the DMA target range is validated *before* the
+head packet is dequeued, so a bad ``DMA_ADDR`` loses nothing — the
+packet stays at the head of the queue, counters are untouched, and the
+failure is latched in RX_FAULT instead of escaping the MMIO write as a
+host bus error.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 
+from repro.errors import ReproError
 from repro.mem.mmio import MmioDevice
 
 REG_RX_STATUS = 0x00
@@ -35,13 +44,18 @@ REG_RX_POP = 0x0C
 REG_IRQ_CTRL = 0x10
 REG_RX_TOTAL = 0x14
 REG_RX_HEAD_TS = 0x18
+REG_RX_FAULT = 0x1C
+
+#: RX_FAULT codes.
+FAULT_NONE = 0
+FAULT_DMA = 1
 
 
 class Nic(MmioDevice):
     """RX-only synthetic NIC (TX is irrelevant to the delivery benchmark)."""
 
     def __init__(self, base: int = 0xF000_2000):
-        super().__init__(base, 0x1C, name="nic")
+        super().__init__(base, 0x20, name="nic")
         self.bus = None          # set by the machine builder for DMA
         self.clock = 0
         self._schedule = []      # heap of (arrival_cycle, seq, payload)
@@ -50,8 +64,12 @@ class Nic(MmioDevice):
         self.dma_addr = 0
         self.irq_enabled = False
         self.delivered = 0
+        self.fault = FAULT_NONE
         #: (arrival_cycle, pop_cycle) pairs for latency accounting.
         self.latencies = []
+        #: Fault-injection counters (repro.fault): packets dropped,
+        #: duplicated or corrupted host-side.
+        self.faults_injected = {"drop": 0, "duplicate": 0, "corrupt": 0}
 
     # -- host-side API -----------------------------------------------------
     def schedule_packet(self, arrival_cycle: int, payload: bytes) -> None:
@@ -71,6 +89,40 @@ class Nic(MmioDevice):
     @property
     def undelivered(self) -> int:
         return len(self._rx) + len(self._schedule)
+
+    # -- fault injection (repro.fault) --------------------------------------
+    def inject_rx_drop(self) -> bool:
+        """Drop the head RX packet (or the earliest scheduled one when
+        the queue is empty).  Returns True if a packet was lost."""
+        if self._rx:
+            self._rx.popleft()
+        elif self._schedule:
+            heapq.heappop(self._schedule)
+        else:
+            return False
+        self.faults_injected["drop"] += 1
+        return True
+
+    def inject_rx_duplicate(self) -> bool:
+        """Duplicate the head RX packet in place (same arrival stamp)."""
+        if not self._rx:
+            return False
+        self._rx.appendleft(self._rx[0])
+        self.faults_injected["duplicate"] += 1
+        return True
+
+    def inject_rx_corrupt(self, byte_index: int, mask: int) -> bool:
+        """XOR *mask* into one payload byte of the head RX packet."""
+        if not self._rx:
+            return False
+        arrival, payload = self._rx[0]
+        if not payload:
+            return False
+        data = bytearray(payload)
+        data[byte_index % len(data)] ^= mask & 0xFF
+        self._rx[0] = (arrival, bytes(data))
+        self.faults_injected["corrupt"] += 1
+        return True
 
     # -- simulation ----------------------------------------------------------
     def tick(self, cycles: int) -> None:
@@ -96,6 +148,8 @@ class Nic(MmioDevice):
             return self.delivered
         if offset == REG_RX_HEAD_TS:
             return self._rx[0][0] & 0xFFFFFFFF if self._rx else 0
+        if offset == REG_RX_FAULT:
+            return self.fault
         return 0
 
     def write_reg(self, offset: int, value: int) -> None:
@@ -103,10 +157,24 @@ class Nic(MmioDevice):
             self.dma_addr = value
         elif offset == REG_RX_POP:
             if value & 1 and self._rx:
-                arrival, payload = self._rx.popleft()
-                if self.bus is not None and payload:
-                    self.bus.write_bytes(self.dma_addr, payload)
-                self.delivered += 1
-                self.latencies.append((arrival, self.clock))
+                self._pop_head()
         elif offset == REG_IRQ_CTRL:
             self.irq_enabled = bool(value & 1)
+        elif offset == REG_RX_FAULT:
+            if value == 0:
+                self.fault = FAULT_NONE
+
+    def _pop_head(self) -> None:
+        """Transactional RX_POP: validate the DMA copy before dequeuing,
+        so a bad DMA_ADDR leaves the head packet queued and latches
+        RX_FAULT instead of raising out of the MMIO write."""
+        arrival, payload = self._rx[0]
+        if self.bus is not None and payload:
+            try:
+                self.bus.write_bytes(self.dma_addr, payload)
+            except ReproError:
+                self.fault = FAULT_DMA
+                return
+        self._rx.popleft()
+        self.delivered += 1
+        self.latencies.append((arrival, self.clock))

@@ -24,6 +24,7 @@ class InterruptController:
         self._sources = {}       # line -> callable() -> bool
         self.enabled_mask = 0xFFFFFFFF
         self._latched = 0        # edge latch for acked level sources
+        self._storm = {}         # line -> re-assertions left (fault inj.)
 
     def wire(self, line: int, pending_fn) -> None:
         """Register *pending_fn* (a ``() -> bool``) as the source of *line*."""
@@ -54,8 +55,29 @@ class InterruptController:
         self._latched |= 1 << line
 
     def acknowledge(self, line: int) -> None:
-        """Clear the latch for *line* (level sources re-assert on poll)."""
+        """Clear the latch for *line* (level sources re-assert on poll).
+
+        A stormed line (see :meth:`inject_storm`) stays asserted through
+        its budgeted number of acknowledgements before clearing."""
+        remaining = self._storm.get(line)
+        if remaining:
+            self._storm[line] = remaining - 1
+            return
+        self._storm.pop(line, None)
         self._latched &= ~(1 << line)
+
+    # -- fault injection (repro.fault) --------------------------------------
+    def inject_spurious(self, line: int) -> None:
+        """Assert *line* once with no device behind it (latched until
+        acknowledged; an unrouted line simply stays pending)."""
+        self.raise_line(line)
+
+    def inject_storm(self, line: int, count: int) -> None:
+        """Assert *line* and keep it asserted across the next *count*
+        acknowledgements — an interrupt storm whose source the handler
+        cannot quiesce immediately."""
+        self._storm[line] = max(0, int(count))
+        self.raise_line(line)
 
     def set_enabled(self, mask: int) -> None:
         self.enabled_mask = mask & 0xFFFFFFFF

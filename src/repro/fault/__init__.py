@@ -1,0 +1,32 @@
+"""MFI: deterministic fault injection and recovery for the Metal model.
+
+Three layers (see docs/FAULTS.md):
+
+* :mod:`repro.fault.injector` — single-fault specs (bit flips in GPRs,
+  MRegs, MRAM, RAM, the TLB; device and interrupt perturbations) fired
+  at reproducible trigger points (instret / PC / MMIO access count).
+* :mod:`repro.fault.campaign` — seeded N-run sweeps classified against
+  golden references (masked / detected_guest / detected_mas /
+  silent_corruption / hang / host_crash), optionally over a
+  ``multiprocessing`` worker pool, emitting bit-reproducible JSON.
+* :mod:`repro.fault.recovery` — periodic snapshot checkpoints with a
+  step-budget watchdog and retry-from-checkpoint.
+
+This package intentionally avoids importing machine builders at import
+time (they are pulled in lazily by the campaign) so that
+``import repro.fault`` stays cycle-free from device and metal modules.
+"""
+
+from repro.fault.injector import (
+    ALL_TARGETS, DEVICE_TARGETS, STATE_TARGETS,
+    FaultSpec, FireReport, Trigger,
+    apply_fault, random_spec, run_with_fault,
+)
+from repro.fault.recovery import CheckpointRunner, RecoveryReport
+
+__all__ = [
+    "ALL_TARGETS", "DEVICE_TARGETS", "STATE_TARGETS",
+    "FaultSpec", "FireReport", "Trigger",
+    "apply_fault", "random_spec", "run_with_fault",
+    "CheckpointRunner", "RecoveryReport",
+]

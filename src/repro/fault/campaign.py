@@ -1,0 +1,384 @@
+"""MFI campaign runner: N-seed fault sweeps against golden references.
+
+One campaign run is ``(workload, seed)``: the seed derives a
+:class:`~repro.fault.injector.FaultSpec` via ``random.Random(seed)``, a
+fresh machine executes the workload with that fault armed, and the final
+state is classified against a golden (fault-free) reference:
+
+========================== ===========================================
+masked                     run halted, architectural outputs match the
+                           golden digest
+detected_guest             execution raised a guest-visible error
+                           (trap/panic/decode fault — a ReproError)
+detected_mas               run halted, but re-running the MAS verifier
+                           over the *current* MRAM code words flags an
+                           invariant violation (corrupted mroutine)
+silent_corruption          run halted, nobody complained, outputs
+                           differ from golden — the dangerous class
+hang                       the step-budget watchdog expired
+host_crash                 the simulator itself raised a non-ReproError
+                           (must never happen; CI asserts zero)
+========================== ===========================================
+
+Classification precedence is detection-first: a corrupted-code run that
+still halts is credited to MAS (the analyzer catches it without needing
+a golden to diff against), and only undetected divergence counts as
+silent corruption.
+
+Reports are bit-reproducible: runs are keyed and sorted by seed, the
+spec derivation is pure, and no wall-clock values enter the report.
+The worker-pool path (``workers > 1``) partitions runs over a
+``multiprocessing`` pool and must produce the identical report.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.fault.injector import (
+    STATE_TARGETS, FaultSpec, random_spec, run_with_fault,
+)
+
+OUTCOMES = ("masked", "detected_guest", "detected_mas",
+            "silent_corruption", "hang", "host_crash")
+
+#: Program load base used by the campaign workloads.
+LOAD_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class CampaignWorkload:
+    """A profiling workload plus its fault-campaign configuration.
+
+    ``result_regs`` names the registers that constitute the workload's
+    architectural *output* — the values a consumer would read after the
+    run.  The golden digest compares those (plus RAM, console, MRAM
+    data and MRegs), not the whole register file, so a flip in a dead
+    scratch register counts as masked rather than as corruption.
+    """
+
+    name: str
+    iters: int
+    result_regs: tuple
+
+
+#: The canned campaign: small-iteration variants of three profiling
+#: workloads with distinct fault surfaces (pure ALU loop, Metal
+#: transitions via ECALL delivery, menter into an MRAM spin routine).
+CAMPAIGN_WORKLOADS = {
+    "tight_loop": CampaignWorkload(
+        "tight_loop", iters=400,
+        result_regs=("t1", "t2", "t3", "t4", "t5", "t6", "s2", "s3", "s4")),
+    "syscall_heavy": CampaignWorkload(
+        "syscall_heavy", iters=200, result_regs=("t0",)),
+    "mcode_heavy": CampaignWorkload(
+        "mcode_heavy", iters=120, result_regs=("s0", "t0", "t1", "t2")),
+}
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign sweep."""
+
+    workloads: tuple = tuple(CAMPAIGN_WORKLOADS)
+    seeds: tuple = tuple(range(50))
+    workers: int = 0                 # 0/1 = inline, N = pool size
+    budget_factor: float = 4.0       # watchdog = factor * golden + floor
+    budget_floor: int = 20_000
+    recover: bool = False            # attempt checkpoint-retry recovery
+    targets: tuple = None            # restrict the fault-target pool
+    checkpoint_interval: int = 1_000
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads), "seeds": list(self.seeds),
+            "workers": self.workers, "budget_factor": self.budget_factor,
+            "budget_floor": self.budget_floor, "recover": self.recover,
+            "targets": list(self.targets) if self.targets else None,
+            "checkpoint_interval": self.checkpoint_interval,
+        }
+
+
+# ----------------------------------------------------------------------
+# machines, goldens, digests
+# ----------------------------------------------------------------------
+
+def _build(workload_key: str):
+    """Fresh machine + loaded program for one campaign workload."""
+    from repro.profile.workloads import build_workload, workload_source
+
+    cw = CAMPAIGN_WORKLOADS[workload_key]
+    machine = build_workload(cw.name)
+    source = workload_source(cw.name, cw.iters)
+    program = machine.assemble(source, base=LOAD_BASE)
+    machine.load(program)
+    machine.core.pc = program.symbols.get("_start", LOAD_BASE)
+    return machine, max(64, program.size)
+
+
+def state_digest(machine, result_regs) -> dict:
+    """Architectural-output digest for golden comparison.
+
+    Includes the workload's result registers, the PC, full RAM and
+    console output, and (on Metal machines) the MReg file and MRAM data
+    segment.  Deliberately excludes instret/cycles: a fault whose
+    handling costs extra instructions but converges to the same outputs
+    is masked, not corrupt.
+    """
+    core = machine.core
+    digest = {
+        "regs": {name: machine.reg(name) for name in result_regs},
+        "pc": core.pc,
+        "halted": core.halted,
+        "ram_sha": hashlib.sha256(bytes(machine.ram.data)).hexdigest(),
+        "console": machine.output,
+    }
+    if core.metal is not None:
+        digest["in_metal"] = core.metal.in_metal
+        digest["mregs_sha"] = hashlib.sha256(
+            repr(core.metal.mregs.snapshot()).encode()).hexdigest()
+        digest["mram_data_sha"] = hashlib.sha256(
+            bytes(core.metal.mram.data)).hexdigest()
+    return digest
+
+
+def golden_reference(workload_key: str, budget: int = 2_000_000) -> dict:
+    """Run the workload fault-free; return digest + retirement count."""
+    machine, prog_bytes = _build(workload_key)
+    result = machine.run(max_instructions=budget, raise_on_limit=False)
+    if not machine.core.halted:
+        raise ReproError(
+            f"golden run of {workload_key!r} did not halt in {budget}")
+    cw = CAMPAIGN_WORKLOADS[workload_key]
+    return {
+        "digest": state_digest(machine, cw.result_regs),
+        "instret": result.instructions,
+        "cycles": result.cycles,
+        "prog_bytes": prog_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# MAS invariant recheck
+# ----------------------------------------------------------------------
+
+def mas_recheck(machine) -> list:
+    """Re-verify every loaded mroutine against its *current* MRAM words.
+
+    The loader proved the image clean at boot; a code-segment fault can
+    silently break those proofs.  Returns the new error diagnostics
+    (strings), empty when every routine still verifies (or the machine
+    has no Metal unit).
+    """
+    image = getattr(machine, "metal_image", None)
+    if image is None:
+        return []
+    from repro.analysis.passes import analyze_routine
+
+    errors = []
+    mram = image.mram
+    for name, routine in image.routines.items():
+        if routine.code_offset is None or not routine.code_words:
+            continue
+        current = [mram.fetch(routine.code_offset + 4 * i)
+                   for i in range(len(routine.code_words))]
+        if current == list(routine.code_words):
+            continue  # untouched since the load-time proof
+        clone = copy.copy(routine)
+        clone.code_words = current
+        lo = routine.data_offset or 0
+        hi = lo + 4 * (routine.data_words or 0)
+        ranges = [(lo, hi)] if hi > lo else [(0, 0)]
+        try:
+            result = analyze_routine(clone, allowed_data_ranges=ranges)
+        except ReproError as exc:
+            errors.append(f"{name}: analysis rejected image ({exc})")
+            continue
+        for diag in result.errors:
+            errors.append(f"{name}: {diag.message} (word {diag.word_index})")
+    return errors
+
+
+def classify(machine, exc, fire, golden, result_regs):
+    """Map one armed run's end state to ``(outcome, detail)``."""
+    if exc is not None:
+        if isinstance(exc, ReproError):
+            return "detected_guest", f"{type(exc).__name__}: {exc}"
+        return "host_crash", f"{type(exc).__name__}: {exc}"
+    if not machine.core.halted:
+        return "hang", (f"watchdog: {fire.instructions} instructions "
+                        f"without halt")
+    mas = mas_recheck(machine)
+    if mas:
+        return "detected_mas", "; ".join(mas[:4])
+    if state_digest(machine, result_regs) == golden["digest"]:
+        return "masked", fire.detail
+    return "silent_corruption", fire.detail
+
+
+# ----------------------------------------------------------------------
+# one run / the sweep
+# ----------------------------------------------------------------------
+
+def run_one(workload_key: str, seed: int, golden: dict,
+            config: CampaignConfig) -> dict:
+    """Execute one ``(workload, seed)`` campaign cell."""
+    from repro.profile.registry import MetricsRegistry
+
+    cw = CAMPAIGN_WORKLOADS[workload_key]
+    spec = random_spec(
+        seed, horizon=golden["instret"],
+        ram_window=(LOAD_BASE, golden["prog_bytes"]),
+        targets=config.targets,
+    )
+    budget = int(config.budget_factor * golden["instret"]
+                 + config.budget_floor)
+    machine, _ = _build(workload_key)
+    registry = MetricsRegistry(machine)
+    before = registry.snapshot()
+    exc = None
+    fire = None
+    try:
+        fire = run_with_fault(machine, spec, budget)
+    except Exception as caught:              # classified, never re-raised
+        exc = caught
+        from repro.fault.injector import FireReport
+        fire = FireReport()
+    after = registry.snapshot()
+    delta = after.delta(before)
+    outcome, detail = classify(machine, exc, fire, golden, cw.result_regs)
+
+    record = {
+        "workload": workload_key,
+        "seed": seed,
+        "spec": spec.to_dict(),
+        "spec_text": spec.describe(),
+        "fired": fire.fired,
+        "applied": fire.applied,
+        "outcome": outcome,
+        "detail": detail,
+        "instructions": delta.instret,
+        "cycles": delta.cycles,
+        "tcache": {
+            "invalidations": delta.counters.get("invalidations", 0),
+            "flushes": delta.counters.get("flushes", 0),
+        },
+        "recovered": None,
+    }
+    if (config.recover and outcome in ("detected_guest", "hang")
+            and spec.target in STATE_TARGETS
+            and spec.trigger.kind == "instret"):
+        record["recovered"] = _attempt_recovery(
+            workload_key, spec, golden, config, cw.result_regs)
+    return record
+
+
+def _attempt_recovery(workload_key, spec, golden, config, result_regs):
+    """Replay the run under the checkpoint runner; report the retry."""
+    from repro.fault.recovery import CheckpointRunner
+
+    machine, _ = _build(workload_key)
+    budget = int(config.budget_factor * golden["instret"]
+                 + config.budget_floor)
+    runner = CheckpointRunner(machine, interval=config.checkpoint_interval,
+                              budget=budget)
+    report = runner.run(spec)
+    golden_equivalent = (
+        report.recovered
+        and state_digest(machine, result_regs) == golden["digest"]
+    )
+    return {
+        "recovered": bool(report.recovered),
+        "golden_equivalent": bool(golden_equivalent),
+        "retries": report.retries,
+        "checkpoints": report.checkpoints,
+    }
+
+
+def _pool_cell(item):
+    """Top-level pool worker (must be picklable)."""
+    workload_key, seed, golden, config_dict = item
+    config = CampaignConfig(**config_dict)
+    return run_one(workload_key, seed, golden, config)
+
+
+def run_campaign(config: CampaignConfig) -> dict:
+    """Run the full sweep; return the (deterministic) report dict."""
+    goldens = {w: golden_reference(w) for w in config.workloads}
+    cells = [(w, s, goldens[w], _config_kwargs(config))
+             for w in config.workloads for s in config.seeds]
+    if config.workers and config.workers > 1 and len(cells) > 1:
+        with multiprocessing.Pool(config.workers) as pool:
+            runs = pool.map(_pool_cell, cells, chunksize=4)
+    else:
+        runs = [_pool_cell(cell) for cell in cells]
+    runs.sort(key=lambda r: (r["workload"], r["seed"]))
+    # The pool size is an execution detail, not an outcome: identical
+    # seed lists must yield byte-identical reports at any parallelism.
+    config_echo = config.to_dict()
+    del config_echo["workers"]
+    return {
+        "config": config_echo,
+        "goldens": {w: {"instret": g["instret"], "cycles": g["cycles"]}
+                    for w, g in sorted(goldens.items())},
+        "runs": runs,
+        "summary": summarize(runs),
+    }
+
+
+def _config_kwargs(config: CampaignConfig) -> dict:
+    d = config.to_dict()
+    d["workloads"] = tuple(d["workloads"])
+    d["seeds"] = tuple(d["seeds"])
+    if d["targets"] is not None:
+        d["targets"] = tuple(d["targets"])
+    return d
+
+
+def summarize(runs) -> dict:
+    """Outcome counts per workload and in total, plus recovery stats."""
+    per = {}
+    total = {o: 0 for o in OUTCOMES}
+    recovery = {"attempted": 0, "recovered": 0, "golden_equivalent": 0}
+    for run in runs:
+        row = per.setdefault(run["workload"], {o: 0 for o in OUTCOMES})
+        row[run["outcome"]] += 1
+        total[run["outcome"]] += 1
+        rec = run.get("recovered")
+        if rec is not None:
+            recovery["attempted"] += 1
+            recovery["recovered"] += int(rec["recovered"])
+            recovery["golden_equivalent"] += int(rec["golden_equivalent"])
+    return {"per_workload": per, "total": total, "recovery": recovery,
+            "runs": len(runs)}
+
+
+def format_summary(report: dict) -> str:
+    """Render the campaign summary as the table the CLI prints."""
+    summary = report["summary"]
+    cols = OUTCOMES
+    width = max(len(w) for w in list(summary["per_workload"]) + ["total"])
+    head = "workload".ljust(width) + "".join(f"{c:>18}" for c in cols)
+    lines = [head, "-" * len(head)]
+    for workload in sorted(summary["per_workload"]):
+        row = summary["per_workload"][workload]
+        lines.append(workload.ljust(width)
+                     + "".join(f"{row[c]:>18}" for c in cols))
+    lines.append("total".ljust(width)
+                 + "".join(f"{summary['total'][c]:>18}" for c in cols))
+    rec = summary["recovery"]
+    if rec["attempted"]:
+        lines.append(
+            f"recovery: {rec['recovered']}/{rec['attempted']} retried runs "
+            f"halted, {rec['golden_equivalent']} golden-equivalent")
+    return "\n".join(lines)
+
+
+def report_json(report: dict) -> str:
+    """Canonical JSON encoding (sorted keys, stable across runs)."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,107 @@
+"""``python -m repro faultinject`` — run an MFI fault campaign.
+
+Examples::
+
+    python -m repro faultinject                        # default sweep
+    python -m repro faultinject --seeds 200 --workers 4 --json out.json
+    python -m repro faultinject --workloads tight_loop --targets gpr_flip
+    python -m repro faultinject --smoke                # CI smoke sweep
+
+The report JSON is bit-reproducible for a given seed list: rerunning
+the same command produces byte-identical output (no timestamps, runs
+sorted by seed), so a report diff is a regression signal.  The exit
+status is non-zero iff any run classified as ``host_crash`` — the
+simulator must contain every injected fault.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fault.campaign import (
+    CAMPAIGN_WORKLOADS, CampaignConfig, format_summary, report_json,
+    run_campaign,
+)
+from repro.fault.injector import ALL_TARGETS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faultinject",
+        description="Deterministic fault-injection campaign (MFI).",
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(CAMPAIGN_WORKLOADS),
+        help=f"comma list from: {', '.join(CAMPAIGN_WORKLOADS)}")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of seeds (0..N-1) per workload")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (campaign covers base..base+N-1)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker-pool size (0 = run inline)")
+    parser.add_argument("--targets", default=None,
+                        help=f"restrict fault targets (comma list from: "
+                             f"{', '.join(ALL_TARGETS)})")
+    parser.add_argument("--budget-factor", type=float, default=4.0,
+                        help="watchdog budget = factor * golden instret")
+    parser.add_argument("--recover", action="store_true",
+                        help="retry detected/hung runs from checkpoints")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the full report JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: 12 seeds, 2 workers, recovery on, "
+                             "JSON to fault_smoke.json unless --json")
+    return parser
+
+
+def faultinject_main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.seeds = 12
+        args.workers = args.workers or 2
+        args.recover = True
+        if args.json_path is None:
+            args.json_path = "fault_smoke.json"
+
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    for w in workloads:
+        if w not in CAMPAIGN_WORKLOADS:
+            print(f"error: unknown workload {w!r} "
+                  f"(have: {', '.join(CAMPAIGN_WORKLOADS)})",
+                  file=sys.stderr)
+            return 2
+    targets = None
+    if args.targets:
+        targets = tuple(t for t in args.targets.split(",") if t)
+        for t in targets:
+            if t not in ALL_TARGETS:
+                print(f"error: unknown fault target {t!r}", file=sys.stderr)
+                return 2
+
+    config = CampaignConfig(
+        workloads=workloads,
+        seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)),
+        workers=args.workers,
+        budget_factor=args.budget_factor,
+        recover=args.recover,
+        targets=targets,
+    )
+    report = run_campaign(config)
+
+    print(f"MFI campaign: {len(workloads)} workload(s) x {args.seeds} "
+          f"seed(s) = {len(report['runs'])} runs "
+          f"(workers={args.workers or 'inline'})")
+    print(format_summary(report))
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(report_json(report) + "\n")
+        print(f"report written to {args.json_path}")
+
+    crashes = report["summary"]["total"]["host_crash"]
+    if crashes:
+        print(f"error: {crashes} host_crash outcome(s) — simulator bug",
+              file=sys.stderr)
+        return 1
+    return 0

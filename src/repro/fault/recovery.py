@@ -1,0 +1,117 @@
+"""MFI recovery layer: periodic checkpoints + watchdog + retry.
+
+Runs a machine in bounded chunks, taking a whole-machine snapshot
+(:func:`repro.machine.snapshot.take_snapshot`) every ``interval``
+retired instructions, with a step-budget watchdog bounding the whole
+run.  On failure — a guest-detected error or a watchdog expiry — it
+retries from checkpoints, newest first.
+
+The newest checkpoint may already contain the injected corruption (the
+snapshot cannot know which bits are poisoned), in which case the retry
+fails the same way and the runner falls back to the next-older one; the
+initial pre-run snapshot is kept outside the ring as the final
+fallback, so a *one-shot* transient fault is always recoverable: the
+fault does not re-fire on replay, and the deterministic workload then
+reaches the golden final state.
+
+Only processor/memory state is checkpointed (snapshots model
+checkpointing the processor, not the world — see
+:mod:`repro.machine.snapshot`), so recovery is guaranteed only for
+state faults (:data:`repro.fault.injector.STATE_TARGETS`); the campaign
+runner restricts its retry attempts accordingly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.fault.injector import FaultSpec, apply_fault
+from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one checkpointed (and possibly retried) run."""
+
+    failure: str            # "none" | "detected" | "hang"
+    recovered: bool         # retry reached a clean halt (None-equivalent
+                            # False when failure == "none")
+    retries: int
+    checkpoints: int
+    instructions: int
+
+
+class CheckpointRunner:
+    """Chunked execution with snapshot checkpoints and retry.
+
+    *interval* is the checkpoint period in retired instructions,
+    *budget* the watchdog's total step budget per attempt, *ring* how
+    many recent checkpoints are retained (the pre-run snapshot is kept
+    in addition, as the last-resort retry point).
+    """
+
+    def __init__(self, machine, interval: int = 1_000,
+                 budget: int = 200_000, ring: int = 4):
+        self.machine = machine
+        self.interval = max(1, int(interval))
+        self.budget = int(budget)
+        self.ring = max(1, int(ring))
+
+    def run(self, spec: FaultSpec = None) -> RecoveryReport:
+        """Run to halt (or failure + recovery), optionally with *spec*
+        injected one-shot at its ``instret`` trigger point."""
+        if spec is not None and spec.trigger.kind != "instret":
+            raise ReproError(
+                "CheckpointRunner only supports instret-triggered faults")
+        machine = self.machine
+        origin = take_snapshot(machine)
+        ring = deque(maxlen=self.ring)
+        executed = 0
+        checkpoints = 1
+        fired = spec is None
+        to_fire = spec.trigger.value if spec is not None else None
+        failure = None
+
+        while executed < self.budget and not machine.core.halted:
+            chunk = min(self.interval, self.budget - executed)
+            if not fired:
+                chunk = min(chunk, max(1, to_fire - executed))
+            try:
+                result = machine.run(max_instructions=chunk,
+                                     raise_on_limit=False)
+            except ReproError:
+                failure = "detected"
+                break
+            executed += result.instructions
+            if machine.core.halted:
+                break
+            if not fired and executed >= to_fire:
+                apply_fault(machine, spec)
+                fired = True
+            if result.instructions == 0:
+                failure = "hang"      # wedged without retiring anything
+                break
+            ring.append(take_snapshot(machine))
+            checkpoints += 1
+
+        if machine.core.halted and failure is None:
+            return RecoveryReport("none", False, 0, checkpoints, executed)
+        if failure is None:
+            failure = "hang"
+
+        retries = 0
+        for snap in list(reversed(ring)) + [origin]:
+            retries += 1
+            restore_snapshot(machine, snap)
+            try:
+                result = machine.run(max_instructions=self.budget,
+                                     raise_on_limit=False)
+            except ReproError:
+                continue              # checkpoint itself was poisoned
+            executed += result.instructions
+            if machine.core.halted:
+                return RecoveryReport(failure, True, retries, checkpoints,
+                                      executed)
+        return RecoveryReport(failure, False, retries, checkpoints, executed)

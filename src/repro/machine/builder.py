@@ -60,6 +60,7 @@ DEVICE_SYMBOLS = {
     "NIC_IRQ_CTRL": NIC_BASE + 0x10,
     "NIC_RX_TOTAL": NIC_BASE + 0x14,
     "NIC_RX_HEAD_TS": NIC_BASE + 0x18,
+    "NIC_RX_FAULT": NIC_BASE + 0x1C,
     "BLK_SECTOR": BLOCK_BASE + 0x00,
     "BLK_DMA_ADDR": BLOCK_BASE + 0x04,
     "BLK_CMD": BLOCK_BASE + 0x08,
@@ -125,6 +126,10 @@ def _base_machine(config: MachineConfig, metal_unit, name: str) -> Machine:
         bus=bus, tlb=Tlb(config.tlb_entries), metal=metal_unit,
         icache=icache, dcache=dcache, irq=irq, timing=timing,
     )
+    if metal_unit is not None:
+        # Deferred-interrupt introspection (DESIGN.md §5): the delivery
+        # table can enumerate pending-but-undeliverable routed causes.
+        metal_unit.delivery.bind(irq, metal_unit)
     if config.engine == "pipeline":
         sim = PipelineSimulator(core, tcache=config.tcache)
     elif config.engine == "functional":

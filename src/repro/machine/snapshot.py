@@ -1,12 +1,17 @@
 """Whole-machine snapshot / restore.
 
 Captures the architectural state a context-switching host would need:
-GPRs, PC, modes, CSRs, TLB, MRegs, MRAM data segment, and RAM contents.
-Device-internal state (queues, countdowns) is deliberately *not*
-captured — snapshots model checkpointing the processor, not the world.
+GPRs, PC, modes, CSRs, TLB, MRegs, MRAM (code and data), RAM, and
+the guest-mutable Metal control state — the delivery table's routed
+causes (``mivec``) and the interception rule set (``micept``), which a
+guest may have changed between snapshot and restore.  Device-internal
+state (queues, countdowns) is deliberately *not* captured — snapshots
+model checkpointing the processor, not the world.
 
-Used by tests for A/B experiments (run, snapshot, perturb, restore) and a
-building block for nested-Metal context switching demos.
+Used by tests for A/B experiments (run, snapshot, perturb, restore), the
+MFI fault-injection recovery layer (periodic checkpoints + retry, see
+docs/FAULTS.md) and as a building block for nested-Metal context
+switching demos.
 """
 
 from __future__ import annotations
@@ -57,10 +62,17 @@ def take_snapshot(machine) -> MachineSnapshot:
             "in_metal": core.metal.in_metal,
             "mregs": core.metal.mregs.snapshot(),
             "mram_data": bytes(core.metal.mram.data),
+            "mram_code": bytes(core.metal.mram.code),
             "paging_enabled": core.metal.paging_enabled,
             "user_translation": core.metal.user_translation,
             "interrupts_enabled": core.metal.delivery.interrupts_enabled,
+            "delivery": core.metal.delivery.snapshot_state(),
         }
+        # The layered (nested-Metal) intercept view has per-layer tables
+        # and no single rule set; base machines capture theirs.
+        capture = getattr(core.metal.intercept, "snapshot_rules", None)
+        if capture is not None:
+            snap.metal["intercept_rules"] = capture()
     return snap
 
 
@@ -88,8 +100,24 @@ def restore_snapshot(machine, snap: MachineSnapshot) -> None:
         core.metal.in_metal = snap.metal["in_metal"]
         core.metal.mregs.restore(snap.metal["mregs"])
         core.metal.mram.data[:] = snap.metal["mram_data"]
+        mram_code = snap.metal.get("mram_code")
+        if mram_code is not None and bytes(core.metal.mram.code) != mram_code:
+            # Replacing MRAM code must bump code_version so the tcache
+            # drops predecoded blocks of the pre-restore image (the MFI
+            # recovery layer depends on this to undo code corruption).
+            core.metal.mram.code[:] = mram_code
+            core.metal.mram.code_version += 1
         core.metal.paging_enabled = snap.metal["paging_enabled"]
         core.metal.user_translation = snap.metal["user_translation"]
         core.metal.delivery.interrupts_enabled = (
             snap.metal["interrupts_enabled"]
         )
+        delivery = snap.metal.get("delivery")
+        if delivery is not None:
+            core.metal.delivery.restore_state(delivery)
+        # restore_rules fires the empty<->non-empty transition watchers,
+        # invalidating tcache blocks compiled under the old assumption.
+        rules = snap.metal.get("intercept_rules")
+        if (rules is not None
+                and hasattr(core.metal.intercept, "restore_rules")):
+            core.metal.intercept.restore_rules(rules)

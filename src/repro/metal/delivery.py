@@ -11,10 +11,17 @@ Interrupt enablement for normal mode is a single flag (``mintc``); Metal
 mode is never interruptible (paper §2.1/§4: "Metal disables interrupts in
 mroutines"), so pending interrupts are simply sampled again after
 ``mexit`` — the controller is level-triggered, nothing is lost.
+
+The deferral is observable: :attr:`DeliveryTable.deferred` lists the
+causes currently pending at the interrupt controller that have a routed
+handler but cannot be delivered yet (mroutine running, or interrupts
+masked), so tests can verify no interrupt is lost across an mroutine or
+a snapshot/restore boundary (see DESIGN.md §5, "Non-interruptibility").
 """
 
 from __future__ import annotations
 
+from repro.cpu.exceptions import Cause
 from repro.errors import MetalError
 
 
@@ -24,6 +31,10 @@ class DeliveryTable:
     def __init__(self):
         self._vectors = {}
         self.interrupts_enabled = False
+        # Bound by the machine builder (bind()): the interrupt controller
+        # and owning MetalUnit, for the deferred-interrupt introspection.
+        self._irq = None
+        self._unit = None
 
     def route(self, cause: int, entry: int) -> None:
         """Route *cause* to mroutine *entry* (mivec)."""
@@ -49,3 +60,51 @@ class DeliveryTable:
     def clear(self) -> None:
         self._vectors.clear()
         self.interrupts_enabled = False
+
+    # -- snapshot surface (repro.machine.snapshot) ---------------------------
+    def snapshot_state(self) -> dict:
+        """Guest-mutable routing state, for whole-machine snapshots."""
+        return {
+            "vectors": dict(self._vectors),
+            "interrupts_enabled": self.interrupts_enabled,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._vectors = dict(state["vectors"])
+        self.interrupts_enabled = state["interrupts_enabled"]
+
+    # -- deferred-interrupt introspection ------------------------------------
+    def bind(self, irq, unit) -> None:
+        """Attach the interrupt controller and owning MetalUnit so the
+        deferral of pending interrupts is observable (builder use)."""
+        self._irq = irq
+        self._unit = unit
+
+    @property
+    def pending_routed(self):
+        """Causes pending at the controller that have a routed handler,
+        deliverable or not (sorted)."""
+        if self._irq is None:
+            return ()
+        bitmap = self._irq.pending_bitmap()
+        causes = []
+        while bitmap:
+            line = (bitmap & -bitmap).bit_length() - 1
+            bitmap &= bitmap - 1
+            cause = Cause.interrupt(line)
+            if cause in self._vectors:
+                causes.append(cause)
+        return tuple(causes)
+
+    @property
+    def deferred(self):
+        """The deferred-interrupt queue: causes pending at the controller
+        with a routed handler that cannot be delivered *right now* —
+        either an mroutine is executing (paper §2.1: mroutines are
+        non-interruptible) or normal-mode interrupts are masked.  The
+        controller is level-triggered, so these are re-sampled (and the
+        queue drains) after ``mexit``/``mintc``; an empty tuple while
+        something is pending-and-routed means delivery is imminent."""
+        blocked = ((self._unit is not None and self._unit.in_metal)
+                   or not self.interrupts_enabled)
+        return self.pending_routed if blocked else ()

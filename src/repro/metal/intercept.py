@@ -84,6 +84,22 @@ class InterceptTable:
         self._rules.clear()
         self._note_transition(was_empty)
 
+    # -- snapshot surface (repro.machine.snapshot) ---------------------------
+    def snapshot_rules(self) -> dict:
+        """Copy of the installed rules (specs are immutable value objects,
+        so a shallow dict copy is a faithful capture)."""
+        return dict(self._rules)
+
+    def restore_rules(self, rules: dict) -> None:
+        """Replace the rule set wholesale, firing the empty<->non-empty
+        transition watchers exactly as incremental enable/disable would —
+        the translation cache compiled normal-mode blocks under the
+        current emptiness assumption and must be told when a restore
+        changes it."""
+        was_empty = not self._rules
+        self._rules = dict(rules)
+        self._note_transition(was_empty)
+
     @property
     def active_rules(self) -> int:
         return len(self._rules)

@@ -89,3 +89,20 @@ class Mram:
         self.code[:] = bytes(self.code_bytes)
         self.data[:] = bytes(self.data_bytes)
         self.code_version += 1
+
+    # -- fault injection (repro.fault) --------------------------------------
+    def corrupt(self, segment: str, byte_offset: int, mask: int) -> None:
+        """XOR *mask* into one byte of *segment* ("code" or "data").
+
+        Models a bit flip in the physical RAM.  Code corruption bumps
+        ``code_version`` so the translation cache drops its predecoded
+        blocks and genuinely fetches the flipped word — without that the
+        fast path would keep executing the pre-fault decode.
+        """
+        if segment == "code":
+            self.code[byte_offset % self.code_bytes] ^= mask & 0xFF
+            self.code_version += 1
+        elif segment == "data":
+            self.data[byte_offset % self.data_bytes] ^= mask & 0xFF
+        else:
+            raise MramError(f"unknown MRAM segment {segment!r}")

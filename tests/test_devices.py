@@ -230,3 +230,136 @@ class TestInterruptController:
         irq = InterruptController()
         with pytest.raises(SimulatorError):
             irq.wire(32, lambda: False)
+
+
+class TestNicTransactionalPop:
+    """RX_POP must validate the DMA copy before dequeuing: a bad
+    DMA_ADDR loses nothing and latches RX_FAULT instead of raising a
+    host bus error out of the MMIO write (regression: the pre-fix pop
+    dequeued first, so the packet was lost AND the exception escaped)."""
+
+    def _nic_with_bus(self):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        nic = Nic(base=0xF000_0000)
+        nic.bus = bus
+        return nic, bus
+
+    def test_bad_dma_leaves_queue_intact_and_latches_fault(self):
+        from repro.devices.nic import FAULT_DMA, FAULT_NONE, REG_RX_FAULT
+
+        nic, bus = self._nic_with_bus()
+        nic.schedule_packet(0, b"precious")
+        nic.tick(1)
+        nic.write_reg(NIC_DMA, 0xDEAD_F000)      # unmapped target
+        nic.write_reg(REG_RX_POP, 1)             # must not raise
+        assert nic.read_reg(REG_RX_STATUS) == 1  # packet still queued
+        assert nic.read_reg(REG_RX_TOTAL) == 0   # nothing delivered
+        assert nic.read_reg(REG_RX_FAULT) == FAULT_DMA
+        assert nic.latencies == []
+
+        # Retry with a good address: the same packet arrives whole.
+        nic.write_reg(NIC_DMA, 0x100)
+        nic.write_reg(REG_RX_POP, 1)
+        assert bus.read_bytes(0x100, 8) == b"precious"
+        assert nic.read_reg(REG_RX_STATUS) == 0
+        assert nic.read_reg(REG_RX_TOTAL) == 1
+        # the fault stays latched (readable post-mortem) until cleared
+        assert nic.read_reg(REG_RX_FAULT) == FAULT_DMA
+        nic.write_reg(REG_RX_FAULT, 0)
+        assert nic.read_reg(REG_RX_FAULT) == FAULT_NONE
+
+    def test_partially_out_of_range_dma_is_all_or_nothing(self):
+        nic, bus = self._nic_with_bus()
+        nic.schedule_packet(0, b"12345678")
+        nic.tick(1)
+        nic.write_reg(NIC_DMA, 0xFFC)            # last word of RAM: 4 of 8 fit
+        nic.write_reg(REG_RX_POP, 1)
+        assert nic.read_reg(REG_RX_STATUS) == 1  # transactional: kept
+        assert bus.read_bytes(0xFFC, 4) == b"\0\0\0\0"  # nothing written
+
+
+class TestNicFaultInjection:
+    def _nic(self):
+        nic = Nic(base=0xF000_0000)
+        return nic
+
+    def test_drop_duplicate_corrupt(self):
+        nic = self._nic()
+        nic.schedule_packet(0, b"aa")
+        nic.schedule_packet(0, b"bb")
+        nic.tick(1)
+        assert nic.inject_rx_drop()
+        assert nic.queued == 1
+        assert nic.inject_rx_duplicate()
+        assert nic.queued == 2
+        assert nic.inject_rx_corrupt(0, 0xFF)
+        assert nic.faults_injected == {"drop": 1, "duplicate": 1, "corrupt": 1}
+
+    def test_inject_on_empty_queue_reports_false(self):
+        nic = self._nic()
+        assert not nic.inject_rx_drop()
+        assert not nic.inject_rx_duplicate()
+        assert not nic.inject_rx_corrupt(0, 1)
+
+
+class TestBlockDeviceFaults:
+    def _blk_with_bus(self, latency=10):
+        bus = MemoryBus()
+        bus.attach_ram(0, 0x1000)
+        blk = BlockDevice(base=0xF000_0000, latency_cycles=latency)
+        blk.bus = bus
+        return blk, bus
+
+    def test_injected_error_completes_with_status_error_no_dma(self):
+        from repro.devices.blockdev import STATUS_ERROR
+
+        blk, bus = self._blk_with_bus(latency=5)
+        blk.preload(1, b"should-not-arrive")
+        blk.write_reg(REG_SECTOR, 1)
+        blk.write_reg(REG_DMA_ADDR, 0x300)
+        blk.write_reg(0x10, 1)                    # IRQ_CTRL
+        blk.inject_error()
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.tick(5)
+        assert blk.read_reg(REG_STATUS) == STATUS_ERROR
+        assert bus.read_bytes(0x300, 8) == b"\0" * 8   # no DMA happened
+        assert blk.errors == 1
+        assert blk.irq_pending()                  # error raises the line too
+        blk.write_reg(REG_STATUS, 0)              # ack clears it
+        assert blk.read_reg(REG_STATUS) == STATUS_IDLE
+        assert not blk.irq_pending()
+        # one-shot: the next request succeeds
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.tick(5)
+        assert blk.read_reg(REG_STATUS) == STATUS_COMPLETE
+
+    def test_injected_timeout_hangs_until_cleared(self):
+        blk, _ = self._blk_with_bus(latency=5)
+        blk.inject_timeout()
+        blk.write_reg(REG_CMD, CMD_READ)
+        blk.tick(10_000)
+        assert blk.read_reg(REG_STATUS) == STATUS_BUSY   # frozen
+        blk.clear_faults()
+        blk.tick(5)
+        assert blk.read_reg(REG_STATUS) == STATUS_COMPLETE
+
+
+class TestInterruptControllerFaults:
+    def test_spurious_is_latched_until_ack(self):
+        irq = InterruptController()
+        irq.inject_spurious(7)
+        assert irq.highest_pending() == 7
+        irq.acknowledge(7)
+        assert irq.highest_pending() is None
+
+    def test_storm_survives_budgeted_acks(self):
+        irq = InterruptController()
+        irq.inject_storm(4, 2)
+        assert irq.highest_pending() == 4
+        irq.acknowledge(4)
+        assert irq.highest_pending() == 4        # 1 re-assertion left
+        irq.acknowledge(4)
+        assert irq.highest_pending() == 4        # budget spent on this ack
+        irq.acknowledge(4)
+        assert irq.highest_pending() is None     # storm over

@@ -1,0 +1,264 @@
+"""MFI fault-injection subsystem tests (src/repro/fault).
+
+Covers the injector's determinism and trigger exactness, one test per
+campaign outcome class, the checkpoint/watchdog recovery runner
+(including golden-equivalence of the recovered state), and the
+bit-reproducibility of campaign reports across reruns and across the
+worker pool.
+"""
+
+import functools
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fault.campaign import (
+    CAMPAIGN_WORKLOADS, LOAD_BASE, CampaignConfig, _build, classify,
+    golden_reference, report_json, run_campaign, state_digest,
+)
+from repro.fault.injector import (
+    ALL_TARGETS, FaultSpec, FireReport, Trigger, random_spec,
+    run_with_fault,
+)
+from repro.fault.recovery import CheckpointRunner
+
+
+@functools.lru_cache(maxsize=None)
+def golden(workload: str) -> dict:
+    """Cached golden references (pure per workload)."""
+    return golden_reference(workload)
+
+
+def run_spec(workload: str, spec: FaultSpec):
+    """One armed run + classification, exactly as the campaign does it."""
+    g = golden(workload)
+    machine, _ = _build(workload)
+    budget = 4 * g["instret"] + 20_000
+    exc = None
+    try:
+        fire = run_with_fault(machine, spec, budget)
+    except Exception as caught:
+        exc = caught
+        fire = FireReport()
+    outcome, detail = classify(
+        machine, exc, fire, g, CAMPAIGN_WORKLOADS[workload].result_regs)
+    return outcome, detail, fire, machine
+
+
+@functools.lru_cache(maxsize=None)
+def undecodable_spin_bit() -> int:
+    """A bit whose flip makes the spin mroutine's first word raise a
+    guest-visible decode fault when executed (found by search — the
+    encoding is not hand-assumed by the tests)."""
+    machine, _ = _build("mcode_heavy")
+    offset = machine.metal_image.routines["spin"].code_offset
+    for bit in range(32):
+        spec = FaultSpec("mram_code_flip", Trigger("instret", 5),
+                         address=offset, bit=bit)
+        outcome, _, _, _ = run_spec("mcode_heavy", spec)
+        if outcome == "detected_guest":
+            return bit
+    pytest.fail("no single-bit flip of the spin head word faults")
+
+
+class TestSpecs:
+    def test_random_spec_is_deterministic(self):
+        for seed in range(40):
+            a = random_spec(seed, horizon=1_000)
+            b = random_spec(seed, horizon=1_000)
+            assert a == b, f"seed {seed} not reproducible"
+            assert a.target in ALL_TARGETS
+            assert 1 <= a.trigger.value < 1_000
+            assert a.describe()
+
+    def test_dict_roundtrip(self):
+        for seed in range(20):
+            spec = random_spec(seed, horizon=500)
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("demonic_flip", Trigger("instret", 1))
+
+
+class TestOutcomeClasses:
+    """One deliberately constructed fault per campaign outcome."""
+
+    def test_masked_dead_register_flip(self):
+        # s11 (x27) is never read by tight_loop: the flip lands, the
+        # run is architecturally unaffected, and — because the instret
+        # trigger is exact and costs nothing — the retirement count
+        # matches the golden run to the instruction.
+        g = golden("tight_loop")
+        spec = FaultSpec("gpr_flip", Trigger("instret", g["instret"] // 2),
+                         index=26, bit=7)      # 1 + 26 % 31 == 27 == s11
+        outcome, _, fire, _ = run_spec("tight_loop", spec)
+        assert outcome == "masked"
+        assert fire.fired and fire.applied
+        assert fire.instructions == g["instret"]
+
+    def test_silent_corruption_result_register_flip(self):
+        # t1 accumulates a result; flipping it two instructions before
+        # the halt leaves no time for detection or recomputation.
+        g = golden("tight_loop")
+        spec = FaultSpec("gpr_flip", Trigger("instret", g["instret"] - 2),
+                         index=5, bit=0)       # 1 + 5 % 31 == 6 == t1
+        outcome, _, fire, machine = run_spec("tight_loop", spec)
+        assert outcome == "silent_corruption"
+        assert machine.core.halted
+        digest = state_digest(
+            machine, CAMPAIGN_WORKLOADS["tight_loop"].result_regs)
+        assert digest != g["digest"]
+
+    def test_detected_guest_undecodable_mcode(self):
+        offset = _spin_offset()
+        spec = FaultSpec("mram_code_flip", Trigger("instret", 5),
+                         address=offset, bit=undecodable_spin_bit())
+        outcome, detail, _, _ = run_spec("mcode_heavy", spec)
+        assert outcome == "detected_guest"
+        assert detail
+
+    def test_detected_mas_corrupt_but_halted(self):
+        # The same corruption landing after the *last* spin invocation:
+        # the guest halts none the wiser, but re-running the verifier
+        # over current MRAM words flags the broken routine.
+        g = golden("mcode_heavy")
+        spec = FaultSpec("mram_code_flip",
+                         Trigger("instret", g["instret"] - 2),
+                         address=_spin_offset(),
+                         bit=undecodable_spin_bit())
+        outcome, detail, _, machine = run_spec("mcode_heavy", spec)
+        assert outcome == "detected_mas"
+        assert "spin" in detail
+        assert machine.core.halted
+
+    def test_hang_block_timeout_via_mmio_trigger(self):
+        # A guest polling BLK_STATUS for completion hangs forever when
+        # the third MMIO access (the CMD write) arms the timeout fault;
+        # the step-budget watchdog classifies it.
+        machine, _ = _build("tight_loop")
+        program = machine.assemble("""
+_start:
+    li   t0, BLK_SECTOR
+    sw   zero, 0(t0)
+    li   t0, BLK_DMA_ADDR
+    li   t1, 0x2000
+    sw   t1, 0(t0)
+    li   t0, BLK_CMD
+    li   t1, 1                  # CMD_READ
+    sw   t1, 0(t0)
+    li   t0, BLK_STATUS
+poll:
+    lw   t1, 0(t0)
+    li   t2, 2                  # STATUS_COMPLETE
+    bne  t1, t2, poll
+    halt
+""", base=LOAD_BASE)
+        machine.load(program)
+        machine.core.pc = LOAD_BASE
+        spec = FaultSpec("blk_timeout", Trigger("mmio", 3, "blockdev"))
+        fire = run_with_fault(machine, spec, budget=5_000)
+        assert fire.fired and fire.applied
+        assert not machine.core.halted
+        outcome, detail = classify(machine, None, fire, {"digest": None},
+                                   ())
+        assert outcome == "hang"
+        assert "watchdog" in detail
+
+    def test_host_crash_classification(self):
+        # Non-ReproError exceptions classify as host_crash (the class
+        # CI asserts to be empty); ReproErrors as detected_guest.
+        machine, _ = _build("tight_loop")
+        outcome, _ = classify(machine, RuntimeError("boom"), FireReport(),
+                              {"digest": None}, ())
+        assert outcome == "host_crash"
+        outcome, _ = classify(machine, ReproError("trap"), FireReport(),
+                              {"digest": None}, ())
+        assert outcome == "detected_guest"
+
+
+def _spin_offset() -> int:
+    machine, _ = _build("mcode_heavy")
+    return machine.metal_image.routines["spin"].code_offset
+
+
+class TestRecovery:
+    def test_rejects_non_instret_trigger(self):
+        machine, _ = _build("tight_loop")
+        runner = CheckpointRunner(machine)
+        with pytest.raises(ReproError):
+            runner.run(FaultSpec("gpr_flip", Trigger("pc", LOAD_BASE)))
+
+    def test_clean_run_needs_no_recovery(self):
+        machine, _ = _build("tight_loop")
+        runner = CheckpointRunner(machine, interval=500)
+        report = runner.run()
+        assert report.failure == "none"
+        assert not report.recovered and report.retries == 0
+        assert report.checkpoints > 1
+        assert machine.core.halted
+
+    def test_detected_fault_recovers_to_golden_state(self):
+        g = golden("mcode_heavy")
+        machine, _ = _build("mcode_heavy")
+        spec = FaultSpec("mram_code_flip", Trigger("instret", 60),
+                         address=_spin_offset(),
+                         bit=undecodable_spin_bit())
+        runner = CheckpointRunner(machine, interval=40,
+                                  budget=4 * g["instret"] + 20_000)
+        report = runner.run(spec)
+        assert report.failure == "detected"
+        assert report.recovered
+        assert machine.core.halted
+        # One-shot fault: the replay from a clean snapshot reaches the
+        # golden final state bit-for-bit.
+        digest = state_digest(
+            machine, CAMPAIGN_WORKLOADS["mcode_heavy"].result_regs)
+        assert digest == g["digest"]
+
+    def test_hang_fault_recovers_through_poisoned_ring(self):
+        # Flipping a high bit of the loop counter makes the remaining
+        # trip count astronomically large: the watchdog expires, the
+        # post-fault checkpoints replay the same hang, and the runner
+        # falls back past them (origin at worst) to a clean halt.
+        g = golden("tight_loop")
+        machine, _ = _build("tight_loop")
+        spec = FaultSpec("gpr_flip", Trigger("instret", g["instret"] // 2),
+                         index=4, bit=30)      # 1 + 4 % 31 == 5 == t0
+        runner = CheckpointRunner(machine, interval=300, budget=20_000)
+        report = runner.run(spec)
+        assert report.failure == "hang"
+        assert report.recovered
+        assert report.retries >= 1
+        assert machine.core.halted
+        digest = state_digest(
+            machine, CAMPAIGN_WORKLOADS["tight_loop"].result_regs)
+        assert digest == g["digest"]
+
+
+class TestCampaign:
+    CONFIG = dict(workloads=("tight_loop", "mcode_heavy"),
+                  seeds=tuple(range(8)))
+
+    def test_report_bit_reproducible(self):
+        a = run_campaign(CampaignConfig(**self.CONFIG))
+        b = run_campaign(CampaignConfig(**self.CONFIG))
+        assert report_json(a) == report_json(b)
+        assert a["summary"]["runs"] == 16
+        assert a["summary"]["total"]["host_crash"] == 0
+        assert sum(a["summary"]["total"].values()) == 16
+
+    def test_pool_matches_inline(self):
+        inline = run_campaign(CampaignConfig(**self.CONFIG, workers=0))
+        pooled = run_campaign(CampaignConfig(**self.CONFIG, workers=2))
+        assert report_json(inline) == report_json(pooled)
+
+    def test_every_run_terminates_and_is_classified(self):
+        report = run_campaign(CampaignConfig(
+            workloads=("syscall_heavy",), seeds=tuple(range(6))))
+        for run in report["runs"]:
+            assert run["outcome"] in (
+                "masked", "detected_guest", "detected_mas",
+                "silent_corruption", "hang")
+            assert run["instructions"] >= 0
+            assert run["spec_text"]

@@ -187,3 +187,97 @@ handler:
 """, max_instructions=1_000_000)
         assert m.reg("a1") == 1           # handler ran
         assert m.reg("a0") == 100000      # loop completed afterwards
+
+
+class TestDeferredInterrupts:
+    """An interrupt arriving mid-mroutine is deferred, observable via
+    DeliveryTable.deferred, and delivered after mexit — including when a
+    snapshot is taken at the deferred point and later restored."""
+
+    def _machine_mid_spin(self):
+        """Run until the timer interrupt is pending while an mroutine is
+        executing; returns the machine parked at that point."""
+        spin = MRoutine(name="spin", entry=2, source="""
+            li   t5, 300
+sloop:
+            addi t5, t5, -1
+            bnez t5, sloop
+            li   t6, 1
+            mexit
+        """)
+        tick = MRoutine(name="tick", entry=0, source="""
+            wmr  m10, t0
+            wmr  m11, t1
+            li   t0, 0x3F00
+            mpld t1, 0(t0)
+            addi t1, t1, 1
+            mpst t1, 0(t0)
+            li   t0, TIMER_CTRL
+            mpst zero, 0(t0)
+            rmr  t1, m11
+            rmr  t0, m10
+            mexit
+        """, mregs=(10, 11))
+        irq_on = MRoutine(name="irq_on", entry=1, source="""
+            li   t0, CAUSE_INTERRUPT_TIMER
+            li   t1, MR_TICK
+            mivec t0, t1
+            li   t0, 1
+            mintc t0
+            mexit
+        """)
+        m = build_metal_machine([spin, tick, irq_on], with_caches=False)
+        m.timer.compare = 100
+        m.timer.irq_enabled = True
+        program = m.assemble("""
+_start:
+    menter MR_IRQ_ON
+    menter MR_SPIN
+    nop
+    halt
+""", base=0x1000)
+        m.load(program)
+        m.core.pc = 0x1000
+        for _ in range(5_000):
+            m.run(max_instructions=1, raise_on_limit=False)
+            if m.core.in_metal and (m.irq.pending_bitmap() & 1):
+                return m
+        pytest.fail("timer interrupt never observed mid-mroutine")
+
+    def test_deferred_mid_mroutine_then_delivered_after_mexit(self):
+        m = self._machine_mid_spin()
+        deferred = m.core.metal.delivery.deferred
+        assert Cause.interrupt(0) in deferred
+        assert deferred == m.core.metal.delivery.pending_routed
+        m.run(max_instructions=10_000, raise_on_limit=False)
+        assert m.core.halted
+        assert m.reg("t6") == 1               # mroutine ran to completion
+        assert m.read_word(0x3F00) == 1       # then the handler fired once
+        assert m.core.metal.delivery.deferred == ()
+
+    def test_deferred_interrupt_survives_snapshot_restore(self):
+        from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+        m = self._machine_mid_spin()
+        assert Cause.interrupt(0) in m.core.metal.delivery.deferred
+        snap = take_snapshot(m)
+
+        # First continuation: deferral drains after mexit.
+        m.run(max_instructions=10_000, raise_on_limit=False)
+        assert m.core.halted and m.read_word(0x3F00) == 1
+
+        # Restore to the deferred point.  Device state is deliberately
+        # outside the snapshot (the handler already quiesced the timer),
+        # so the host re-arms the level-triggered source, as a
+        # checkpoint-restoring host would re-drive its devices.
+        restore_snapshot(m, snap)
+        assert not m.core.halted and m.core.in_metal
+        m.timer.irq_enabled = True        # count is far past compare
+        assert Cause.interrupt(0) in m.core.metal.delivery.deferred
+
+        # Second continuation behaves identically: no interrupt lost.
+        m.run(max_instructions=10_000, raise_on_limit=False)
+        assert m.core.halted
+        assert m.reg("t6") == 1
+        assert m.read_word(0x3F00) == 1
+        assert m.core.metal.delivery.deferred == ()

@@ -227,6 +227,9 @@ def pytest_generate_tests(metafunc):
     if "seed" in metafunc.fixturenames:
         n = metafunc.config.getoption("--seeds")
         metafunc.parametrize("seed", range(n), ids=[f"seed{i}" for i in range(n)])
+    if "snap_seed" in metafunc.fixturenames:
+        metafunc.parametrize("snap_seed", range(SNAPSHOT_SEEDS),
+                             ids=[f"snap{i}" for i in range(SNAPSHOT_SEEDS)])
 
 
 def test_differential(seed):
@@ -274,6 +277,90 @@ def test_differential(seed):
     assert m_prof.profiler.total_traces > 0, (
         f"seed {seed}: profiler recorded no traces"
     )
+
+
+SNAPSHOT_SEEDS = 8
+
+
+def test_differential_snapshot_midrun(snap_seed):
+    """Snapshot all three machines mid-run, continue to halt in
+    lockstep, restore, and replay: the second continuation must retrace
+    the first bit-for-bit.  This pins two properties at once — the
+    snapshot captures *every* guest-visible bit (missing state shows up
+    as a pass-1 vs pass-2 divergence), and the host fast paths carry no
+    guest-visible residue across a restore (the tcache still holds
+    pass-1 superblocks, the profiler keeps pass-1 traces; neither may
+    leak into the replayed architectural state)."""
+    from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+    rng = random.Random(0x5AFE + snap_seed)
+    source = _gen_program(rng)
+
+    # Probe the program's total length on a throwaway interpreter so
+    # the snapshot lands squarely mid-run, whatever the generator made.
+    probe = _build(tcache=False)
+    probe.load(probe.assemble(source, base=CODE_BASE))
+    probe.core.pc = CODE_BASE
+    probe.run(max_instructions=TOTAL_LIMIT, raise_on_limit=False)
+    assert probe.core.halted, f"snap seed {snap_seed}: probe never halted"
+    snapshot_mid = max(1, probe.core.instret // 2)
+
+    machines = (_build(tcache=False), _build(tcache=True),
+                _build(tcache=True))
+    m_ref, m_got, m_prof = machines
+    m_prof.set_profiling(True)
+    for machine in machines:
+        program = machine.assemble(source, base=CODE_BASE)
+        machine.load(program)
+        machine.core.pc = CODE_BASE
+    code_len = 4 * len(program.words())
+
+    def check(step):
+        ref = _state(m_ref)
+        _assert_same(snap_seed, step, ref, _state(m_got), code_len,
+                     m_ref, m_got)
+        _assert_same(snap_seed, step, ref, _state(m_prof), code_len,
+                     m_ref, m_prof, label="profiled")
+        return ref
+
+    def continue_to_halt():
+        retired = 0
+        while retired < TOTAL_LIMIT:
+            for machine in machines:
+                machine.run(max_instructions=CHUNK, raise_on_limit=False)
+            retired += CHUNK
+            ref = check(f"+{retired}")
+            if ref["halted"]:
+                return ref
+        raise AssertionError(
+            f"snap seed {snap_seed}: program failed to halt")
+
+    for machine in machines:
+        machine.run(max_instructions=snapshot_mid, raise_on_limit=False)
+    mid = check("mid")
+    assert not mid["halted"], (
+        f"snap seed {snap_seed}: halted before the snapshot point")
+    snaps = [take_snapshot(machine) for machine in machines]
+
+    first = continue_to_halt()
+
+    for machine, snap in zip(machines, snaps):
+        restore_snapshot(machine, snap)
+    replay_mid = check("restored")
+    assert not replay_mid["halted"]
+    second = continue_to_halt()
+
+    # The replay matches the first continuation on every architectural
+    # field.  ``cycles`` is excluded by design: the cycle counter is
+    # engine-owned timing state, not snapshot-restorable guest state
+    # (instret *is* restored, and is compared).
+    for key in first:
+        if key == "cycles":
+            continue
+        assert first[key] == second[key], (
+            f"snap seed {snap_seed}: replay diverges on {key} "
+            f"(first={first[key]!r}, replay={second[key]!r})"
+        )
 
 
 def test_chaining_engages_on_loops():

@@ -118,6 +118,26 @@ _start:
         assert m.mreg(7) == 0x55
         assert m.core.metal.mram.load_word(0) == 0x55
 
+    def test_mram_code_captured(self):
+        """MRAM *code* is snapshot state too (the MFI recovery layer
+        undoes code-segment corruption by restoring a checkpoint), and
+        restoring a different image bumps code_version so stale
+        predecoded blocks die."""
+        r = MRoutine(name="r", entry=0, source="nop\nmexit\n")
+        m = build_metal_machine([r], with_caches=False)
+        mram = m.core.metal.mram
+        pristine = bytes(mram.code)
+        snap = take_snapshot(m)
+        mram.corrupt("code", 0, 0x40)
+        version = mram.code_version
+        restore_snapshot(m, snap)
+        assert bytes(mram.code) == pristine
+        assert mram.code_version > version
+        # No gratuitous bump when the code did not change.
+        version = mram.code_version
+        restore_snapshot(m, snap)
+        assert mram.code_version == version
+
     def test_restore_resumes_execution(self):
         m = build_trap_machine(with_caches=False)
         prog = m.assemble("""
@@ -151,6 +171,111 @@ mid:
         restore_snapshot(m, snap)
         assert len(m.core.tlb) == 1
         assert m.core.tlb.current_asid == 3
+
+    def test_delivery_routing_captured(self):
+        """The delivery table (mivec routing + mintc flag) is guest-
+        mutable state and must survive snapshot/restore (regression:
+        snapshots previously dropped it, so a restored checkpoint kept
+        whatever routing the *later* execution had installed)."""
+        r = MRoutine(name="r", entry=0, source="mexit\n")
+        m = build_metal_machine([r], with_caches=False)
+        delivery = m.core.metal.delivery
+        m.route_cause(8, "r")                  # ECALL -> r
+        delivery.interrupts_enabled = True
+        snap = take_snapshot(m)
+
+        delivery.unroute(8)
+        delivery.route(16, 0)                  # different routing entirely
+        delivery.interrupts_enabled = False
+
+        restore_snapshot(m, snap)
+        assert delivery.handler_for(8) == m.metal_image.entry_of("r")
+        assert delivery.handler_for(16) is None
+        assert delivery.interrupts_enabled
+
+    def test_intercept_rules_captured_and_watchers_fire(self):
+        """Intercept rules are part of the snapshot, and restoring them
+        across an empty<->non-empty transition fires the transition
+        watchers (the tcache flushes its normal-mode blocks, which were
+        compiled under the wrong interception assumption)."""
+        r = MRoutine(name="r", entry=0, source="mexit\n")
+        m = build_metal_machine([r], with_caches=False)
+        intercept = m.core.metal.intercept
+        transitions = []
+        intercept.watch_transitions(
+            lambda active: transitions.append(active))
+
+        intercept.enable(0x503, 1)             # intercept lw
+        snap = take_snapshot(m)
+        rules_at_snap = intercept.snapshot_rules()
+
+        intercept.clear()                      # guest dropped the rule
+        assert intercept.empty
+        del transitions[:]
+
+        restore_snapshot(m, snap)
+        assert not intercept.empty
+        assert intercept.snapshot_rules() == rules_at_snap
+        assert transitions == [True], (
+            "empty->non-empty transition watcher must fire on restore")
+
+        # And the reverse: restoring an *empty* rule set over live rules.
+        empty_snap = take_snapshot(m)
+        intercept.clear()
+        restore_snapshot(m, empty_snap)        # non-empty again
+        intercept.clear()
+        snap2 = take_snapshot(m)               # captured empty
+        intercept.enable(0x503, 1)
+        del transitions[:]
+        restore_snapshot(m, snap2)
+        assert intercept.empty
+        assert transitions == [False]
+
+    def test_restored_intercepts_are_architecturally_live(self):
+        """End-to-end: a restored machine re-executes with the restored
+        rule set, not the one active at restore time."""
+        setup = MRoutine(name="setup", entry=0, source="""
+            micept a0, a1
+            mexit
+        """)
+        emul = MRoutine(name="emul", entry=1, source="""
+            wmr  m13, t0
+            li   t0, 0x77
+            wmr  m27, t0          # emulated load result
+            rmr  t0, m29          # intercepted instruction word
+            srli t0, t0, 7
+            andi t0, t0, 31
+            wmr  m26, t0          # its rd
+            rmr  t0, m13
+            mexitm
+        """, shared_mregs=(13,))
+        m = build_metal_machine([setup, emul], with_caches=False)
+        prog = m.assemble("""
+_start:
+    li   a0, 0x503
+    li   a1, MR_EMUL
+    menter MR_SETUP
+mid:
+    li   s2, 0x3000
+    lw   a2, 0(s2)
+    halt
+""", base=0x1000)
+        m.load(prog)
+        m.write_word(0x3000, 0x1234)
+        m.core.pc = 0x1000
+        m.run(stop_pc=prog.symbols["mid"], max_instructions=10_000,
+              raise_on_limit=False)
+        snap = take_snapshot(m)                # rule installed, lw pending
+
+        m.run(max_instructions=10_000, raise_on_limit=False)
+        assert m.reg("a2") == 0x77             # intercepted + emulated
+
+        restore_snapshot(m, snap)
+        m.core.metal.intercept.clear()         # desync: rules gone...
+        restore_snapshot(m, snap)              # ...and restored again
+        m.run(max_instructions=10_000, raise_on_limit=False)
+        assert m.reg("a2") == 0x77, (
+            "restored intercept rule must intercept the reloaded lw")
 
 
 class TestCli:
