@@ -31,10 +31,14 @@ Since PR 2 every tcache-on configuration is measured with superblock
 chaining disabled (``tcache_nochain``, the PR-1 behaviour) and enabled;
 since PR 3 the chained configuration is additionally measured with the
 analysis-driven pure mram loop off (``tcache_nopure``) and on
-(``tcache_on``).  The JSON records the cache win over the interpreter
-(``speedup``), the chaining win over the plain cache
-(``chain_speedup``) and the purity win over the guarded chained cache
-(``pure_speedup``).  A ``trajectory`` list in the JSON keeps the
+(``tcache_on``); since PR 6 the full configuration is measured once
+more with the MJIT tier-2 compiler on (``tcache_jit`` — hot blocks
+recompiled to specialized Python source, see :mod:`repro.cpu.jit`;
+drop the mode with ``--nojit``).  The JSON records the cache win over
+the interpreter (``speedup``), the chaining win over the plain cache
+(``chain_speedup``), the purity win over the guarded chained cache
+(``pure_speedup``) and the tier-2 win over the closure tier
+(``jit_speedup``).  A ``trajectory`` list in the JSON keeps the
 tight-loop functional numbers of every PR for trend tracking.
 
 Since PR 4 the JSON also records the MPROF numbers:
@@ -49,14 +53,19 @@ Since PR 4 the JSON also records the MPROF numbers:
   links at build time.  Guest results must be bit-identical; the MIPS
   delta is recorded win or lose (preformation buys first-delivery
   latency, not steady-state throughput, so expect ~parity on a
-  long-running loop).
+  long-running loop).  Since PR 6 a third configuration combines
+  preformation with MJIT: the planned loop heads are tier-2 compiled at
+  build time, so the *first* delivery already runs through compiled
+  code — asserted by checking ``jit_blocks`` before the run starts.
 
 The tcache is architecture-invisible, so for every workload and engine
 the guest results (``RunResult.instructions`` / ``cycles``) must be
-bit-identical across all four modes — this file asserts that, plus the
+bit-identical across all five modes — this file asserts that, plus the
 headline wins for the functional engine on the tight loop: ≥2.6× over
-the interpreter and ≥1.3× over the unchained cache.  Results land in
-``BENCH_host_throughput.json`` at the repo root.
+the interpreter, ≥1.3× over the unchained cache, and with MJIT on a
+tier-2 dispatch share ≥90% and ≥6.16 MIPS absolute (2× the PR-4
+trajectory number).  Results land in ``BENCH_host_throughput.json`` at
+the repo root.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_host_throughput.py``)
 or via pytest.  ``--smoke`` runs a <30s subset for CI: it checks the
@@ -84,7 +93,7 @@ JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 SMOKE_JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                                "BENCH_host_throughput_smoke.json")
 #: Label this PR's tight-loop numbers carry in the JSON trajectory.
-TRAJECTORY_LABEL = "pr4_mprof"
+TRAJECTORY_LABEL = "pr6_mjit"
 
 
 def _build(workload: str, engine: str):
@@ -95,20 +104,26 @@ def _build(workload: str, engine: str):
     return build_workload(workload, engine=engine)
 
 
-#: Measurement modes: (tcache, chaining, pure loop).
+#: Measurement modes: (tcache, chaining, pure loop, jit).
 _MODES = {
-    "tcache_off": (False, False, False),
-    "tcache_nochain": (True, False, False),
-    "tcache_nopure": (True, True, False),
-    "tcache_on": (True, True, True),
+    "tcache_off": (False, False, False, False),
+    "tcache_nochain": (True, False, False, False),
+    "tcache_nopure": (True, True, False, False),
+    "tcache_on": (True, True, True, False),
+    "tcache_jit": (True, True, True, True),
 }
+
+
+def _modes(jit: bool = True):
+    """The mode names to measure (``--nojit`` drops ``tcache_jit``)."""
+    return [m for m in _MODES if jit or m != "tcache_jit"]
 
 
 def _measure(workload: str, engine: str, mode: str, iters: int,
              reps: int) -> dict:
     """Best-of-*reps* host MIPS for one configuration (fresh machine per
     rep; deterministic guest results are cross-checked across reps)."""
-    tcache, chain, pure = _MODES[mode]
+    tcache, chain, pure, jit = _MODES[mode]
     source = workload_source(workload, iters)
     best_mips = 0.0
     ref = None
@@ -119,6 +134,7 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
         machine.set_tcache(tcache)
         machine.set_tcache_chaining(chain)
         machine.set_tcache_pure_loop(pure)
+        machine.set_tcache_jit(jit)
         host0 = perf_counter()
         result = machine.load_and_run(source, max_instructions=50_000_000)
         host = perf_counter() - host0
@@ -155,16 +171,25 @@ def _measure(workload: str, engine: str, mode: str, iters: int,
             "blocks": best_stats.pure_blocks,
             "instructions": best_stats.pure_fast_instructions,
         }
+    if jit:
+        row["jit"] = {
+            "blocks": best_stats.jit_blocks,
+            "instructions": best_stats.jit_instructions,
+            "dispatch_share": round(best_stats.jit_dispatch_share, 4),
+            "compile_ms": round(best_stats.jit_compile_ms, 3),
+        }
     return row
 
 
-def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
+def run_suite(iters: dict, reps: int, engines=("functional", "pipeline"),
+              jit: bool = True):
     results = {}
+    modes = _modes(jit)
     for workload, n in iters.items():
         results[workload] = {}
         for engine in engines:
             row = {"iterations": n}
-            for mode in _MODES:
+            for mode in modes:
                 row[mode] = _measure(workload, engine, mode, n, reps)
             off, nochain, nopure, on = (
                 row["tcache_off"], row["tcache_nochain"],
@@ -175,10 +200,14 @@ def run_suite(iters: dict, reps: int, engines=("functional", "pipeline")):
                 on["mips"] / nochain["mips"] if nochain["mips"] else 0.0, 3)
             row["pure_speedup"] = round(
                 on["mips"] / nopure["mips"] if nopure["mips"] else 0.0, 3)
+            if "tcache_jit" in row:
+                row["jit_speedup"] = round(
+                    row["tcache_jit"]["mips"] / on["mips"]
+                    if on["mips"] else 0.0, 3)
             results[workload][engine] = row
-            # The tcache (chained, pure or not) is guest-invisible:
-            # identical results in all four modes.
-            for mode in ("tcache_nochain", "tcache_nopure", "tcache_on"):
+            # The tcache (chained, pure, jit or not) is guest-invisible:
+            # identical results in every mode.
+            for mode in modes[1:]:
                 for key in ("instructions", "cycles"):
                     assert row[mode][key] == off[key], (
                         f"{workload}/{engine}/{mode}: tcache changed "
@@ -239,23 +268,34 @@ def measure_profiler_overhead(iters: int, reps: int,
 
 
 def measure_preformation(iters: int, reps: int,
-                         engine: str = "functional") -> dict:
+                         engine: str = "functional",
+                         jit: bool = True) -> dict:
     """mcode_heavy MIPS: dynamic chain warmup vs superblock preformation.
 
     Preformation compiles and pre-chains the pure mroutine's blocks at
     build time (``Machine.preform_superblocks``); the dynamic baseline
     lets the chainer discover them on first dispatch.  Results must be
-    bit-identical; the MIPS delta is recorded win or lose.
+    bit-identical; the MIPS delta is recorded win or lose.  With *jit*,
+    a third configuration combines preformation with MJIT: the planned
+    loop heads must be tier-2 compiled *before the run starts*, so the
+    first delivery of the mroutine already executes at steady state.
     """
     source = workload_source("mcode_heavy", iters)
 
-    def best(preform: bool):
+    def best(preform: bool, with_jit: bool = False):
         best_mips, ref = 0.0, None
-        blocks = links = 0
+        blocks = links = warmed = 0
         for _ in range(reps):
             machine = _build("mcode_heavy", engine)
+            if with_jit:
+                machine.set_tcache_jit(True)
             if preform:
                 blocks, links = machine.preform_superblocks()
+            if with_jit:
+                warmed = machine.perf.tcache.jit_blocks
+                assert warmed > 0, (
+                    "preform+jit left the loop heads cold: first delivery "
+                    "would not run at steady state")
             host0 = perf_counter()
             result = machine.load_and_run(source,
                                           max_instructions=50_000_000)
@@ -268,14 +308,14 @@ def measure_preformation(iters: int, reps: int,
                     f"preform run non-deterministic: {outcome} vs {ref}")
             best_mips = max(best_mips,
                             result.instructions / host / 1e6 if host else 0.0)
-        return best_mips, ref, blocks, links
+        return best_mips, ref, blocks, links, warmed
 
-    dyn_mips, dyn_ref, _, _ = best(False)
-    pre_mips, pre_ref, blocks, links = best(True)
+    dyn_mips, dyn_ref, _, _, _ = best(False)
+    pre_mips, pre_ref, blocks, links, _ = best(True)
     assert pre_ref == dyn_ref, (
         f"preformation changed guest-visible results: {pre_ref} vs {dyn_ref}"
     )
-    return {
+    report = {
         "workload": "mcode_heavy",
         "engine": engine,
         "iterations": iters,
@@ -286,6 +326,15 @@ def measure_preformation(iters: int, reps: int,
         "preformed_blocks": blocks,
         "preformed_links": links,
     }
+    if jit:
+        jit_mips, jit_ref, _, _, warmed = best(True, with_jit=True)
+        assert jit_ref == dyn_ref, (
+            f"preform+jit changed guest-visible results: "
+            f"{jit_ref} vs {dyn_ref}"
+        )
+        report["preformed_jit_mips"] = round(jit_mips, 4)
+        report["preformed_jit_blocks_warm"] = warmed
+    return report
 
 
 def _load_previous(path: str):
@@ -328,6 +377,11 @@ def _trajectory(results: dict, previous, profiler: dict = None) -> list:
                 "chain_speedup": tight["chain_speedup"],
             },
         }
+        if "tcache_jit" in tight:
+            entry["tight_loop_functional"]["tcache_jit_mips"] = (
+                tight["tcache_jit"]["mips"])
+            entry["tight_loop_functional"]["jit_speedup"] = (
+                tight["jit_speedup"])
         mcode = results.get("mcode_heavy", {}).get("functional")
         if mcode:
             entry["mcode_heavy_functional"] = {
@@ -347,18 +401,19 @@ def _trajectory(results: dict, previous, profiler: dict = None) -> list:
     return trajectory
 
 
-def _disabled_vs_pr3(trajectory: list) -> float:
-    """Relative tight-loop tcache_on MIPS change of this run vs the PR-3
-    trajectory entry (negative = slower than PR 3).  Records whether the
-    dormant profiling hooks cost anything; cross-run wall clock, so
-    recorded rather than asserted."""
+def _disabled_vs_pr4(trajectory: list) -> float:
+    """Relative tight-loop tcache_on (closure-tier) MIPS change of this
+    run vs the PR-4 trajectory entry (negative = slower than PR 4).
+    Records whether the dormant JIT hooks (heat counter, tier-2 probe)
+    cost the closure tier anything; cross-run wall clock, so recorded
+    rather than asserted."""
     by_label = {e.get("label"): e for e in trajectory}
-    pr3 = by_label.get("pr3_mas_purity")
-    pr4 = by_label.get(TRAJECTORY_LABEL)
-    if not pr3 or not pr4:
+    pr4 = by_label.get("pr4_mprof")
+    now = by_label.get(TRAJECTORY_LABEL)
+    if not pr4 or not now:
         return None
-    old = pr3["tight_loop_functional"]["tcache_on_mips"]
-    new = pr4["tight_loop_functional"]["tcache_on_mips"]
+    old = pr4["tight_loop_functional"]["tcache_on_mips"]
+    new = now["tight_loop_functional"]["tcache_on_mips"]
     return round(new / old - 1.0, 4) if old else None
 
 
@@ -374,9 +429,9 @@ def _emit_json(results: dict, json_path: str = JSON_PATH,
     }
     if profiler:
         profiler = dict(profiler)
-        delta = _disabled_vs_pr3(trajectory)
+        delta = _disabled_vs_pr4(trajectory)
         if delta is not None:
-            profiler["disabled_mips_vs_pr3"] = delta
+            profiler["disabled_mips_vs_pr4"] = delta
         payload["profiler"] = profiler
     if preformation:
         payload["preformation"] = preformation
@@ -389,23 +444,30 @@ def _emit_json(results: dict, json_path: str = JSON_PATH,
 def _print_table(results: dict) -> None:
     print()
     print(f"{'workload':<18} {'engine':<11} {'off MIPS':>9} "
-          f"{'nochain':>9} {'nopure':>9} {'on MIPS':>9} {'speedup':>8} "
-          f"{'chain':>7} {'pure':>7} {'hit rate':>9}")
+          f"{'nochain':>9} {'nopure':>9} {'on MIPS':>9} {'jit MIPS':>9} "
+          f"{'speedup':>8} {'chain':>7} {'pure':>7} {'jit':>7} "
+          f"{'hit rate':>9}")
     for workload, engines in results.items():
         for engine, row in engines.items():
+            jit = row.get("tcache_jit")
+            jit_mips = f"{jit['mips']:>9.3f}" if jit else f"{'—':>9}"
+            jit_speedup = (f"{row['jit_speedup']:>6.2f}x"
+                           if jit else f"{'—':>7}")
             print(f"{workload:<18} {engine:<11} "
                   f"{row['tcache_off']['mips']:>9.3f} "
                   f"{row['tcache_nochain']['mips']:>9.3f} "
                   f"{row['tcache_nopure']['mips']:>9.3f} "
                   f"{row['tcache_on']['mips']:>9.3f} "
+                  f"{jit_mips} "
                   f"{row['speedup']:>7.2f}x "
                   f"{row['chain_speedup']:>6.2f}x "
                   f"{row['pure_speedup']:>6.2f}x "
+                  f"{jit_speedup} "
                   f"{row['tcache_on']['hit_rate']:>8.1%}")
     print()
 
 
-def run_full() -> dict:
+def run_full(jit: bool = True) -> dict:
     iters = {
         "tight_loop": 100_000,
         "chain_trampoline": 60_000,
@@ -414,10 +476,11 @@ def run_full() -> dict:
         "intercept_heavy": 15_000,
         "mcode_heavy": 15_000,
     }
-    results = run_suite(iters, reps=3)
+    results = run_suite(iters, reps=3, jit=jit)
     _print_table(results)
     profiler = measure_profiler_overhead(iters["tight_loop"], reps=3)
-    preformation = measure_preformation(iters["mcode_heavy"], reps=3)
+    preformation = measure_preformation(iters["mcode_heavy"], reps=3,
+                                        jit=jit)
     print(f"profiler overhead  : off {profiler['profiling_off_mips']:.3f} "
           f"MIPS, on {profiler['profiling_on_mips']:.3f} MIPS "
           f"({profiler['enabled_overhead']:.1%} enabled overhead)")
@@ -469,16 +532,34 @@ def run_full() -> dict:
         f"mcode_heavy pure-loop speedup {mcode['pure_speedup']}x < 1.05x "
         f"over the guarded chained cache"
     )
+    if jit:
+        tight_jit = tight["tcache_jit"]
+        assert tight_jit["jit"]["dispatch_share"] >= 0.90, (
+            f"tight-loop tier-2 dispatch share "
+            f"{tight_jit['jit']['dispatch_share']:.1%} < 90%"
+        )
+        assert tight_jit["mips"] >= 6.16, (
+            f"tight-loop MJIT MIPS {tight_jit['mips']} < 6.16 "
+            f"(2x the PR-4 trajectory number)"
+        )
+        assert tight["jit_speedup"] >= 1.5, (
+            f"tight-loop tier-2 speedup {tight['jit_speedup']}x < 1.5x "
+            f"over the closure tier"
+        )
+        assert preformation["preformed_jit_blocks_warm"] > 0, (
+            "preform+jit warmed no tier-2 blocks"
+        )
     return results
 
 
-def run_smoke() -> dict:
+def run_smoke(jit: bool = True) -> dict:
     """CI subset: functional engine, small iteration counts, one rep.
 
-    Asserts the structural properties (hit rate, three-way equality,
-    chains engaging) but not the wall-clock speedups, which are too
-    noisy for shared runners.  Writes its numbers to a separate smoke
-    JSON so the committed full-run results stay untouched.
+    Asserts the structural properties (hit rate, cross-mode equality,
+    chains engaging, tier-2 dispatch share) but not the wall-clock
+    speedups, which are too noisy for shared runners.  Writes its
+    numbers to a separate smoke JSON so the committed full-run results
+    stay untouched.
     """
     iters = {
         "tight_loop": 20_000,
@@ -488,10 +569,11 @@ def run_smoke() -> dict:
         "intercept_heavy": 1_500,
         "mcode_heavy": 2_000,
     }
-    results = run_suite(iters, reps=1, engines=("functional",))
+    results = run_suite(iters, reps=1, engines=("functional",), jit=jit)
     _print_table(results)
     profiler = measure_profiler_overhead(iters["tight_loop"], reps=1)
-    preformation = measure_preformation(iters["mcode_heavy"], reps=1)
+    preformation = measure_preformation(iters["mcode_heavy"], reps=1,
+                                        jit=jit)
     path = _emit_json(results, json_path=SMOKE_JSON_PATH,
                       profiler=profiler, preformation=preformation)
     print(f"smoke results written to {path}")
@@ -517,6 +599,18 @@ def run_smoke() -> dict:
     assert preformation["preformed_blocks"] > 0, (
         "preformation compiled no blocks"
     )
+    if jit:
+        tight_jit = tight["tcache_jit"]["jit"]
+        assert tight_jit["blocks"] > 0, (
+            "tight_loop: MJIT compiled no blocks"
+        )
+        assert tight_jit["dispatch_share"] >= 0.90, (
+            f"tight_loop: tier-2 dispatch share "
+            f"{tight_jit['dispatch_share']:.1%} < 90%"
+        )
+        assert preformation["preformed_jit_blocks_warm"] > 0, (
+            "preform+jit warmed no tier-2 blocks"
+        )
     return results
 
 
@@ -529,12 +623,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="fast CI subset (<30s, no speedup assertion)")
+    jit_group = parser.add_mutually_exclusive_group()
+    jit_group.add_argument("--jit", dest="jit", action="store_true",
+                           default=True,
+                           help="measure the MJIT tier-2 mode (default)")
+    jit_group.add_argument("--nojit", dest="jit", action="store_false",
+                           help="skip the tcache_jit mode and its asserts")
     args = parser.parse_args(argv)
     try:
         if args.smoke:
-            run_smoke()
+            run_smoke(jit=args.jit)
         else:
-            run_full()
+            run_full(jit=args.jit)
     except AssertionError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1

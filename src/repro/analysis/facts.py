@@ -64,6 +64,12 @@ class RoutineFacts:
     proven_accesses: int = 0
     #: mld/mst sites the interval pass could not bound (runtime-checked).
     unproven_accesses: int = 0
+    #: Routine-relative instruction word indices of the proven sites —
+    #: the per-site form of ``proven_accesses``.  MJIT (repro.cpu.jit)
+    #: consumes these to elide the runtime bounds guard at exactly the
+    #: accesses the interval pass licensed; any site not listed here
+    #: keeps the guarded ``execute()`` dispatch.
+    proven_access_words: tuple = ()
     #: Diagnostics summary (pass name -> count), informational only.
     diagnostics: dict = field(default_factory=dict)
 
@@ -82,4 +88,5 @@ class RoutineFacts:
             "has_dynamic_jumps": self.has_dynamic_jumps,
             "proven_accesses": self.proven_accesses,
             "unproven_accesses": self.unproven_accesses,
+            "proven_access_words": list(self.proven_access_words),
         }

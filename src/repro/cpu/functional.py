@@ -250,7 +250,12 @@ class FunctionalSimulator:
                 image = getattr(metal, "image", None)
                 getter = getattr(image, "nonstore_code_ranges", None)
                 return getter() if getter is not None else ()
-            tcache.set_mram_facts(nonstore_ranges)
+
+            def proven_pcs(metal=metal):
+                image = getattr(metal, "image", None)
+                getter = getattr(image, "proven_data_pcs", None)
+                return getter() if getter is not None else ()
+            tcache.set_mram_facts(nonstore_ranges, proven_pcs)
         self._hooks_installed = True
 
     # ------------------------------------------------------------------
@@ -508,8 +513,62 @@ class FunctionalSimulator:
             bus = core.bus
             base_cost = mem_latency if mem_latency > 1 else 1
             instret0 = core.instret
+            jit_on = tcache.jit
             cyc = 0
             while True:
+                if jit_on:
+                    # Tier 2 (MJIT, repro.cpu.jit): dispatch the block's
+                    # compiled function when one exists, compiling it the
+                    # first time the block's heat crosses the threshold.
+                    # The compiled code manages timer.cycles itself, so
+                    # the pending batch is flushed around the call
+                    # (guest-invisible: cycles are only observed at sync
+                    # points, which flush everything anyway).
+                    jfn = block.jit_fn
+                    if jfn is None:
+                        heat = block.heat + 1
+                        block.heat = heat
+                        if heat >= tcache.jit_threshold:
+                            jfn = tcache.jit_compile_mem(block)
+                    if jfn is not None:
+                        timer.cycles += cyc
+                        cyc = 0
+                        status, next_pc, jret, jloops, trap = jfn(
+                            core, block, timer, sync, budget - retired,
+                            instret0 + retired,
+                            chain_limit - chained if chain else 0)
+                        retired += jret
+                        stats.jit_instructions += jret
+                        if jloops:
+                            # Internalised self-loop iterations are chain
+                            # transitions the caller would have made.
+                            chained += jloops
+                            stats.chain_hits += jloops
+                            if chained > stats.chain_longest:
+                                stats.chain_longest = chained
+                        if status == 2:  # trap: regs spilled, cycles flushed
+                            core.instret = instret0 + retired
+                            stats.fast_instructions += retired
+                            if sink is not None:
+                                sink.note_trace(
+                                    "mem", head, chained, retired,
+                                    timer.cycles, timer.cycles - cycles0)
+                            self._dispatch_trap(trap, next_pc)
+                            sync()
+                            return
+                        core.pc = next_pc
+                        if (status or not chain or not block.chainable
+                                or chained >= chain_limit):
+                            break  # status 1: invalidated mid-trace
+                        nxt = tcache.chain_next_mem(block, next_pc, bus)
+                        if (nxt is None
+                                or budget - retired < len(nxt.entries)):
+                            break
+                        chained += 1
+                        if chained > stats.chain_longest:
+                            stats.chain_longest = chained
+                        block = nxt
+                        continue
                 next_pc = block.end
                 aborted = False
                 for seg in block.ops:
@@ -702,7 +761,8 @@ class FunctionalSimulator:
         # never chainable.
         core = self.core
         timer = self.timer
-        mram = core.metal.mram
+        metal = core.metal
+        mram = metal.mram
         mram_latency = core.timing.mram_fetch
         trace = self.trace_fn
         stats = self.perf.tcache
@@ -733,8 +793,58 @@ class FunctionalSimulator:
             timing = timer.timing
             base_cost = mram_latency if mram_latency > 1 else 1
             instret0 = core.instret
+            jit_on = tcache.jit
             cyc = 0
             while True:
+                if jit_on:
+                    # Tier 2 (MJIT): same protocol as the mem loop, minus
+                    # the abort status — pure mram blocks cannot be
+                    # invalidated mid-trace (nothing inside can touch the
+                    # MRAM code segment or guest RAM).
+                    jfn = block.jit_fn
+                    if jfn is None:
+                        heat = block.heat + 1
+                        block.heat = heat
+                        if heat >= tcache.jit_threshold:
+                            jfn = tcache.jit_compile_mram(block)
+                    if jfn is not None:
+                        timer.cycles += cyc
+                        cyc = 0
+                        status, next_pc, jret, jloops, trap = jfn(
+                            core, metal, timer, budget - retired,
+                            instret0 + retired,
+                            chain_limit - chained if chain else 0)
+                        retired += jret
+                        stats.jit_instructions += jret
+                        if jloops:
+                            chained += jloops
+                            stats.chain_hits += jloops
+                            if chained > stats.chain_longest:
+                                stats.chain_longest = chained
+                        if status == 2:  # trap (double fault downstream)
+                            core.instret = instret0 + retired
+                            stats.fast_instructions += retired
+                            stats.pure_fast_instructions += retired
+                            if sink is not None:
+                                sink.note_trace(
+                                    "mram", head, chained, retired,
+                                    timer.cycles, timer.cycles - cycles0)
+                            self._dispatch_trap(trap, next_pc)
+                            sync()
+                            return
+                        core.pc = next_pc
+                        if (not chain or not block.chainable
+                                or chained >= chain_limit):
+                            break
+                        nxt = tcache.chain_next_mram(block, next_pc, mram)
+                        if (nxt is None or not nxt.pure
+                                or budget - retired < len(nxt.entries)):
+                            break
+                        chained += 1
+                        if chained > stats.chain_longest:
+                            stats.chain_longest = chained
+                        block = nxt
+                        continue
                 next_pc = block.end
                 for seg in block.ops:
                     if not seg[0]:  # OP_RUN: flag-free micro-op run

@@ -54,6 +54,12 @@ class TcacheStats:
     preformed_blocks: int = 0
     #: Chain links installed ahead of execution by preformation.
     preformed_links: int = 0
+    #: Blocks compiled to tier 2 by MJIT (repro.cpu.jit).
+    jit_blocks: int = 0
+    #: Guest instructions retired through MJIT-compiled code.
+    jit_instructions: int = 0
+    #: Host milliseconds spent inside the MJIT compiler (codegen + exec).
+    jit_compile_ms: float = 0.0
 
     @property
     def dispatches(self) -> int:
@@ -83,6 +89,15 @@ class TcacheStats:
         self.pure_fast_instructions = 0
         self.preformed_blocks = 0
         self.preformed_links = 0
+        self.jit_blocks = 0
+        self.jit_instructions = 0
+        self.jit_compile_ms = 0.0
+
+    @property
+    def jit_dispatch_share(self) -> float:
+        """Fraction of fast-path instructions retired through tier 2."""
+        total = self.fast_instructions
+        return self.jit_instructions / total if total else 0.0
 
 
 @dataclass
@@ -131,6 +146,9 @@ class PerfCounters:
             f"{tc.pure_fast_instructions} instrs via the unguarded loop",
             f"tcache preformed   : {tc.preformed_blocks} blocks, "
             f"{tc.preformed_links} links ahead of execution",
+            f"tcache jit (MJIT)  : {tc.jit_blocks} blocks compiled "
+            f"({tc.jit_compile_ms:.2f} ms), {tc.jit_instructions} instrs "
+            f"via tier 2 ({tc.jit_dispatch_share:.1%} of fast path)",
             f"fast-path instrs   : {tc.fast_instructions} "
             f"({self.slow_instructions} slow)",
         ])

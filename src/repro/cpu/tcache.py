@@ -74,6 +74,8 @@ executing stale code.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.errors import BusError, DecodeError, MramError
 from repro.cpu import alu
 from repro.cpu.executor import execute
@@ -122,12 +124,18 @@ _CHAIN_CLASSES = frozenset((
 #: monomorphic slot thrashed on without growing every block.
 LINKS_MAX = 4
 
+#: Heat sentinel for blocks MJIT declined to compile: far enough below
+#: zero that the per-dispatch increment can never climb back over any
+#: plausible threshold, so the compile attempt happens exactly once.
+_JIT_COLD = -(1 << 62)
+
 
 class Block:
     """One predecoded basic block (plus its superblock chain links)."""
 
     __slots__ = ("start", "end", "entries", "ops", "valid",
-                 "chainable", "link", "link_pc", "links", "pure")
+                 "chainable", "link", "link_pc", "links", "pure",
+                 "heat", "jit_fn")
 
     def __init__(self, start: int, end: int, entries,
                  chainable: bool = False, link_pc: int = None):
@@ -136,6 +144,16 @@ class Block:
         self.entries = entries    # list of (instr, op_fn, pc, flags, hint)
         self.ops = _build_ops(entries, end)
         self.valid = True
+        #: Tier-2 hotness: dispatches of this block through the engines'
+        #: unguarded loops (the same transitions the hit/chain-hit stats
+        #: count).  Crossing ``TranslationCache.jit_threshold`` triggers
+        #: MJIT compilation; a rejected compile parks it at ``_JIT_COLD``
+        #: so the threshold test never re-fires.
+        self.heat = 0
+        #: MJIT-compiled function for this block (tier 2), or None while
+        #: the block is cold.  Every eviction path that clears ``valid``
+        #: also drops this, exactly as it severs chain links.
+        self.jit_fn = None
         #: True for mram blocks inside an analysis-proven non-store
         #: routine (see :meth:`TranslationCache.set_mram_facts`): every
         #: entry is flag-free (or the F_TERM terminator), so the engine
@@ -206,57 +224,83 @@ def _noop_uop(regs):
     return None
 
 
+#: Micro-op IR kinds (first element of a :func:`uop_ir` tuple).  Both
+#: execution tiers consume this IR — the closure builder below and the
+#: MJIT codegen in :mod:`repro.cpu.jit` — so which entries are "plain",
+#: and with what operands and baked constants, is decided exactly once.
+IR_NOP = 0   #: (IR_NOP, 0, 0, 0, None) — fence, or a dead rd==x0 write
+IR_IMM = 1   #: (IR_IMM, rd, rs1, imm, mnemonic) — reg-imm ALU op
+IR_REG = 2   #: (IR_REG, rd, rs1, rs2, mnemonic) — reg-reg ALU op
+IR_SET = 3   #: (IR_SET, rd, value, 0, None) — lui/auipc constant, folded
+
+
+def uop_ir(instr, pc: int):
+    """Shared micro-op IR for a *plain* unit-cost entry, or ``None``.
+
+    The IR is the single source of truth for both tiers: the closure
+    tier binds it into per-instruction ``uop(regs)`` callables
+    (:func:`_uop_from_ir`) and MJIT renders it as Python source
+    (``repro.cpu.jit``), so the tiers cannot drift on which entries are
+    inlinable or what operands/constants they use.  Only entries that
+    can never trap, never touch memory/devices, never redirect control
+    and always cost the base fetch cycle qualify.
+    """
+    cls = instr.spec.cls
+    rd = instr.rd
+    if cls is InstrClass.ALU_IMM:
+        if not rd:
+            return (IR_NOP, 0, 0, 0, None)
+        return (IR_IMM, rd, instr.rs1, instr.imm, instr.mnemonic)
+    if cls is InstrClass.ALU_REG:
+        if not rd:
+            return (IR_NOP, 0, 0, 0, None)
+        return (IR_REG, rd, instr.rs1, instr.rs2, instr.mnemonic)
+    if cls is InstrClass.LUI:
+        if not rd:
+            return (IR_NOP, 0, 0, 0, None)
+        return (IR_SET, rd, instr.imm & 0xFFFFFFFF, 0, None)
+    if cls is InstrClass.AUIPC:
+        if not rd:
+            return (IR_NOP, 0, 0, 0, None)
+        return (IR_SET, rd, (pc + instr.imm) & 0xFFFFFFFF, 0, None)
+    if cls is InstrClass.FENCE:
+        return (IR_NOP, 0, 0, 0, None)
+    return None
+
+
+def _uop_from_ir(ir):
+    """Closure-tier rendering of one :func:`uop_ir` tuple."""
+    kind, rd, a, b, mnemonic = ir
+    if kind == IR_NOP:
+        return _noop_uop
+    if kind == IR_IMM:
+        op = alu.IMM_OPS[mnemonic]
+
+        def uop(regs, rd=rd, rs1=a, imm=b, op=op):
+            regs[rd] = op(regs[rs1], imm)
+        return uop
+    if kind == IR_REG:
+        op = alu.REG_OPS[mnemonic]
+
+        def uop(regs, rd=rd, rs1=a, rs2=b, op=op):
+            regs[rd] = op(regs[rs1], regs[rs2])
+        return uop
+
+    def uop(regs, rd=rd, value=a):  # IR_SET
+        regs[rd] = value
+    return uop
+
+
 def _make_uop(instr, pc: int):
     """Micro-op closure for a *plain* entry, or ``None``.
 
     A micro-op is the computed-goto-style replacement for the generic
     ``execute()`` dispatch: the operand registers, immediate and ALU
     callable are bound at block-build time, so the fast loop just calls
-    ``uop(regs)`` — no flag tests, no class dispatch, no StepInfo.  Only
-    entries that can never trap, never touch memory/devices, never
-    redirect control and always cost the base fetch cycle qualify.
+    ``uop(regs)`` — no flag tests, no class dispatch, no StepInfo.
     """
-    cls = instr.spec.cls
-    rd = instr.rd
-    if cls is InstrClass.ALU_IMM:
-        if not rd:
-            return _noop_uop
-        op = alu.IMM_OPS[instr.mnemonic]
-        rs1 = instr.rs1
-        imm = instr.imm
-
-        def uop(regs, rd=rd, rs1=rs1, imm=imm, op=op):
-            regs[rd] = op(regs[rs1], imm)
-        return uop
-    if cls is InstrClass.ALU_REG:
-        if not rd:
-            return _noop_uop
-        op = alu.REG_OPS[instr.mnemonic]
-        rs1 = instr.rs1
-        rs2 = instr.rs2
-
-        def uop(regs, rd=rd, rs1=rs1, rs2=rs2, op=op):
-            regs[rd] = op(regs[rs1], regs[rs2])
-        return uop
-    if cls is InstrClass.LUI:
-        if not rd:
-            return _noop_uop
-        value = instr.imm & 0xFFFFFFFF
-
-        def uop(regs, rd=rd, value=value):
-            regs[rd] = value
-        return uop
-    if cls is InstrClass.AUIPC:
-        if not rd:
-            return _noop_uop
-        value = (pc + instr.imm) & 0xFFFFFFFF
-
-        def uop(regs, rd=rd, value=value):
-            regs[rd] = value
-        return uop
-    if cls is InstrClass.FENCE:
-        return _noop_uop
-    return None
+    ir = uop_ir(instr, pc)
+    return _uop_from_ir(ir) if ir is not None else None
 
 
 #: ``ops`` segment kinds (first tuple element).
@@ -338,6 +382,16 @@ class TranslationCache:
         #: With it off, mram blocks are never marked pure even when the
         #: analysis facts would allow it (measurement baseline).
         self.pure_loop = True
+        #: MJIT tier-2 toggle (host-side, guest-invisible).  With it on,
+        #: blocks whose ``heat`` crosses :attr:`jit_threshold` are
+        #: compiled to specialized Python (repro.cpu.jit) and dispatched
+        #: in preference to the closure path.
+        self.jit = False
+        #: Dispatches through the unguarded loops a block must see before
+        #: MJIT compiles it.  Low by design: compilation is a few hundred
+        #: microseconds, and a block hot enough to reach the specialized
+        #: loops twice is overwhelmingly a loop body.
+        self.jit_threshold = 16
         self._mem = {}          # start pc -> Block
         self._mem_pages = {}    # page number -> set of start pcs
         self._mram = {}         # start offset -> Block
@@ -347,6 +401,10 @@ class TranslationCache:
         #: None when no analysis facts are available.
         self._mram_facts = None
         self._nonstore_ranges = ()
+        #: Callable returning the proven in-bounds mld/mst site pcs of
+        #: the loaded image (see MetalImage.proven_data_pcs), or None.
+        self._mram_proven = None
+        self._proven_pcs = frozenset()
 
     # ------------------------------------------------------------------
     # dispatch (normal mode, main memory)
@@ -403,17 +461,23 @@ class TranslationCache:
     # ------------------------------------------------------------------
     # dispatch (Metal mode, MRAM)
     # ------------------------------------------------------------------
-    def set_mram_facts(self, provider) -> None:
-        """Install the analysis-facts *provider* for the mram namespace.
+    def set_mram_facts(self, provider, proven=None) -> None:
+        """Install the analysis-facts providers for the mram namespace.
 
         *provider* is a zero-argument callable returning the non-store
         code ranges of the currently loaded image (byte ``(lo, hi)``
-        pairs, sorted); it is re-invoked whenever the MRAM code version
-        changes, so ``reload_mroutines`` naturally refreshes the facts
-        along with the blocks they describe.
+        pairs, sorted); *proven* (optional) returns the code pcs of
+        ``mld``/``mst`` sites the interval pass proved in-bounds, which
+        licenses MJIT's per-site guard elision.  Both are re-invoked
+        whenever the MRAM code version changes, so ``reload_mroutines``
+        naturally refreshes the facts along with the blocks they
+        describe.
         """
         self._mram_facts = provider
         self._nonstore_ranges = tuple(provider()) if provider is not None else ()
+        self._mram_proven = proven
+        self._proven_pcs = frozenset(proven()) if proven is not None \
+            else frozenset()
 
     def mram_block(self, pc: int, mram):
         """Cached (or freshly compiled) MRAM block at offset *pc*, or None."""
@@ -427,6 +491,7 @@ class TranslationCache:
                 count = len(self._mram)
                 for block in self._mram.values():
                     block.valid = False
+                    block.jit_fn = None
                 self.stats.invalidations += count
                 self._mram.clear()
                 if self.sink is not None:
@@ -435,6 +500,8 @@ class TranslationCache:
             # The new image has new routines — and new analysis facts.
             if self._mram_facts is not None:
                 self._nonstore_ranges = tuple(self._mram_facts())
+            if self._mram_proven is not None:
+                self._proven_pcs = frozenset(self._mram_proven())
         block = self._mram.get(pc)
         if block is not None:
             self.stats.hits += 1
@@ -485,6 +552,65 @@ class TranslationCache:
             if rlo <= lo and hi <= rhi:
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # MJIT tier 2 (repro.cpu.jit)
+    # ------------------------------------------------------------------
+    def jit_compile_mem(self, block):
+        """Compile *block* (mem namespace) to tier 2, or park it cold.
+
+        Called by the engine's unguarded loop once ``block.heat`` crosses
+        :attr:`jit_threshold`.  Returns the compiled function (also
+        cached on ``block.jit_fn``) or ``None`` when the codegen declined
+        the block — then ``heat`` is parked at the cold sentinel so the
+        attempt is never repeated.
+        """
+        from repro.cpu import jit as mjit
+        t0 = perf_counter()
+        fn = mjit.compile_mem_block(block)
+        self.stats.jit_compile_ms += (perf_counter() - t0) * 1e3
+        if fn is None:
+            block.heat = _JIT_COLD
+            return None
+        block.jit_fn = fn
+        self.stats.jit_blocks += 1
+        if self.sink is not None:
+            self.sink.tcache_event("jit_compile", "mem", block.start,
+                                   len(block.entries))
+        return fn
+
+    def jit_compile_mram(self, block):
+        """MRAM-namespace twin of :meth:`jit_compile_mem`.
+
+        Passes the interval pass's proven in-bounds site pcs so the
+        codegen can elide the runtime bounds guard at exactly the
+        accesses MAS licensed (any other ``mld``/``mst`` keeps the
+        guarded ``execute()`` dispatch).
+        """
+        from repro.cpu import jit as mjit
+        t0 = perf_counter()
+        fn = mjit.compile_mram_block(block, self._proven_pcs)
+        self.stats.jit_compile_ms += (perf_counter() - t0) * 1e3
+        if fn is None:
+            block.heat = _JIT_COLD
+            return None
+        block.jit_fn = fn
+        self.stats.jit_blocks += 1
+        if self.sink is not None:
+            self.sink.tcache_event("jit_compile", "mram", block.start,
+                                   len(block.entries))
+        return fn
+
+    def tier_of(self, ns: str, pc: int):
+        """Execution tier of the cached block headed at *pc*: ``"jit"``,
+        ``"closure"``, or ``None`` when nothing is cached there.  Used
+        by the MPROF hot-trace report to label traces with the tier
+        that executed them."""
+        table = self._mem if ns == "mem" else self._mram
+        block = table.get(pc)
+        if block is None or not block.valid:
+            return None
+        return "jit" if block.jit_fn is not None else "closure"
 
     # ------------------------------------------------------------------
     # superblock chaining
@@ -629,6 +755,16 @@ class TranslationCache:
             if succ is not None and succ.valid:
                 block.link = succ
                 links += 1
+        if self.jit:
+            # Warm tier 2 along with the closures: the preformation plan
+            # is loop-heads-first (repro.profile.preform), exactly the
+            # blocks that would cross the hotness threshold within their
+            # first delivery anyway — compiling them here means the very
+            # first menter runs at steady-state speed.
+            for block in blocks:
+                if block.pure and block.jit_fn is None \
+                        and block.heat > _JIT_COLD:
+                    self.jit_compile_mram(block)
         self.stats.preformed_blocks += compiled
         self.stats.preformed_links += links
         return compiled, links
@@ -657,6 +793,7 @@ class TranslationCache:
                 block = blocks.pop(start, None)
                 if block is not None and block.valid:
                     block.valid = False
+                    block.jit_fn = None
                     self.stats.invalidations += 1
                     if sink is not None:
                         sink.tcache_event("invalidate", "mem", start)
@@ -676,6 +813,7 @@ class TranslationCache:
             count = len(self._mem)
             for block in self._mem.values():
                 block.valid = False
+                block.jit_fn = None
             self.stats.invalidations += count
             self._mem.clear()
             self._mem_pages.clear()
@@ -690,6 +828,7 @@ class TranslationCache:
             count = len(self._mram)
             for block in self._mram.values():
                 block.valid = False
+                block.jit_fn = None
             self.stats.invalidations += count
             self._mram.clear()
             if self.sink is not None:

@@ -93,6 +93,10 @@ class MachineConfig:
     #: time (profile-guided when a profile is replayed later; see
     #: repro.profile.preform).  Guest-invisible, like the tcache itself.
     preform: bool = False
+    #: MJIT tier-2 compilation of hot blocks (repro.cpu.jit).
+    #: Guest-invisible; with ``preform`` also on, the planned loop heads
+    #: are tier-2 compiled at build time too.
+    jit: bool = False
     extra_symbols: dict = field(default_factory=dict)
 
 
@@ -136,6 +140,8 @@ def _base_machine(config: MachineConfig, metal_unit, name: str) -> Machine:
         sim = FunctionalSimulator(core, tcache=config.tcache)
     else:
         raise ValueError(f"unknown engine {config.engine!r}")
+    if config.jit:
+        sim.tcache.jit = True
 
     symbols = {}
     symbols.update(CAUSE_SYMBOLS)

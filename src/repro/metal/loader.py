@@ -64,6 +64,27 @@ class MetalImage:
                            routine.code_offset + 4 * len(routine.code_words)))
         return sorted(ranges)
 
+    def proven_data_pcs(self):
+        """Code-segment byte offsets of ``mld``/``mst`` instructions whose
+        addresses the MAS interval pass proved inside the routine's
+        allowed data ranges (``facts.proven_access_words``).
+
+        MJIT (:mod:`repro.cpu.jit`) elides the runtime bounds guard at
+        exactly these sites when compiling pure mroutine blocks; a site
+        absent from this set keeps the guarded ``execute()`` dispatch.
+        """
+        pcs = []
+        for name, result in self.analysis.items():
+            words = getattr(result.facts, "proven_access_words", ())
+            if not words:
+                continue
+            routine = self.routines.get(name)
+            if routine is None or routine.code_words is None:
+                continue
+            base = routine.code_offset
+            pcs.extend(base + 4 * w for w in words)
+        return sorted(pcs)
+
     def entry_offset(self, entry: int) -> int:
         """MRAM byte offset of mroutine *entry* (menter target)."""
         try:

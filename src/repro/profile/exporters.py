@@ -4,8 +4,10 @@ Two output formats over the same recorded data:
 
 * :func:`format_hot_traces` — the human-readable hot-trace report shown
   by ``python -m repro profile``: top-N traces by retired instructions,
-  per-mroutine/per-loop attribution, and the head of each trace
-  disassembled so the hot loop body is visible in the terminal.
+  per-mroutine/per-loop attribution, the execution tier currently
+  holding each trace head (``closure`` or MJIT ``jit``), and the head
+  of each trace disassembled so the hot loop body is visible in the
+  terminal.
 * :func:`chrome_trace` — a Chrome-trace / Perfetto ``traceEvents`` JSON
   payload: one complete ("X") event per retired-trace ring record, one
   instant ("i") event per translation-cache event (compiles,
@@ -73,8 +75,9 @@ def format_hot_traces(machine, registry, snapshot=None, top: int = 10,
     for rank, row in enumerate(rows, 1):
         share = (row.instructions / snapshot.guest_instructions
                  if snapshot.guest_instructions else 0.0)
+        tier = f"  [tier: {row.tier}]" if row.tier is not None else ""
         out.append(
-            f"#{rank:<2} [{row.ns}] {row.head_pc:#010x}  {row.label}"
+            f"#{rank:<2} [{row.ns}] {row.head_pc:#010x}  {row.label}{tier}"
         )
         out.append(
             f"    {row.instructions} instrs ({share:.1%} of run), "

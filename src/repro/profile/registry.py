@@ -51,6 +51,11 @@ class TraceAttribution:
     #: True when the head sits in a CFG block that is the target of a
     #: back edge — i.e. the trace is (the body of) a static loop.
     loop: bool = False
+    #: Execution tier of the block currently cached at the head pc:
+    #: ``"jit"`` (MJIT tier 2), ``"closure"`` (predecoded uop closures),
+    #: or None when nothing is cached there any more (evicted, or the
+    #: machine runs without a tcache).
+    tier: str = None
 
     @property
     def label(self) -> str:
@@ -189,6 +194,9 @@ def attribute_trace(machine, agg: TraceAggregate) -> TraceAttribution:
         instructions=agg.instructions, cycles=agg.cycles,
         avg_chain=agg.avg_chain,
     )
+    tcache = getattr(machine.sim, "tcache", None)
+    if tcache is not None:
+        row.tier = tcache.tier_of(agg.ns, agg.head_pc)
     if agg.ns != "mram":
         return row
     image = getattr(machine, "metal_image", None)

@@ -2,13 +2,16 @@
 
 Random guest programs (ALU ops, branches, jumps, loads/stores,
 ``menter``/``mexit`` round-trips into mroutines, and self-modifying
-stores) run in lockstep on three functional machines — tcache off
-entirely, tcache + superblock chaining on, and tcache + chaining with
+stores) run in lockstep on four functional machines — tcache off
+entirely, tcache + superblock chaining on, tcache + chaining with
 the MPROF trace sink attached (which bounds chained dispatches at the
-profiling chain quantum) — and every architecturally visible piece of
-state is compared after every chunk of retired instructions.  Any
-divergence means the host fast path (or the profiler) leaked into
-guest-visible behaviour.
+profiling chain quantum), and tcache + chaining with the MJIT tier-2
+compiler on at threshold 1 (every dispatched block is compiled to
+specialized Python on first execution, including blocks whose code the
+program later rewrites in place) — and every architecturally visible
+piece of state is compared after every chunk of retired instructions.
+Any divergence means the host fast path (the chainer, the profiler or
+the JIT) leaked into guest-visible behaviour.
 
 Seeds are deterministic and appear both in the test id and in every
 assertion message, so a failure is reproducible with e.g.::
@@ -186,11 +189,16 @@ def _gen_program(rng: random.Random) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _build(tcache: bool):
-    return build_metal_machine(
+def _build(tcache: bool, jit: bool = False):
+    machine = build_metal_machine(
         _routines(), engine="functional", with_caches=False,
         ram_bytes=RAM_BYTES, tcache=tcache,
     )
+    if jit:
+        machine.set_tcache_jit(True)
+        # Compile on first dispatch so every seed exercises tier 2.
+        machine.sim.tcache.jit_threshold = 1
+    return machine
 
 
 def _state(machine) -> dict:
@@ -239,11 +247,12 @@ def test_differential(seed):
     m_ref = _build(tcache=False)       # interpreter, no fast path at all
     m_got = _build(tcache=True)        # predecoded blocks + chaining
     m_prof = _build(tcache=True)       # chaining + MPROF sink attached
+    m_jit = _build(tcache=True, jit=True)   # chaining + MJIT tier 2
     m_prof.set_profiling(True)
     assert m_got.sim.tcache.chain, "chaining should default on"
 
     programs = []
-    for machine in (m_ref, m_got, m_prof):
+    for machine in (m_ref, m_got, m_prof, m_jit):
         program = machine.assemble(source, base=CODE_BASE)
         machine.load(program)
         machine.core.pc = CODE_BASE
@@ -256,12 +265,15 @@ def test_differential(seed):
         m_ref.run(max_instructions=CHUNK, raise_on_limit=False)
         m_got.run(max_instructions=CHUNK, raise_on_limit=False)
         m_prof.run(max_instructions=CHUNK, raise_on_limit=False)
+        m_jit.run(max_instructions=CHUNK, raise_on_limit=False)
         step += 1
         retired += CHUNK
         ref, got = _state(m_ref), _state(m_got)
         _assert_same(seed, step, ref, got, code_len, m_ref, m_got)
         _assert_same(seed, step, ref, _state(m_prof), code_len,
                      m_ref, m_prof, label="profiled")
+        _assert_same(seed, step, ref, _state(m_jit), code_len,
+                     m_ref, m_jit, label="jit")
         if ref["halted"]:
             break
 
@@ -277,20 +289,24 @@ def test_differential(seed):
     assert m_prof.profiler.total_traces > 0, (
         f"seed {seed}: profiler recorded no traces"
     )
+    assert m_jit.perf.tcache.dispatches > 0, (
+        f"seed {seed}: jit machine never dispatched"
+    )
 
 
 SNAPSHOT_SEEDS = 8
 
 
 def test_differential_snapshot_midrun(snap_seed):
-    """Snapshot all three machines mid-run, continue to halt in
+    """Snapshot all four machines mid-run, continue to halt in
     lockstep, restore, and replay: the second continuation must retrace
     the first bit-for-bit.  This pins two properties at once — the
     snapshot captures *every* guest-visible bit (missing state shows up
     as a pass-1 vs pass-2 divergence), and the host fast paths carry no
     guest-visible residue across a restore (the tcache still holds
-    pass-1 superblocks, the profiler keeps pass-1 traces; neither may
-    leak into the replayed architectural state)."""
+    pass-1 superblocks, the profiler keeps pass-1 traces, the JIT keeps
+    pass-1 compiled functions; none may leak into the replayed
+    architectural state)."""
     from repro.machine.snapshot import restore_snapshot, take_snapshot
 
     rng = random.Random(0x5AFE + snap_seed)
@@ -306,8 +322,8 @@ def test_differential_snapshot_midrun(snap_seed):
     snapshot_mid = max(1, probe.core.instret // 2)
 
     machines = (_build(tcache=False), _build(tcache=True),
-                _build(tcache=True))
-    m_ref, m_got, m_prof = machines
+                _build(tcache=True), _build(tcache=True, jit=True))
+    m_ref, m_got, m_prof, m_jit = machines
     m_prof.set_profiling(True)
     for machine in machines:
         program = machine.assemble(source, base=CODE_BASE)
@@ -321,6 +337,8 @@ def test_differential_snapshot_midrun(snap_seed):
                      m_ref, m_got)
         _assert_same(snap_seed, step, ref, _state(m_prof), code_len,
                      m_ref, m_prof, label="profiled")
+        _assert_same(snap_seed, step, ref, _state(m_jit), code_len,
+                     m_ref, m_jit, label="jit")
         return ref
 
     def continue_to_halt():
