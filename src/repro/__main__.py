@@ -8,6 +8,7 @@ Usage::
     python -m repro lint --apps               # MAS static analysis (mcode)
     python -m repro profile tight_loop        # MPROF hot-trace profiling
     python -m repro faultinject --smoke       # MFI fault-injection sweep
+    python -m repro conformance --smoke       # MCONF conformance campaign
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -70,6 +71,10 @@ def main(argv=None) -> int:
         # Lazy for the same reason: the campaign builds machines.
         from repro.fault.cli import faultinject_main
         return faultinject_main(argv[1:])
+    if argv and argv[0] == "conformance":
+        # Lazy for the same reason: the campaign builds machines.
+        from repro.conformance.cli import conformance_main
+        return conformance_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

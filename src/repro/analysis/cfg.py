@@ -125,6 +125,33 @@ class CFG:
         return tuple(self.blocks[b].start for b in path)
 
 
+def iter_edge_kinds(cfg: "CFG"):
+    """Yield one coverage-bucket string per CFG edge / terminal block.
+
+    Buckets abstract away addresses so coverage is comparable across
+    different programs: a branch contributes ``branch_taken_fwd`` /
+    ``branch_taken_back`` for its target edge and ``branch_fall`` for
+    the fall-through; a ``jal`` contributes ``jump_fwd``/``jump_back``;
+    blocks without successors contribute their terminator kind
+    (``dynamic``, ``exit``, ``raise``, ``fall_off``, ``bad_word``).
+    Used by the MCONF conformance coverage map.
+    """
+    for block in cfg.blocks:
+        if not block.succs:
+            yield block.terminator
+            continue
+        for succ_index in block.succs:
+            succ = cfg.blocks[succ_index]
+            if block.terminator == T_BRANCH and succ.start == block.end:
+                yield "branch_fall"
+            elif block.terminator in (T_BRANCH, T_JUMP):
+                direction = "back" if succ.start <= block.start else "fwd"
+                kind = "branch_taken" if block.terminator == T_BRANCH else "jump"
+                yield f"{kind}_{direction}"
+            else:
+                yield block.terminator
+
+
 def _branch_target(instr, word_index: int, n_words: int):
     """Static target word index of a branch/jal, or ``None`` if the
     target escapes the routine or is misaligned."""

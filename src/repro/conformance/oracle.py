@@ -1,0 +1,264 @@
+"""An independent MRV32+Metal decode oracle.
+
+ORACLE-INDEPENDENCE RULES (docs/CONFORMANCE.md):
+
+1. This module imports **nothing** from ``repro.isa`` — not the spec
+   table, not the decoder, not the field helpers.  Everything below is
+   transcribed from the architectural reference ``docs/ISA.md``
+   (itself reviewed against the paper), *not* from the primary source.
+2. The decode strategy is deliberately different from the primary
+   decoder's ``(opcode, funct3)`` dict index: the oracle is a flat
+   mask/value match table (the idiom of coreblocks' table-driven
+   ``isa.py``/``decoder.py``), so a shared structural bug is unlikely.
+3. The oracle produces plain dicts, not ``repro.isa`` objects; the
+   crosscheck layer (:mod:`repro.conformance.crosscheck`) canonicalises
+   both sides and owns the comparison.
+
+The oracle decodes a 32-bit word to::
+
+    {"mnemonic": str, "fmt": "R|I|S|B|U|J", "metal_only": bool,
+     <fields per format>}
+
+Field keys per format (mirrors what a decoder must extract):
+
+========  =====================================
+R         rd, rs1, rs2
+I         rd, rs1, imm  (+ ``csr`` for CSR ops)
+S         rs1, rs2, imm
+B         rs1, rs2, imm (byte offset)
+U         rd, imm (upper immediate, pre-shifted)
+J         rd, imm (byte offset)
+========  =====================================
+
+or returns ``None`` for a word with no legal encoding.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# immediate kinds (how the I-format 12-bit field is interpreted)
+# --------------------------------------------------------------------------
+
+IMM_SIGNED = "signed"      # default I-format: sign-extended bits [31:20]
+IMM_SHAMT = "shamt"        # shift amount: bits [24:20], funct7 discriminated
+IMM_CSR = "csr"            # CSR number: zero-extended bits [31:20]
+IMM_UNSIGNED = "unsigned"  # zero-extended bits [31:20] (menter entry)
+IMM_F12 = "funct12"        # fixed funct12 (SYSTEM): zero-extended [31:20]
+
+
+class OracleSpec:
+    """One row of the oracle table: a mask/value matcher plus metadata."""
+
+    __slots__ = ("mnemonic", "fmt", "mask", "value", "imm_kind", "metal_only")
+
+    def __init__(self, mnemonic, fmt, op, f3=None, f7=None, f12=None,
+                 imm_kind=IMM_SIGNED, metal_only=False):
+        self.mnemonic = mnemonic
+        self.fmt = fmt
+        self.imm_kind = imm_kind
+        self.metal_only = metal_only
+        mask, value = 0x7F, op & 0x7F
+        if f3 is not None:
+            mask |= 0x7000
+            value |= (f3 & 0x7) << 12
+        if f7 is not None:
+            mask |= 0xFE000000
+            value |= (f7 & 0x7F) << 25
+        if f12 is not None:
+            mask |= 0xFFF00000
+            value |= (f12 & 0xFFF) << 20
+        self.mask = mask
+        self.value = value
+
+    def matches(self, word: int) -> bool:
+        return (word & self.mask) == self.value
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<OracleSpec {self.mnemonic} mask={self.mask:#010x}>"
+
+
+def _table():
+    """The full table, transcribed row-by-row from docs/ISA.md."""
+    S = OracleSpec
+    rows = [
+        # -- upper immediates and jumps (ISA.md "Upper immediates") ----
+        S("lui", "U", 0x37),
+        S("auipc", "U", 0x17),
+        S("jal", "J", 0x6F),
+        S("jalr", "I", 0x67, f3=0),
+        # -- conditional branches --------------------------------------
+        S("beq", "B", 0x63, f3=0),
+        S("bne", "B", 0x63, f3=1),
+        S("blt", "B", 0x63, f3=4),
+        S("bge", "B", 0x63, f3=5),
+        S("bltu", "B", 0x63, f3=6),
+        S("bgeu", "B", 0x63, f3=7),
+        # -- loads and stores ------------------------------------------
+        S("lb", "I", 0x03, f3=0),
+        S("lh", "I", 0x03, f3=1),
+        S("lw", "I", 0x03, f3=2),
+        S("lbu", "I", 0x03, f3=4),
+        S("lhu", "I", 0x03, f3=5),
+        S("sb", "S", 0x23, f3=0),
+        S("sh", "S", 0x23, f3=1),
+        S("sw", "S", 0x23, f3=2),
+        # -- integer register-immediate --------------------------------
+        S("addi", "I", 0x13, f3=0),
+        S("slti", "I", 0x13, f3=2),
+        S("sltiu", "I", 0x13, f3=3),
+        S("xori", "I", 0x13, f3=4),
+        S("ori", "I", 0x13, f3=6),
+        S("andi", "I", 0x13, f3=7),
+        S("slli", "I", 0x13, f3=1, f7=0x00, imm_kind=IMM_SHAMT),
+        S("srli", "I", 0x13, f3=5, f7=0x00, imm_kind=IMM_SHAMT),
+        S("srai", "I", 0x13, f3=5, f7=0x20, imm_kind=IMM_SHAMT),
+        # -- integer register-register ---------------------------------
+        S("add", "R", 0x33, f3=0, f7=0x00),
+        S("sub", "R", 0x33, f3=0, f7=0x20),
+        S("sll", "R", 0x33, f3=1, f7=0x00),
+        S("slt", "R", 0x33, f3=2, f7=0x00),
+        S("sltu", "R", 0x33, f3=3, f7=0x00),
+        S("xor", "R", 0x33, f3=4, f7=0x00),
+        S("srl", "R", 0x33, f3=5, f7=0x00),
+        S("sra", "R", 0x33, f3=5, f7=0x20),
+        S("or", "R", 0x33, f3=6, f7=0x00),
+        S("and", "R", 0x33, f3=7, f7=0x00),
+        # -- multiply/divide (M extension) -----------------------------
+        S("mul", "R", 0x33, f3=0, f7=0x01),
+        S("mulh", "R", 0x33, f3=1, f7=0x01),
+        S("mulhsu", "R", 0x33, f3=2, f7=0x01),
+        S("mulhu", "R", 0x33, f3=3, f7=0x01),
+        S("div", "R", 0x33, f3=4, f7=0x01),
+        S("divu", "R", 0x33, f3=5, f7=0x01),
+        S("rem", "R", 0x33, f3=6, f7=0x01),
+        S("remu", "R", 0x33, f3=7, f7=0x01),
+        # -- system ----------------------------------------------------
+        S("fence", "I", 0x0F, f3=0),
+        S("ecall", "I", 0x73, f3=0, f12=0x000, imm_kind=IMM_F12),
+        S("ebreak", "I", 0x73, f3=0, f12=0x001, imm_kind=IMM_F12),
+        S("mret", "I", 0x73, f3=0, f12=0x302, imm_kind=IMM_F12),
+        S("wfi", "I", 0x73, f3=0, f12=0x105, imm_kind=IMM_F12),
+        S("halt", "I", 0x73, f3=0, f12=0x7FF, imm_kind=IMM_F12),
+        S("csrrw", "I", 0x73, f3=1, imm_kind=IMM_CSR),
+        S("csrrs", "I", 0x73, f3=2, imm_kind=IMM_CSR),
+        S("csrrc", "I", 0x73, f3=3, imm_kind=IMM_CSR),
+        S("csrrwi", "I", 0x73, f3=5, imm_kind=IMM_CSR),
+        S("csrrsi", "I", 0x73, f3=6, imm_kind=IMM_CSR),
+        S("csrrci", "I", 0x73, f3=7, imm_kind=IMM_CSR),
+        # -- Metal extension, paper Table 1 (custom-0, op 0x0B) --------
+        S("menter", "I", 0x0B, f3=0, imm_kind=IMM_UNSIGNED),
+        S("mexit", "I", 0x0B, f3=1, metal_only=True),
+        S("rmr", "I", 0x0B, f3=2, metal_only=True),
+        S("wmr", "I", 0x0B, f3=3, metal_only=True),
+        S("mld", "I", 0x0B, f3=4, metal_only=True),
+        S("mst", "S", 0x0B, f3=5, metal_only=True),
+        S("mexitm", "I", 0x0B, f3=6, metal_only=True),
+        # -- Metal architectural features (custom-1, op 0x2B) ----------
+        S("mtlbw", "R", 0x2B, f3=0, f7=0x00, metal_only=True),
+        S("mtlbi", "R", 0x2B, f3=0, f7=0x01, metal_only=True),
+        S("mtlbf", "R", 0x2B, f3=0, f7=0x02, metal_only=True),
+        S("masid", "R", 0x2B, f3=0, f7=0x03, metal_only=True),
+        S("mpkr", "R", 0x2B, f3=0, f7=0x04, metal_only=True),
+        S("mpgon", "R", 0x2B, f3=0, f7=0x05, metal_only=True),
+        S("mpld", "I", 0x2B, f3=1, metal_only=True),
+        S("mpst", "S", 0x2B, f3=2, metal_only=True),
+        S("micept", "R", 0x2B, f3=3, f7=0x00, metal_only=True),
+        S("miceptd", "R", 0x2B, f3=3, f7=0x01, metal_only=True),
+        S("mivec", "R", 0x2B, f3=4, f7=0x00, metal_only=True),
+        S("mintc", "R", 0x2B, f3=4, f7=0x01, metal_only=True),
+        S("mipend", "R", 0x2B, f3=4, f7=0x02, metal_only=True),
+        S("miack", "R", 0x2B, f3=4, f7=0x03, metal_only=True),
+        S("mraise", "R", 0x2B, f3=5, f7=0x00, metal_only=True),
+        S("mgprr", "R", 0x2B, f3=6, f7=0x00, metal_only=True),
+        S("mgprw", "R", 0x2B, f3=6, f7=0x01, metal_only=True),
+    ]
+    return tuple(rows)
+
+
+#: The oracle's instruction table (immutable tuple of OracleSpec rows).
+ORACLE_SPECS = _table()
+
+
+def _sext(value: int, nbits: int) -> int:
+    value &= (1 << nbits) - 1
+    if value & (1 << (nbits - 1)):
+        value -= 1 << nbits
+    return value
+
+
+def _imm_i(word: int, kind: str) -> int:
+    raw = (word >> 20) & 0xFFF
+    if kind == IMM_SHAMT:
+        return (word >> 20) & 0x1F
+    if kind in (IMM_CSR, IMM_UNSIGNED, IMM_F12):
+        return raw
+    return _sext(raw, 12)
+
+
+def _imm_s(word: int) -> int:
+    raw = (((word >> 25) & 0x7F) << 5) | ((word >> 7) & 0x1F)
+    return _sext(raw, 12)
+
+
+def _imm_b(word: int) -> int:
+    raw = (((word >> 31) & 0x1) << 12) | (((word >> 7) & 0x1) << 11) \
+        | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+    return _sext(raw, 13)
+
+
+def _imm_j(word: int) -> int:
+    raw = (((word >> 31) & 0x1) << 20) | (((word >> 12) & 0xFF) << 12) \
+        | (((word >> 20) & 0x1) << 11) | (((word >> 21) & 0x3FF) << 1)
+    return _sext(raw, 21)
+
+
+def oracle_decode(word: int, table=None):
+    """Decode *word*; returns the canonical field dict or ``None``.
+
+    *table* defaults to :data:`ORACLE_SPECS` and exists so the
+    mutation tests can decode against a deliberately corrupted table.
+    """
+    word &= 0xFFFFFFFF
+    specs = ORACLE_SPECS if table is None else table
+    for spec in specs:
+        if not spec.matches(word):
+            continue
+        rd = (word >> 7) & 0x1F
+        rs1 = (word >> 15) & 0x1F
+        rs2 = (word >> 20) & 0x1F
+        out = {"mnemonic": spec.mnemonic, "fmt": spec.fmt,
+               "metal_only": spec.metal_only}
+        if spec.fmt == "R":
+            out.update(rd=rd, rs1=rs1, rs2=rs2)
+        elif spec.fmt == "I":
+            imm = _imm_i(word, spec.imm_kind)
+            out.update(rd=rd, rs1=rs1, imm=imm)
+            if spec.imm_kind == IMM_CSR:
+                out["csr"] = imm
+        elif spec.fmt == "S":
+            out.update(rs1=rs1, rs2=rs2, imm=_imm_s(word))
+        elif spec.fmt == "B":
+            out.update(rs1=rs1, rs2=rs2, imm=_imm_b(word))
+        elif spec.fmt == "U":
+            out.update(rd=rd, imm=word & 0xFFFFF000)
+        else:  # J
+            out.update(rd=rd, imm=_imm_j(word))
+        return out
+    return None
+
+
+def corrupted_table(index: int, **overrides):
+    """A copy of the table with row *index* rebuilt field-by-field,
+    applying *overrides* (e.g. ``mask=...``, ``imm_kind=IMM_SIGNED``).
+
+    Used by the mutation test of the crosscheck: a corrupted row MUST
+    produce at least one detected disagreement, or the conformance net
+    has a hole.
+    """
+    rows = list(ORACLE_SPECS)
+    old = rows[index]
+    clone = OracleSpec.__new__(OracleSpec)
+    for slot in OracleSpec.__slots__:
+        setattr(clone, slot, overrides.get(slot, getattr(old, slot)))
+    rows[index] = clone
+    return tuple(rows)

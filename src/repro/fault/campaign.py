@@ -307,16 +307,27 @@ def _pool_cell(item):
     return run_one(workload_key, seed, golden, config)
 
 
+def deterministic_pool_map(fn, cells, workers: int, chunksize: int = 4):
+    """Map *fn* over *cells*, inline or via a ``multiprocessing`` pool.
+
+    The contract both MFI and the MCONF conformance campaign rely on:
+    *fn* must be a top-level (picklable) pure function of its cell, so
+    the result list is identical — element for element — at any pool
+    size, and the caller's report stays bit-reproducible whether it ran
+    inline, with 2 workers or with 32.
+    """
+    if workers and workers > 1 and len(cells) > 1:
+        with multiprocessing.Pool(workers) as pool:
+            return pool.map(fn, cells, chunksize=chunksize)
+    return [fn(cell) for cell in cells]
+
+
 def run_campaign(config: CampaignConfig) -> dict:
     """Run the full sweep; return the (deterministic) report dict."""
     goldens = {w: golden_reference(w) for w in config.workloads}
     cells = [(w, s, goldens[w], _config_kwargs(config))
              for w in config.workloads for s in config.seeds]
-    if config.workers and config.workers > 1 and len(cells) > 1:
-        with multiprocessing.Pool(config.workers) as pool:
-            runs = pool.map(_pool_cell, cells, chunksize=4)
-    else:
-        runs = [_pool_cell(cell) for cell in cells]
+    runs = deterministic_pool_map(_pool_cell, cells, config.workers)
     runs.sort(key=lambda r: (r["workload"], r["seed"]))
     # The pool size is an execution detail, not an outcome: identical
     # seed lists must yield byte-identical reports at any parallelism.

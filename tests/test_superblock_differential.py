@@ -26,167 +26,19 @@ from __future__ import annotations
 
 import random
 
-from repro import MRoutine, build_metal_machine
-from repro.asm import assemble
+from repro import build_metal_machine
 
-CODE_BASE = 0x1000
-DATA_BASE = 0x40000          # scratch data region, far from the code pages
-DATA_WORDS = 64
-RAM_BYTES = 512 * 1024
-CHUNK = 97                   # prime: chunk boundaries land mid-block/mid-chain
-TOTAL_LIMIT = 40_000         # hard safety net per seed
-
-#: General registers the generator may clobber.  Reserved: s0 (loop
-#: budget), s1 (data base), t0 (jalr targets), t4 (SMC addresses).
-REG_POOL = ("a0", "a1", "a2", "a3", "a4", "a5",
-            "t1", "t2", "t3", "s2", "s3", "s4", "s5")
-
-ALU_IMM = ("addi", "xori", "ori", "andi", "slti", "sltiu")
-ALU_SHIFT = ("slli", "srli", "srai")
-ALU_REG = ("add", "sub", "xor", "or", "and", "sll", "srl", "sra",
-           "slt", "sltu", "mul", "mulhu")
-BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
-LOADS = ("lw", "lh", "lhu", "lb", "lbu")
-STORES = ("sw", "sh", "sb")
-
-#: Position-independent single instructions used as SMC patch payloads.
-PATCH_SOURCES = (
-    "addi a0, a0, 1",
-    "addi a1, a1, 3",
-    "xori a2, a2, 0x55",
-    "andi a3, a3, 0xF0",
-    "add  a4, a4, a1",
-    "nop",
+# The program generator lives in repro.conformance.generator (shared
+# with the MCONF campaign runner); with the default GenConfig it is
+# seed-for-seed identical to the generator that used to live here —
+# tests/test_conformance.py pins golden digests for seeds 0-4.
+from repro.conformance.generator import (
+    CHUNK, CODE_BASE, DATA_BASE, DATA_WORDS, RAM_BYTES, TOTAL_LIMIT,
+    gen_program, routines,
 )
 
-
-def _word_of(source: str) -> int:
-    """Encode one position-independent instruction to its 32-bit word."""
-    return assemble(source, base=0).words()[0]
-
-
-def _routines():
-    """Fresh mroutine declarations (the loader mutates them in place).
-
-    ``spice`` exercises MReg traffic and MRAM data loads/stores;
-    ``mloop`` has an internal backward branch so MRAM-namespace blocks
-    get chained too.
-    """
-    spice = MRoutine(name="spice", entry=1, data_words=4, mregs=(10, 11),
-                     source="""
-        rmr  t0, m10
-        add  t0, t0, a0
-        wmr  m10, t0
-        mst  t0, SPICE_DATA+0(zero)
-        mld  t0, SPICE_DATA+0(zero)
-        wmr  m11, t0
-        xor  a0, a0, t0
-        mexit
-    """)
-    mloop = MRoutine(name="mloop", entry=2, source="""
-        andi t0, a1, 7
-        addi t0, t0, 2
-    spin:
-        addi a2, a2, 1
-        addi t0, t0, -1
-        bnez t0, spin
-        mexit
-    """)
-    return [spice, mloop]
-
-
-def _gen_program(rng: random.Random) -> str:
-    """A random, always-terminating guest program.
-
-    Shape: a chain of chunks executed mostly front to back.  Forward
-    control flow (jumps, taken/untaken branches, ``jalr`` trampolines)
-    is unrestricted; backward branches are guarded by the s0 budget
-    counter, which strictly decreases on every backward traversal, so
-    the program provably reaches ``done``.
-    """
-    n_chunks = rng.randint(6, 12)
-    lines = [
-        "_start:",
-        f"    li   s1, {DATA_BASE}",
-        f"    li   s0, {rng.randint(24, 60)}",
-    ]
-
-    def reg():
-        return rng.choice(REG_POOL)
-
-    patch_slots = []
-
-    for k in range(n_chunks):
-        lines.append(f"chunk_{k}:")
-        for _ in range(rng.randint(3, 10)):
-            roll = rng.random()
-            if roll < 0.30:
-                op = rng.choice(ALU_IMM)
-                lines.append(f"    {op} {reg()}, {reg()}, "
-                             f"{rng.randint(-2048, 2047)}")
-            elif roll < 0.40:
-                op = rng.choice(ALU_SHIFT)
-                lines.append(f"    {op} {reg()}, {reg()}, {rng.randint(0, 31)}")
-            elif roll < 0.58:
-                op = rng.choice(ALU_REG)
-                lines.append(f"    {op} {reg()}, {reg()}, {reg()}")
-            elif roll < 0.64:
-                if rng.random() < 0.5:
-                    lines.append(f"    lui {reg()}, {rng.randint(0, 0xFFFFF)}")
-                else:
-                    lines.append(f"    auipc {reg()}, 0")
-            elif roll < 0.76:
-                op = rng.choice(LOADS)
-                off = rng.randrange(0, 4 * DATA_WORDS,
-                                    {"lw": 4, "lh": 2, "lhu": 2}.get(op, 1))
-                lines.append(f"    {op} {reg()}, {off}(s1)")
-            elif roll < 0.88:
-                op = rng.choice(STORES)
-                off = rng.randrange(0, 4 * DATA_WORDS,
-                                    {"sw": 4, "sh": 2}.get(op, 1))
-                lines.append(f"    {op} {reg()}, {off}(s1)")
-            elif roll < 0.94:
-                lines.append(f"    menter MR_{rng.choice(['SPICE', 'MLOOP'])}")
-            else:
-                # A patchable slot: executes as written until some later
-                # (or earlier!) iteration's store rewrites it in place.
-                slot = len(patch_slots)
-                patch_slots.append(slot)
-                lines.append(f"patch_{slot}:")
-                lines.append(f"    addi a5, a5, {rng.randint(0, 15)}")
-
-        # Self-modifying store against a random already-emitted slot.
-        if patch_slots and rng.random() < 0.35:
-            slot = rng.choice(patch_slots)
-            word = _word_of(rng.choice(PATCH_SOURCES))
-            lines.append(f"    li   t4, patch_{slot}")
-            lines.append(f"    li   t0, {word}")
-            lines.append("    sw   t0, 0(t4)")
-
-        # Chunk terminator.
-        roll = rng.random()
-        nxt = (f"chunk_{rng.randint(k + 1, n_chunks - 1)}"
-               if k + 1 < n_chunks else "done")
-        if roll < 0.25:
-            pass                                     # fall through
-        elif roll < 0.45:
-            lines.append(f"    j    {nxt}")           # unconditional forward
-        elif roll < 0.65 and k > 0:
-            # Budget-guarded backward branch: the loop that chaining
-            # loves, bounded by s0.
-            back = f"chunk_{rng.randint(0, k)}"
-            lines.append("    addi s0, s0, -1")
-            lines.append(f"    blt  zero, s0, {back}")
-        elif roll < 0.85:
-            op = rng.choice(BRANCHES)
-            lines.append(f"    {op} {reg()}, {reg()}, {nxt}")
-        else:
-            lines.append(f"    li   t0, {nxt}")       # monomorphic jalr
-            lines.append("    jalr zero, 0(t0)")
-
-    lines.append("done:")
-    lines.append("    halt")
-    return "\n".join(lines) + "\n"
+_routines = routines
+_gen_program = gen_program
 
 
 def _build(tcache: bool, jit: bool = False):
