@@ -9,6 +9,7 @@ Usage::
     python -m repro profile tight_loop        # MPROF hot-trace profiling
     python -m repro faultinject --smoke       # MFI fault-injection sweep
     python -m repro conformance --smoke       # MCONF conformance campaign
+    python -m repro verify --smoke            # MVTV translation validation
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -75,6 +76,10 @@ def main(argv=None) -> int:
         # Lazy for the same reason: the campaign builds machines.
         from repro.conformance.cli import conformance_main
         return conformance_main(argv[1:])
+    if argv and argv[0] == "verify":
+        # Lazy for the same reason: the corpus driver builds machines.
+        from repro.verify.cli import verify_main
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

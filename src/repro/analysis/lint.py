@@ -186,6 +186,40 @@ def _data_range(routine):
 # Rendering
 # ---------------------------------------------------------------------------
 
+def diagnostic_dict(diag) -> dict:
+    """One diagnostic as a JSON-ready dict (``--json`` output; the
+    MVTV ``python -m repro verify --json`` report mirrors this shape)."""
+    return {
+        "pass": diag.pass_name,
+        "severity": diag.severity,
+        "routine": diag.routine,
+        "word": diag.word_index,
+        "message": diag.message,
+        "raw": diag.raw,
+        "disasm": diag.disasm,
+        "witness": list(diag.witness) if diag.witness else None,
+    }
+
+
+def image_report_dict(name, results, extra) -> dict:
+    """One linted image as a JSON-ready dict."""
+    diags = []
+    for result in results.values():
+        diags.extend(result.diagnostics)
+    diags.extend(extra)
+    diags.sort(key=lambda d: (d.routine, d.word_index, d.pass_name))
+    errors = sum(1 for d in diags if d.is_error)
+    return {
+        "image": name,
+        "routines": sorted(results),
+        "errors": errors,
+        "warnings": len(diags) - errors,
+        "diagnostics": [diagnostic_dict(d) for d in diags],
+        "facts": {rname: result.facts.to_dict()
+                  for rname, result in results.items()},
+    }
+
+
 def render_diagnostic(diag) -> str:
     """One diagnostic in the rustc shape (see module docstring)."""
     where = diag.routine or "<routine>"
@@ -266,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lint one bundled application (repeatable)")
     parser.add_argument("--facts", action="store_true",
                         help="print the derived per-routine facts")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a machine-readable report here")
     # Declarations for single-file mode (the MRoutine fields).
     parser.add_argument("--name", default=None,
                         help="routine name (default: file stem)")
@@ -298,14 +334,17 @@ def lint_main(argv=None) -> int:
         return 2
 
     total_errors = 0
+    images = []
     for name in names:
         try:
             results, extra = lint_routines(APPS[name]())
         except ReproError as exc:
             print(f"error[load]: [{name}] {exc}", file=sys.stderr)
+            images.append({"image": name, "load_error": str(exc)})
             total_errors += 1
             continue
         errors, _ = _report(name, results, extra, args.facts, sys.stdout)
+        images.append(image_report_dict(name, results, extra))
         total_errors += errors
 
     if args.program:
@@ -330,7 +369,21 @@ def lint_main(argv=None) -> int:
             print(f"error[load]: {exc}", file=sys.stderr)
             return 1
         errors, _ = _report(rname, results, extra, args.facts, sys.stdout)
+        images.append(image_report_dict(rname, results, extra))
         total_errors += errors
+
+    if args.json_path:
+        import json
+        payload = {
+            "tool": "mas-lint",
+            "images": images,
+            "errors": total_errors,
+            "ok": not total_errors,
+        }
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json_path}")
 
     return 1 if total_errors else 0
 

@@ -601,6 +601,26 @@ class TranslationCache:
                                    len(block.entries))
         return fn
 
+    def iter_jit_blocks(self):
+        """Yield ``(ns, block)`` for every live tier-2 block.
+
+        The MVTV translation validator (``repro.verify``) harvests the
+        corpus through this: every block MJIT has compiled and not since
+        invalidated, with the namespace label (``"mem"``/``"mram"``)
+        the validator needs to pick the calling convention and the
+        proven-access facts (:attr:`proven_pcs`) that licensed it.
+        """
+        for ns, table in (("mem", self._mem), ("mram", self._mram)):
+            for block in table.values():
+                if block.valid and block.jit_fn is not None:
+                    yield ns, block
+
+    @property
+    def proven_pcs(self) -> frozenset:
+        """The MAS-proven in-bounds mld/mst site pcs currently licensing
+        MJIT guard elision in the mram namespace."""
+        return self._proven_pcs
+
     def tier_of(self, ns: str, pc: int):
         """Execution tier of the cached block headed at *pc*: ``"jit"``,
         ``"closure"``, or ``None`` when nothing is cached there.  Used

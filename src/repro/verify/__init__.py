@@ -1,0 +1,33 @@
+"""MVTV: static verification of the JIT tier and host invariants.
+
+Three passes, exposed via ``python -m repro verify`` (see
+``docs/VALIDATION.md``):
+
+``translation``
+    Per-block translation validation of MJIT output: a symbolic
+    evaluator over the shared micro-op IR (:func:`repro.cpu.tcache.uop_ir`)
+    builds a *reference summary* of every compiled block —
+    register/pc/memory effects, cycle + instret accounting, the 0/1/2
+    abort/trap exit protocol — and an ``ast``-based symbolic evaluator
+    of the generated Python source builds the *candidate summary*.
+    The block is proven equivalent iff the two summaries are
+    structurally identical after canonicalisation.
+
+``elision``
+    Soundness audit of MAS-licensed bounds-guard elision: the in-bounds
+    facts (``RoutineFacts.proven_access_words`` /
+    ``MetalImage.proven_data_pcs``) are re-derived independently by
+    interval-evaluating the symbolic address expressions over the
+    routine CFG, so a bounds-pass bug can never silently license an
+    unguarded MRAM access.
+
+``hostlint``
+    Host-invariant ``ast`` lints over the repro codebase itself:
+    snapshot-completeness (every mutable field a state-bearing class
+    assigns in ``__init__`` must be captured by
+    :mod:`repro.machine.snapshot`) and eviction-completeness (every
+    mutation site of code-bearing state must reach an invalidation).
+"""
+
+from repro.verify.model import Finding, Summary  # noqa: F401
+from repro.verify.translate import validate_block  # noqa: F401

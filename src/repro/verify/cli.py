@@ -1,0 +1,140 @@
+"""``python -m repro verify`` — MVTV static verification.
+
+Three passes (all on by default, selectable with ``--passes``):
+
+* ``translation`` — symbolic translation validation of every block
+  MJIT compiles across a conformance-generator seed sweep
+  (:mod:`repro.verify.corpus`);
+* ``elision`` — the bounds-guard elision soundness audit over every
+  bundled mcode application (:mod:`repro.verify.elision`);
+* ``host`` — the snapshot- and eviction-completeness lints over the
+  host sources (:mod:`repro.verify.hostlint`).
+
+Exit status is non-zero iff any pass produced a finding.  ``--json``
+writes a machine-readable report (the shape ``python -m repro lint
+--json`` mirrors); ``--smoke`` sweeps the conformance smoke corpus and
+defaults the report path to ``verify_smoke.json`` — the CI
+``verify-smoke`` job runs exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SMOKE_SEEDS = 500
+PASS_CHOICES = ("translation", "elision", "host")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="MVTV: symbolic translation validation + host lints.",
+    )
+    parser.add_argument("--seeds", type=int, default=40,
+                        help="corpus seeds for the translation pass "
+                             "(default 40)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (sweep covers base..base+N-1)")
+    parser.add_argument("--passes", action="append", choices=PASS_CHOICES,
+                        help="run only this pass (repeatable; "
+                             "default: all three)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI smoke: the {SMOKE_SEEDS}-seed conformance "
+                             f"smoke corpus, JSON to verify_smoke.json "
+                             f"unless --json")
+    return parser
+
+
+def verify_main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.seeds = max(args.seeds, SMOKE_SEEDS)
+        if args.json_path is None:
+            args.json_path = "verify_smoke.json"
+    passes = tuple(dict.fromkeys(args.passes)) if args.passes else PASS_CHOICES
+
+    findings = []
+    payload = {"tool": "mvtv", "passes": list(passes)}
+
+    if "translation" in passes:
+        from repro.verify.corpus import validate_corpus
+
+        def heartbeat(i, report):
+            if (i + 1) % 50 == 0:
+                print(f"  ... {i + 1}/{args.seeds} seeds, "
+                      f"{report.blocks_validated} unique blocks",
+                      file=sys.stderr)
+
+        seeds = range(args.seed_base, args.seed_base + args.seeds)
+        report = validate_corpus(seeds, progress=heartbeat)
+        findings.extend(report.findings)
+        payload["translation"] = {
+            "seeds": len(report.seeds),
+            "seed_base": args.seed_base,
+            "blocks_seen": report.blocks_seen,
+            "blocks_validated": report.blocks_validated,
+            "mem_blocks": report.mem_blocks,
+            "mram_blocks": report.mram_blocks,
+        }
+        print(f"[translation] {len(report.seeds)} seed(s): "
+              f"{report.blocks_validated} unique blocks proved equivalent "
+              f"({report.mem_blocks} mem, {report.mram_blocks} mram; "
+              f"{report.blocks_seen} seen), "
+              f"{len(report.findings)} finding(s)")
+
+    if "elision" in passes:
+        from repro.analysis.lint import APPS
+        from repro.verify.elision import audit_apps
+
+        stats = {}
+        elision_findings = audit_apps(stats=stats)
+        findings.extend(elision_findings)
+        payload["elision"] = {
+            "apps": sorted(APPS),
+            "routines": stats.get("routines", 0),
+            "claimed_sites": stats.get("claimed_sites", 0),
+        }
+        print(f"[elision] {len(APPS)} app(s), "
+              f"{stats.get('routines', 0)} routine(s): "
+              f"{stats.get('claimed_sites', 0)} MAS-proven access site(s) "
+              f"re-derived, {len(elision_findings)} finding(s)")
+
+    if "host" in passes:
+        from repro.verify.hostlint import (
+            check_eviction_completeness, check_snapshot_completeness,
+        )
+
+        snap = check_snapshot_completeness()
+        evict = check_eviction_completeness()
+        findings.extend(snap)
+        findings.extend(evict)
+        payload["host"] = {
+            "snapshot_findings": len(snap),
+            "eviction_findings": len(evict),
+        }
+        print(f"[host] snapshot-completeness: {len(snap)} finding(s); "
+              f"eviction-completeness: {len(evict)} finding(s)")
+
+    for finding in findings:
+        print()
+        print(finding)
+
+    payload["findings"] = [f.to_dict() for f in findings]
+    payload["ok"] = not findings
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json_path}")
+
+    status = "ok" if not findings else "FAILED"
+    print(f"[verify] {len(findings)} finding(s) ({status})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(verify_main())

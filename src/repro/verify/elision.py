@@ -1,0 +1,521 @@
+"""MVTV pass 2 — elision soundness audit.
+
+MJIT elides the runtime bounds guard at exactly the ``mld``/``mst``
+sites MAS proved in-bounds (``RoutineFacts.proven_access_words``, lifted
+to byte offsets by :meth:`MetalImage.proven_data_pcs`).  A bug in the
+bounds pass therefore silently licenses an unguarded MRAM access.  This
+module re-derives the in-bounds facts by a *different* route and flags
+every MAS-proven site it cannot confirm:
+
+1. each basic block is summarised **symbolically** — every written GPR
+   and MReg becomes an expression over ``in.r{n}``/``in.m{n}`` leaves,
+   built from the same per-mnemonic semantic tables the translation
+   validator uses (:data:`repro.verify.uopsem.IMM_SEM` et al.), and the
+   address of every ``mld``/``mst`` site is captured as an expression;
+2. a worklist fixpoint (written here, not the one in
+   :mod:`repro.analysis.dataflow`) propagates unsigned-interval
+   environments through the CFG, evaluating the symbolic summaries with
+   :func:`interval` and refining along branch edges;
+3. an access is *audit-proven* when its address interval is contained
+   in the routine's allowed MRAM data ranges.
+
+The audit is intentionally at least as precise as the MAS bounds pass on
+the idioms real mcode uses (base constant plus shifted, masked index),
+so on a healthy tree ``proven_access_words`` ⊆ audit-proven holds for
+every bundled application and the pass reports nothing.  Any site MAS
+proves that the audit cannot is a :class:`~repro.verify.model.Finding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import T_BRANCH, build_cfg
+from repro.isa.instruction import InstrClass
+from repro.verify import sym as S
+from repro.verify.model import Finding
+from repro.verify.uopsem import IMM_SEM, REG_SEM
+
+PASS = "elision"
+
+M32 = 0xFFFFFFFF
+SIGN = 0x80000000
+
+
+# ---------------------------------------------------------------------------
+# interval arithmetic (audit-local; deliberately not repro.analysis.domain)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IV:
+    """Closed integer interval.  Intermediate results may leave u32; any
+    escape collapses to :data:`FULL` at the masking points, mirroring how
+    the real datapath wraps."""
+
+    lo: int
+    hi: int
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def __str__(self) -> str:
+        if self.is_const:
+            return f"{{{self.lo:#x}}}"
+        return f"[{self.lo:#x}, {self.hi:#x}]"
+
+
+FULL = IV(0, M32)
+BOOL = IV(0, 1)
+
+
+def _const(v: int) -> IV:
+    return IV(v, v)
+
+
+def _u32(a: IV) -> IV:
+    """Clamp to the u32 domain: anything that may wrap is anything."""
+    if 0 <= a.lo and a.hi <= M32:
+        return a
+    return FULL
+
+
+def _join(a: IV, b: IV) -> IV:
+    return IV(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def _meet(a: IV, b: IV):
+    """None means empty — the refined edge is infeasible."""
+    lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+    if lo > hi:
+        return None
+    return IV(lo, hi)
+
+
+def _widen(old: IV, new: IV) -> IV:
+    lo = new.lo if new.lo >= old.lo else 0
+    hi = new.hi if new.hi <= old.hi else M32
+    return IV(lo, hi)
+
+
+def _and_const(a: IV, mask: int) -> IV:
+    a = _u32(a)
+    if a.is_const:
+        return _const(a.lo & mask)
+    if mask == M32:
+        return a
+    low_bit = mask & -mask
+    if mask and a.hi < low_bit:
+        return _const(0)  # all of a sits below the mask's lowest bit
+    return IV(0, min(a.hi, mask))
+
+
+def _pow2_ceil(v: int) -> int:
+    bit = 1
+    while bit <= v:
+        bit <<= 1
+    return bit - 1
+
+
+def _alu(mnemonic: str, a: IV, b: IV) -> IV:
+    """Opaque-ALU (muldiv) interval rules, written from the RV32M
+    semantics rather than copied from the MAS domain."""
+    a, b = _u32(a), _u32(b)
+    if mnemonic == "mul":
+        return _u32(IV(a.lo * b.lo, a.hi * b.hi))
+    if mnemonic == "divu":
+        if b.is_const and b.lo == 0:
+            return _const(M32)  # RV32 divu by zero
+        lo = a.lo // b.hi if b.hi else 0
+        hi = M32 if b.lo == 0 else a.hi // b.lo
+        return IV(lo, hi)
+    if mnemonic == "remu":
+        if b.hi == 0:
+            return a  # remu by zero yields the dividend
+        hi = a.hi if b.lo == 0 else min(a.hi, b.hi - 1)
+        return IV(0, hi)
+    return FULL
+
+
+def interval(e, env: dict) -> IV:
+    """Evaluate a :mod:`repro.verify.sym` expression over *env*, a map
+    from leaf symbol name to :class:`IV`; absent leaves are unknown."""
+    if isinstance(e, bool):
+        return _const(int(e))
+    if isinstance(e, int):
+        return _const(e)
+    if not isinstance(e, tuple) or not e:
+        return FULL
+    op = e[0]
+    if op == "s":
+        return env.get(e[1], FULL)
+    if op == "+":
+        lo = hi = e[1]
+        for term, coeff in e[2]:
+            t = _u32(interval(term, env))
+            if coeff >= 0:
+                lo += coeff * t.lo
+                hi += coeff * t.hi
+            else:
+                lo += coeff * t.hi
+                hi += coeff * t.lo
+        return IV(lo, hi)
+    if op == "&":
+        a, b = interval(e[1], env), interval(e[2], env)
+        if b.is_const:
+            return _and_const(a, _u32(b).lo if 0 <= b.lo <= M32 else M32)
+        if a.is_const:
+            return _and_const(b, _u32(a).lo if 0 <= a.lo <= M32 else M32)
+        return IV(0, min(_u32(a).hi, _u32(b).hi))
+    if op in ("|", "^"):
+        a, b = _u32(interval(e[1], env)), _u32(interval(e[2], env))
+        return IV(0, _pow2_ceil(a.hi | b.hi))
+    if op == "<<":
+        a, b = interval(e[1], env), interval(e[2], env)
+        if not b.is_const:
+            return FULL
+        sh = b.lo & 31
+        a = _u32(a)
+        return IV(a.lo << sh, a.hi << sh)
+    if op == ">>":
+        a, b = interval(e[1], env), interval(e[2], env)
+        if not b.is_const:
+            return FULL
+        sh = b.lo & 31
+        a = _u32(a)
+        return IV(a.lo >> sh, a.hi >> sh)
+    if op == "alu":
+        return _alu(e[1], interval(e[2], env), interval(e[3], env))
+    if op == "b2i":
+        return BOOL
+    if op == "ite":
+        return _join(_u32(interval(e[2], env)), _u32(interval(e[3], env)))
+    if op in ("==", "!=", "<", "<=", "band", "not", "isnone", "notnone"):
+        return BOOL
+    return FULL
+
+
+# ---------------------------------------------------------------------------
+# symbolic block summaries
+# ---------------------------------------------------------------------------
+
+#: Instruction formats whose encodings carry a writable rd field.
+_WRITES_RD = frozenset(("R", "I", "U", "J"))
+
+
+@dataclass
+class _BlockSummary:
+    regs: dict        # rd -> expr over in.* leaves (only written regs)
+    mregs: dict       # idx -> expr (only written mregs)
+    accesses: tuple   # ((word_index, mnemonic, addr_expr), ...)
+
+
+def _leaf_reg(n: int):
+    return 0 if n == 0 else S.sym(f"in.r{n}")
+
+
+def _summarise_block(block) -> _BlockSummary:
+    regs = {}
+    mregs = {}
+    accesses = []
+
+    def reg(n):
+        if n == 0:
+            return 0
+        return regs.get(n, _leaf_reg(n))
+
+    def setreg(n, value):
+        if n:
+            regs[n] = value
+
+    for off, instr in enumerate(block.instrs):
+        if instr is None:
+            break
+        m = instr.mnemonic
+        cls = instr.cls
+        if m in ("mld", "mst"):
+            accesses.append((block.start + off, m,
+                             S.add(reg(instr.rs1), instr.imm)))
+        if cls is InstrClass.LUI:
+            setreg(instr.rd, instr.imm & M32)
+        elif cls is InstrClass.ALU_IMM and m in IMM_SEM:
+            setreg(instr.rd, IMM_SEM[m](reg(instr.rs1), instr.imm))
+        elif cls is InstrClass.ALU_REG and m in REG_SEM:
+            setreg(instr.rd, REG_SEM[m](reg(instr.rs1), reg(instr.rs2)))
+        elif cls is InstrClass.MULDIV:
+            setreg(instr.rd, S.alu(m, reg(instr.rs1), reg(instr.rs2)))
+        elif m == "rmr":
+            setreg(instr.rd, mregs.get(instr.rs1, S.sym(f"in.m{instr.rs1}")))
+        elif m == "wmr":
+            mregs[instr.rd] = reg(instr.rs1)
+        elif instr.spec.fmt.name in _WRITES_RD:
+            # Loads, mld results, link registers, arch ops: unknown value.
+            setreg(instr.rd, S.sym(f"hv.{block.index}.{off}"))
+    return _BlockSummary(regs=regs, mregs=mregs, accesses=tuple(accesses))
+
+
+# ---------------------------------------------------------------------------
+# fixpoint over interval environments
+# ---------------------------------------------------------------------------
+
+class _Env:
+    """Per-block interval state: one IV per GPR and per MReg."""
+
+    __slots__ = ("regs", "mregs")
+
+    def __init__(self, regs=None, mregs=None):
+        self.regs = list(regs) if regs is not None else [FULL] * 32
+        self.mregs = list(mregs) if mregs is not None else [FULL] * 32
+        self.regs[0] = _const(0)
+
+    def copy(self):
+        return _Env(self.regs, self.mregs)
+
+    def leaves(self) -> dict:
+        bind = {}
+        for n in range(1, 32):
+            bind[f"in.r{n}"] = self.regs[n]
+        for n in range(32):
+            bind[f"in.m{n}"] = self.mregs[n]
+        return bind
+
+    def __eq__(self, other):
+        return (isinstance(other, _Env) and self.regs == other.regs
+                and self.mregs == other.mregs)
+
+    def __hash__(self):  # pragma: no cover - envs never key dicts
+        return id(self)
+
+    def join(self, other):
+        return _Env([_join(a, b) for a, b in zip(self.regs, other.regs)],
+                    [_join(a, b) for a, b in zip(self.mregs, other.mregs)])
+
+    def widen(self, new):
+        return _Env([_widen(a, b) for a, b in zip(self.regs, new.regs)],
+                    [_widen(a, b) for a, b in zip(self.mregs, new.mregs)])
+
+
+def _apply(summary: _BlockSummary, env: _Env) -> _Env:
+    bind = env.leaves()
+    out = env.copy()
+    for n, expr in summary.regs.items():
+        out.regs[n] = _u32(interval(expr, bind))
+    for n, expr in summary.mregs.items():
+        out.mregs[n] = _u32(interval(expr, bind))
+    return out
+
+
+def _refine_branch(graph, block, succ, env: _Env):
+    """Tighten the terminator's rs1/rs2 along one branch edge; None
+    marks the edge statically infeasible."""
+    if block.terminator != T_BRANCH or len(block.succs) < 2:
+        return env
+    if graph.blocks[block.succs[0]].start == graph.blocks[block.succs[1]].start:
+        return env  # taken/fall-through coincide: "taken" is ambiguous
+    instr = block.instrs[-1]
+    m = instr.mnemonic
+    target_word = (4 * block.term_word + instr.imm) // 4
+    taken = graph.blocks[succ].start == target_word
+    a, b = env.regs[instr.rs1], env.regs[instr.rs2]
+    signed_ok = a.hi <= 0x7FFFFFFF and b.hi <= 0x7FFFFFFF
+    if (m == "beq" and taken) or (m == "bne" and not taken):
+        met = _meet(a, b)
+        refined = None if met is None else (met, met)
+    elif ((m == "bltu" and taken) or (m == "bgeu" and not taken)
+          or (signed_ok and ((m == "blt" and taken)
+                             or (m == "bge" and not taken)))):
+        refined = _refine_ltu(a, b)
+    elif ((m == "bltu" and not taken) or (m == "bgeu" and taken)
+          or (signed_ok and ((m == "blt" and not taken)
+                             or (m == "bge" and taken)))):
+        refined = _refine_geu(a, b)
+    else:
+        return env
+    if refined is None:
+        return None
+    out = env.copy()
+    if instr.rs1:
+        out.regs[instr.rs1] = refined[0]
+    if instr.rs2:
+        out.regs[instr.rs2] = refined[1]
+    return out
+
+
+def _refine_ltu(a: IV, b: IV):
+    if b.hi == 0:
+        return None  # nothing is below 0 unsigned
+    na = _meet(a, IV(0, b.hi - 1))
+    nb = _meet(b, IV(min(a.lo + 1, M32), M32))
+    if na is None or nb is None:
+        return None
+    return na, nb
+
+
+def _refine_geu(a: IV, b: IV):
+    na = _meet(a, IV(b.lo, M32))
+    nb = _meet(b, IV(0, a.hi))
+    if na is None or nb is None:
+        return None
+    return na, nb
+
+
+def _solve(graph, summaries, max_visits=64):
+    """Forward fixpoint; returns in-states per reachable block index."""
+    in_states = {0: _Env()}
+    out_states = {}
+    visits = {}
+    loop_heads = {dst for (_src, dst) in graph.back_edges}
+    worklist = [0]
+    queued = {0}
+    while worklist:
+        b = worklist.pop(0)
+        queued.discard(b)
+        visits[b] = visits.get(b, 0) + 1
+        if visits[b] > max_visits:
+            continue
+        out = _apply(summaries[b], in_states[b])
+        if out_states.get(b) == out:
+            continue
+        out_states[b] = out
+        for s in graph.blocks[b].succs:
+            flowed = _refine_branch(graph, graph.blocks[b], s, out)
+            if flowed is None:
+                continue
+            existing = in_states.get(s)
+            if existing is None:
+                merged = flowed
+            else:
+                merged = existing.join(flowed)
+                if s in loop_heads and visits.get(s, 0) >= 3:
+                    merged = existing.widen(merged)
+                if existing == merged:
+                    continue
+            in_states[s] = merged
+            if s not in queued:
+                worklist.append(s)
+                queued.add(s)
+    return in_states
+
+
+# ---------------------------------------------------------------------------
+# the audit
+# ---------------------------------------------------------------------------
+
+def _merge_ranges(ranges):
+    merged = []
+    for lo, hi in sorted(ranges):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def audit_routine(routine, allowed_data_ranges):
+    """Independently derive the in-bounds ``mld``/``mst`` word indices of
+    *routine*; returns ``(proven, intervals)`` where *intervals* maps
+    every access word to its audited address interval (for findings)."""
+    words = list(routine.code_words or [])
+    graph = build_cfg(words)
+    summaries = {b.index: _summarise_block(b) for b in graph.blocks}
+    in_states = _solve(graph, summaries)
+    ranges = _merge_ranges(allowed_data_ranges)
+
+    proven = set()
+    intervals = {}
+    for block in graph.blocks:
+        env = in_states.get(block.index)
+        if env is None:
+            continue  # unreachable: never audit-proven
+        bind = env.leaves()
+        for word, _m, addr_expr in summaries[block.index].accesses:
+            addr = interval(addr_expr, bind)
+            intervals[word] = addr
+            if addr.lo < 0 or addr.hi > M32:
+                continue  # may wrap: not provable
+            if any(lo <= addr.lo and addr.hi < hi for lo, hi in ranges):
+                proven.add(word)
+    return proven, intervals
+
+
+def _data_range(routine):
+    return (routine.data_offset, routine.data_offset + 4 * routine.data_words)
+
+
+def _allowed_ranges(routine, image):
+    ranges = [_data_range(routine)]
+    for other_name in routine.shared_data:
+        other = image.routines.get(other_name)
+        if other is not None:
+            ranges.append(_data_range(other))
+    return [r for r in ranges if r[0] < r[1]] or [(0, 0)]
+
+
+def audit_image(label: str, image, stats: dict = None) -> list:
+    """Cross-check every MAS-proven access fact carried by *image*.
+
+    ``image.analysis`` must be populated (``load_mroutines`` with
+    ``verify=True``); the facts found there are exactly what
+    :meth:`MetalImage.proven_data_pcs` serves to the translation cache.
+    *stats*, if given, accumulates ``claimed_sites`` and ``routines``.
+    """
+    findings = []
+    expected_pcs = []
+    for name, result in image.analysis.items():
+        routine = image.routines.get(name)
+        if routine is None or routine.code_words is None:
+            continue
+        claimed = tuple(getattr(result.facts, "proven_access_words", ()) or ())
+        if stats is not None:
+            stats["routines"] = stats.get("routines", 0) + 1
+            stats["claimed_sites"] = stats.get("claimed_sites", 0) + len(claimed)
+        expected_pcs.extend(routine.code_offset + 4 * w for w in claimed)
+        if not claimed:
+            continue
+        ranges = _allowed_ranges(routine, image)
+        proven, intervals = audit_routine(routine, ranges)
+        for word in claimed:
+            if word in proven:
+                continue
+            addr = intervals.get(word)
+            findings.append(Finding(
+                pass_name=PASS,
+                where=f"{label}/{name}:word {word}",
+                message=("MAS marked this mld/mst proven in-bounds but the "
+                         "audit cannot confirm it — the JIT would elide the "
+                         "bounds guard on an unproven access"),
+                detail=(f"audited address interval "
+                        f"{addr if addr is not None else '<unreachable>'} vs "
+                        f"allowed ranges {_merge_ranges(ranges)}"),
+            ))
+    actual_pcs = sorted(image.proven_data_pcs())
+    if sorted(expected_pcs) != actual_pcs:
+        findings.append(Finding(
+            pass_name=PASS,
+            where=f"{label}/<image>",
+            message=("proven_data_pcs() disagrees with the per-routine "
+                     "proven_access_words facts"),
+            detail=f"facts say {sorted(expected_pcs)}, image says {actual_pcs}",
+        ))
+    return findings
+
+
+def audit_app(name: str, stats: dict = None) -> list:
+    """Build one bundled application image (verified, exactly as a
+    machine would load it) and audit its proven-access facts."""
+    from repro.analysis.lint import APPS, _builtin_symbols
+    from repro.metal.loader import load_mroutines
+
+    image = load_mroutines(APPS[name](), extra_symbols=_builtin_symbols(),
+                           verify=True)
+    return audit_image(name, image, stats)
+
+
+def audit_apps(names=None, stats: dict = None) -> list:
+    """Audit every bundled application (the full lint registry)."""
+    from repro.analysis.lint import APPS
+
+    findings = []
+    for name in sorted(names if names is not None else APPS):
+        findings.extend(audit_app(name, stats))
+    return findings

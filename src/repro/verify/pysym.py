@@ -1,0 +1,748 @@
+"""Candidate block summaries from MJIT-generated Python source.
+
+This is the *candidate* side of the translation validator: a symbolic
+evaluator over the ``ast`` of a compiled block's ``__jit_source__``.
+It knows nothing about the micro-op IR — it only understands the
+restricted Python the codegen emits (straight-line arithmetic on
+locals, the guest-state markers bound in the prologue, the semantics
+helpers from the exec namespace, ``if``/``while True``/``try`` control
+flow and the 5-tuple return protocol) and turns the function into a
+:class:`Summary` in the same canonical form
+:mod:`repro.verify.uopsem` builds from the IR.
+
+Joins whose arms only compute data are ITE-merged so the summary stays
+small; joins that decide the block's successor (``next_pc`` writes) or
+produce observable events stay path-split, mirroring the reference's
+per-exit structure.  Source outside the expected grammar — a symptom
+of a corrupted codegen, exactly what the validator exists to catch —
+raises :class:`UnsupportedSource`, which the driver reports as a
+finding rather than trusting the block.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import re
+
+from repro.cpu.exceptions import Cause
+from repro.verify import sym as S
+from repro.verify.model import Exit, Summary
+
+MEM_PARAMS = ("core", "block", "timer", "sync", "budget",
+              "instret_base", "limit")
+MRAM_PARAMS = ("core", "metal", "timer", "budget", "instret_base", "limit")
+
+#: Loop-carried names the evaluator generalises at a ``while True`` head
+#: (anything else assigned in the body must be provably loop-invariant).
+_GENERAL = re.compile(r"^(r\d+|retired|loops|cyc|epc)$")
+
+_INSTR_NAME = re.compile(r"^_i(\d+)$")
+_OPFN_NAME = re.compile(r"^_op_(\w+)$")
+
+
+class UnsupportedSource(Exception):
+    """The source is outside the MJIT grammar the evaluator models."""
+
+
+class _Mark:
+    """Opaque runtime object (core, regfile, bound helper, StepInfo...)."""
+
+    __slots__ = ("tag", "arg")
+
+    def __init__(self, tag: str, arg=None):
+        self.tag = tag
+        self.arg = arg
+
+    def __eq__(self, other):
+        return (isinstance(other, _Mark) and self.tag == other.tag
+                and self.arg == other.arg)
+
+    def __hash__(self):
+        return hash((self.tag, self.arg))
+
+    def __repr__(self):
+        return (f"<{self.tag}>" if self.arg is None
+                else f"<{self.tag} {self.arg}>")
+
+
+_CORE = _Mark("core")
+_BLOCK = _Mark("block")
+_TIMER = _Mark("timer")
+_TIMING = _Mark("timing")
+_REGS = _Mark("regs")
+_SYNC = _Mark("sync")
+_READM = _Mark("read_mem")
+_WRITEM = _Mark("write_mem")
+_METAL = _Mark("metal")
+_MREGS = _Mark("mregs")
+_MRRF = _Mark("mrr")
+_MRWF = _Mark("mrw")
+_MRAM = _Mark("mram")
+_DATA = _Mark("data")
+_EXEC = _Mark("execute")
+_UPK = _Mark("upk")
+_PK = _Mark("pk")
+_TRAPCTOR = _Mark("trapctor")
+
+#: Attribute reads on opaque markers (state-bearing ones are special-
+#: cased in :meth:`_Ev.eval` because they read evaluator state).
+_ATTRS = {
+    ("core", "regs"): _REGS,
+    ("core", "read_mem"): _READM,
+    ("core", "write_mem"): _WRITEM,
+    ("timer", "timing"): _TIMING,
+    ("metal", "mregs"): _MREGS,
+    ("metal", "mram"): _MRAM,
+    ("mregs", "read"): _MRRF,
+    ("mregs", "write"): _MRWF,
+    ("mram", "data"): _DATA,
+}
+
+_STEPINFO_ATTRS = {"mem_latency": "lat", "control": "ctl",
+                   "next_pc": "next_pc"}
+
+
+class CState:
+    """One symbolic path through the generated function."""
+
+    __slots__ = ("vars", "regfile", "tc", "valid", "events", "path",
+                 "counter")
+
+    def __init__(self):
+        self.vars = {}
+        self.regfile = {}
+        self.tc = S.sym("T.cycles0")
+        self.valid = S.sym("V0")
+        self.events = []
+        self.path = []
+        self.counter = 0
+
+    def fork(self, extra=None) -> "CState":
+        st = copy.copy(self)
+        st.vars = dict(self.vars)
+        st.regfile = dict(self.regfile)
+        st.events = list(self.events)
+        st.path = list(self.path)
+        if extra is not None:
+            st.path.append(extra)
+        return st
+
+    def alloc(self, event: tuple) -> int:
+        k = self.counter
+        self.counter += 1
+        self.events.append(event)
+        return k
+
+
+def _esym(k: int, what: str):
+    return S.sym(f"e{k}.{what}")
+
+
+# ---------------------------------------------------------------------------
+# AST scans (loop-head classification)
+# ---------------------------------------------------------------------------
+
+def _assigned_names(nodes) -> set:
+    out = set()
+    for node in nodes:
+        for sub in ast.walk(node):
+            targets = ()
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, ast.AugAssign):
+                targets = (sub.target,)
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    out.add(t.id)
+                elif isinstance(t, ast.Tuple):
+                    out.update(e.id for e in t.elts
+                               if isinstance(e, ast.Name))
+    return out
+
+
+def _has_call(nodes, names: frozenset) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in names):
+                return True
+    return False
+
+
+def _assigns_attr(nodes, attr: str) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            target = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+            elif isinstance(sub, ast.AugAssign):
+                target = sub.target
+            if isinstance(target, ast.Attribute) and target.attr == attr:
+                return True
+    return False
+
+
+def _assigns_name(node, name: str) -> bool:
+    return name in _assigned_names([node])
+
+
+# ---------------------------------------------------------------------------
+# the evaluator
+# ---------------------------------------------------------------------------
+
+class _Ev:
+    def __init__(self, mem: bool):
+        self.mem = mem
+        self.exits = []
+        self.entry = {}
+        self.looped = False
+        self.gen_regfile = False
+        self.handler = None        # (stmts, alias) inside a try
+        self.invariants = {}       # un-generalised loop-carried locals
+
+    # -- state helpers ---------------------------------------------------
+    def rf_default(self, n: int):
+        return S.sym(f"L.regs{n}" if self.gen_regfile else f"R{n}")
+
+    def rf_get(self, st: CState, n: int):
+        return st.regfile.get(n, self.rf_default(n))
+
+    def norm_regfile(self, st: CState) -> tuple:
+        return tuple(sorted(
+            (n, e) for n, e in st.regfile.items()
+            if e != self.rf_default(n)))
+
+    # -- expressions -----------------------------------------------------
+    def eval(self, node, st: CState):
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if v is None or v is True or v is False or isinstance(v, (int, str)):
+                return v
+            raise UnsupportedSource(f"constant {v!r}")
+        if isinstance(node, ast.Name):
+            return self.load_name(node.id, st)
+        if isinstance(node, ast.Attribute):
+            return self.load_attr(node, st)
+        if isinstance(node, ast.Subscript):
+            return self.load_sub(node, st)
+        if isinstance(node, ast.BinOp):
+            a = self.eval(node.left, st)
+            b = self.eval(node.right, st)
+            return self.binop(node.op, a, b)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                v = self.eval(node.operand, st)
+                return S.mul_const(v, -1)
+            if isinstance(node.op, ast.UAdd):
+                v = self.eval(node.operand, st)
+                return S.b2i(v) if self.is_bool(v) else v
+            if isinstance(node.op, ast.Not):
+                return S.not_(S.truth(self.eval(node.operand, st)))
+            raise UnsupportedSource("unary ~")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise UnsupportedSource("chained comparison")
+            a = self.eval(node.left, st)
+            b = self.eval(node.comparators[0], st)
+            return self.compare(node.ops[0], a, b)
+        if isinstance(node, ast.BoolOp):
+            if not isinstance(node.op, ast.And):
+                raise UnsupportedSource("boolean or")
+            return S.band(*(S.truth(self.eval(v, st)) for v in node.values))
+        if isinstance(node, ast.IfExp):
+            c = S.truth(self.eval(node.test, st))
+            return S.ite(c, self.eval(node.body, st),
+                         self.eval(node.orelse, st))
+        if isinstance(node, ast.Call):
+            return self.call(node, st)
+        raise UnsupportedSource(f"expression {ast.dump(node)[:60]}")
+
+    @staticmethod
+    def is_bool(v) -> bool:
+        if isinstance(v, bool):
+            return True
+        return isinstance(v, tuple) and len(v) > 0 and v[0] in S._BOOL_OPS
+
+    def load_name(self, name: str, st: CState):
+        if name in st.vars:
+            return st.vars[name]
+        m = _INSTR_NAME.match(name)
+        if m:
+            return _Mark("instr", int(m.group(1)))
+        m = _OPFN_NAME.match(name)
+        if m:
+            return _Mark("opfn", m.group(1))
+        raise UnsupportedSource(f"read of undefined name {name!r}")
+
+    def load_attr(self, node: ast.Attribute, st: CState):
+        base = self.eval(node.value, st)
+        if not isinstance(base, _Mark):
+            raise UnsupportedSource(f"attribute on non-object .{node.attr}")
+        if base.tag == "timer" and node.attr == "cycles":
+            return st.tc
+        if base.tag == "block" and node.attr == "valid":
+            return st.valid
+        if base.tag == "timing":
+            return S.sym(f"T.{node.attr}")
+        if base.tag == "stepinfo":
+            field = _STEPINFO_ATTRS.get(node.attr)
+            if field is None:
+                raise UnsupportedSource(f"StepInfo attribute .{node.attr}")
+            return _esym(base.arg, field)
+        out = _ATTRS.get((base.tag, node.attr))
+        if out is None:
+            raise UnsupportedSource(f"attribute {base.tag}.{node.attr}")
+        return out
+
+    def load_sub(self, node: ast.Subscript, st: CState):
+        base = self.eval(node.value, st)
+        idx = self.eval(node.slice, st)
+        if not isinstance(idx, int):
+            raise UnsupportedSource("symbolic subscript index")
+        if isinstance(base, _Mark) and base.tag == "regs":
+            return 0 if idx == 0 else self.rf_get(st, idx)
+        if isinstance(base, _Mark) and base.tag == "upkres" and idx == 0:
+            return _esym(base.arg, "val")
+        raise UnsupportedSource("subscript on unexpected object")
+
+    def binop(self, op, a, b):
+        if isinstance(op, ast.Add):
+            return S.add(a, b)
+        if isinstance(op, ast.Sub):
+            return S.sub(a, b)
+        if isinstance(op, ast.Mult):
+            if isinstance(a, int):
+                return S.mul_const(b, a)
+            if isinstance(b, int):
+                return S.mul_const(a, b)
+            raise UnsupportedSource("non-linear multiply")
+        if isinstance(op, ast.BitAnd):
+            return S.and_(a, b)
+        if isinstance(op, ast.BitOr):
+            return S.or_(a, b)
+        if isinstance(op, ast.BitXor):
+            return S.xor(a, b)
+        if isinstance(op, ast.LShift):
+            return S.shl(a, b)
+        if isinstance(op, ast.RShift):
+            return S.shr(a, b)
+        raise UnsupportedSource(f"operator {type(op).__name__}")
+
+    def compare(self, op, a, b):
+        if isinstance(op, ast.Eq):
+            return S.eq(a, b)
+        if isinstance(op, ast.NotEq):
+            return S.ne(a, b)
+        if isinstance(op, ast.Lt):
+            return S.lt(a, b)
+        if isinstance(op, ast.LtE):
+            return S.le(a, b)
+        if isinstance(op, ast.Gt):
+            return S.lt(b, a)
+        if isinstance(op, ast.GtE):
+            return S.le(b, a)
+        if isinstance(op, ast.Is):
+            if b is None:
+                return S.isnone(a)
+            raise UnsupportedSource("is against non-None")
+        if isinstance(op, ast.IsNot):
+            if b is None:
+                return S.notnone(a)
+            raise UnsupportedSource("is not against non-None")
+        raise UnsupportedSource(f"comparison {type(op).__name__}")
+
+    # -- calls (the event vocabulary) ------------------------------------
+    def call(self, node: ast.Call, st: CState):
+        fn = self.eval(node.func, st)
+        if not isinstance(fn, _Mark):
+            raise UnsupportedSource("call of non-helper")
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                raise UnsupportedSource("**kwargs in call")
+            kwargs[kw.arg] = self.eval(kw.value, st)
+        args = [self.eval(a, st) for a in node.args]
+        tag = fn.tag
+        if tag == "sync":
+            self.expect_args(tag, args, kwargs, 0)
+            k = st.alloc(("sync", st.tc))
+            st.valid = _esym(k, "valid")
+            return None
+        if tag == "read_mem":
+            self.expect_args(tag, args, kwargs, 2)
+            k = st.alloc(("read", args[0], args[1]))
+            self.trap_fork(st, k)
+            return _Mark("multi", (_esym(k, "val"), _esym(k, "lat")))
+        if tag == "write_mem":
+            self.expect_args(tag, args, kwargs, 3)
+            k = st.alloc(("write", args[0], args[1], args[2]))
+            self.trap_fork(st, k)
+            st.valid = _esym(k, "valid")
+            return _esym(k, "lat")
+        if tag == "execute":
+            if (len(args) != 3 or set(kwargs) != {"fetch_latency"}
+                    or not isinstance(args[0], _Mark)
+                    or args[0].tag != "core"
+                    or not isinstance(args[1], _Mark)
+                    or args[1].tag != "instr"):
+                raise UnsupportedSource("execute() call shape")
+            k = st.alloc(("exec", args[1].arg, args[2],
+                          kwargs["fetch_latency"]))
+            for n in range(1, 32):
+                st.regfile[n] = _esym(k, f"r{n}")
+            self.trap_fork(st, k)
+            return _Mark("stepinfo", k)
+        if tag == "mrr":
+            self.expect_args(tag, args, kwargs, 1)
+            k = st.alloc(("mrr", args[0]))
+            return _esym(k, "val")
+        if tag == "mrw":
+            self.expect_args(tag, args, kwargs, 2)
+            st.alloc(("mrw", args[0], args[1]))
+            return None
+        if tag == "upk":
+            self.expect_args(tag, args, kwargs, 2)
+            self.expect_data(args[0])
+            k = st.alloc(("upk", args[1]))
+            return _Mark("upkres", k)
+        if tag == "pk":
+            self.expect_args(tag, args, kwargs, 3)
+            self.expect_data(args[0])
+            st.alloc(("pk", args[1], args[2]))
+            return None
+        if tag == "opfn":
+            self.expect_args(tag, args, kwargs, 2)
+            return S.alu(fn.arg, args[0], args[1])
+        if tag == "trapctor":
+            self.expect_args(tag, args, kwargs, 2)
+            if not isinstance(args[0], int):
+                raise UnsupportedSource("symbolic trap cause")
+            k = st.alloc(("raise", args[0], args[1]))
+            return _Mark("trapval", k)
+        raise UnsupportedSource(f"call of {tag}")
+
+    @staticmethod
+    def expect_args(tag, args, kwargs, n) -> None:
+        if len(args) != n or kwargs:
+            raise UnsupportedSource(f"{tag}() takes {n} args, "
+                                    f"got {len(args)}")
+
+    @staticmethod
+    def expect_data(v) -> None:
+        if not (isinstance(v, _Mark) and v.tag == "data"):
+            raise UnsupportedSource("raw access not on the MRAM data "
+                                    "segment")
+
+    # -- trap routing ----------------------------------------------------
+    def trap_fork(self, st: CState, site: int) -> None:
+        """A call that may raise: fork the trap path into the handler."""
+        self.route_trap(st.fork(), site)
+
+    def route_trap(self, st: CState, site: int) -> None:
+        if self.handler is None:
+            raise UnsupportedSource("raising site outside try/except")
+        stmts, alias = self.handler
+        st.vars[alias] = _Mark("trapval", site)
+        leftover = self.exec_stmts(stmts, [st])
+        if leftover:
+            raise UnsupportedSource("trap handler does not return")
+
+    # -- statements ------------------------------------------------------
+    def exec_stmts(self, stmts, states):
+        """Run *states* through *stmts*; returns (tag, state) outcomes."""
+        out = []
+        frontier = list(states)
+        for stmt in stmts:
+            if not frontier:
+                break
+            nxt = []
+            for st in frontier:
+                for tag, s in self.exec_stmt(stmt, st):
+                    (nxt if tag == "fall" else out).append(
+                        s if tag == "fall" else (tag, s))
+            frontier = nxt
+        out.extend(("fall", s) for s in frontier)
+        return out
+
+    def exec_stmt(self, stmt, st: CState):
+        if isinstance(stmt, ast.Assign):
+            self.do_assign(stmt, st)
+            return [("fall", st)]
+        if isinstance(stmt, ast.AugAssign):
+            self.do_augassign(stmt, st)
+            return [("fall", st)]
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, st)
+            return [("fall", st)]
+        if isinstance(stmt, ast.Return):
+            self.do_return(stmt, st)
+            return []
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is None:
+                raise UnsupportedSource("bare raise")
+            v = self.eval(stmt.exc, st)
+            if not (isinstance(v, _Mark) and v.tag == "trapval"):
+                raise UnsupportedSource("raise of non-TrapException")
+            self.route_trap(st, v.arg)
+            return []
+        if isinstance(stmt, ast.Break):
+            return [("break", st)]
+        if isinstance(stmt, ast.Continue):
+            return [("continue", st)]
+        if isinstance(stmt, ast.If):
+            return self.do_if(stmt, st)
+        if isinstance(stmt, ast.While):
+            return self.do_while(stmt, st)
+        if isinstance(stmt, ast.Try):
+            return self.do_try(stmt, st)
+        raise UnsupportedSource(f"statement {type(stmt).__name__}")
+
+    def do_assign(self, stmt: ast.Assign, st: CState) -> None:
+        if len(stmt.targets) != 1:
+            raise UnsupportedSource("multiple assignment targets")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Tuple):
+            v = self.eval(stmt.value, st)
+            if not (isinstance(v, _Mark) and v.tag == "multi"):
+                raise UnsupportedSource("tuple-unpack of non-call")
+            names = target.elts
+            if len(names) != len(v.arg) or not all(
+                    isinstance(n, ast.Name) for n in names):
+                raise UnsupportedSource("tuple-unpack arity")
+            for n, val in zip(names, v.arg):
+                st.vars[n.id] = val
+            return
+        v = self.eval(stmt.value, st)
+        if isinstance(v, _Mark) and v.tag == "multi":
+            raise UnsupportedSource("multi-value result not unpacked")
+        if isinstance(target, ast.Name):
+            st.vars[target.id] = v
+            return
+        if isinstance(target, ast.Subscript):
+            base = self.eval(target.value, st)
+            idx = self.eval(target.slice, st)
+            if (isinstance(base, _Mark) and base.tag == "regs"
+                    and isinstance(idx, int) and 1 <= idx < 32):
+                st.regfile[idx] = v
+                return
+            raise UnsupportedSource("subscript store on unexpected object")
+        if isinstance(target, ast.Attribute):
+            obj = self.eval(target.value, st)
+            if isinstance(obj, _Mark):
+                if obj.tag == "timer" and target.attr == "cycles":
+                    st.tc = v
+                    return
+                if obj.tag == "core" and target.attr == "_timer_cycles":
+                    st.alloc(("latch_tc", v))
+                    return
+                if obj.tag == "core" and target.attr == "instret":
+                    st.alloc(("latch_instret", v))
+                    return
+            raise UnsupportedSource(f"attribute store .{target.attr}")
+        raise UnsupportedSource("assignment target")
+
+    def do_augassign(self, stmt: ast.AugAssign, st: CState) -> None:
+        target = stmt.target
+        rhs = self.eval(stmt.value, st)
+        if isinstance(target, ast.Name):
+            cur = self.load_name(target.id, st)
+            st.vars[target.id] = self.binop(stmt.op, cur, rhs)
+            return
+        if (isinstance(target, ast.Attribute)
+                and target.attr == "cycles"):
+            obj = self.eval(target.value, st)
+            if isinstance(obj, _Mark) and obj.tag == "timer":
+                st.tc = self.binop(stmt.op, st.tc, rhs)
+                return
+        raise UnsupportedSource("augmented-assignment target")
+
+    def do_return(self, stmt: ast.Return, st: CState) -> None:
+        if not (isinstance(stmt.value, ast.Tuple)
+                and len(stmt.value.elts) == 5):
+            raise UnsupportedSource("return is not the 5-tuple protocol")
+        status, next_pc, retired, loops, trap = (
+            self.eval(e, st) for e in stmt.value.elts)
+        if status not in (0, 1, 2):
+            raise UnsupportedSource(f"return status {status!r}")
+        kind = ("ret0", "abort", "trap")[status]
+        site = None
+        if kind == "trap":
+            if not (isinstance(trap, _Mark) and trap.tag == "trapval"):
+                raise UnsupportedSource("status-2 return without the "
+                                        "caught exception")
+            site = trap.arg
+        elif trap is not None:
+            raise UnsupportedSource(f"status-{status} return carries an "
+                                    "exception")
+        if isinstance(next_pc, _Mark) or isinstance(retired, _Mark) \
+                or isinstance(loops, _Mark):
+            raise UnsupportedSource("opaque object in return tuple")
+        self.exits.append(Exit(
+            kind=kind, path=tuple(st.path), events=tuple(st.events),
+            retired=retired, loops=loops, tc=st.tc,
+            regfile=self.norm_regfile(st), next_pc=next_pc, trap=site))
+
+    # -- control flow ----------------------------------------------------
+    def do_if(self, stmt: ast.If, st: CState):
+        cond = S.truth(self.eval(stmt.test, st))
+        if cond is True:
+            return self.exec_stmts(stmt.body, [st])
+        if cond is False:
+            return self.exec_stmts(stmt.orelse, [st])
+        base_events = len(st.events)
+        t_st = st.fork(cond)
+        f_st = st.fork(S.not_(cond))
+        t_out = self.exec_stmts(stmt.body, [t_st])
+        f_out = (self.exec_stmts(stmt.orelse, [f_st]) if stmt.orelse
+                 else [("fall", f_st)])
+        t_falls = [s for tag, s in t_out if tag == "fall"]
+        f_falls = [s for tag, s in f_out if tag == "fall"]
+        others = [o for o in t_out + f_out if o[0] != "fall"]
+        if (len(t_falls) == 1 and len(f_falls) == 1
+                and len(t_falls[0].events) == base_events
+                and len(f_falls[0].events) == base_events
+                and not _assigns_name(stmt, "next_pc")):
+            return others + [("fall", self.merge(cond, st,
+                                                 t_falls[0], f_falls[0]))]
+        return others + [("fall", s) for s in t_falls + f_falls]
+
+    def merge(self, cond, pre: CState, a: CState, b: CState) -> CState:
+        if a.counter != b.counter or a.events != b.events:
+            raise UnsupportedSource("events diverge across a data join")
+        m = a.fork()
+        m.path = list(pre.path)
+
+        def unify(va, vb, what):
+            if va is vb or va == vb:
+                return va
+            if isinstance(va, _Mark) or isinstance(vb, _Mark):
+                raise UnsupportedSource(f"objects diverge at join: {what}")
+            return S.ite(cond, va, vb)
+
+        m.vars = {}
+        for name in set(a.vars) | set(b.vars):
+            if name in a.vars and name in b.vars:
+                m.vars[name] = unify(a.vars[name], b.vars[name], name)
+            # else: defined on one side only; reads after the join fail
+        m.regfile = {}
+        for n in set(a.regfile) | set(b.regfile):
+            m.regfile[n] = unify(self.rf_get(a, n), self.rf_get(b, n),
+                                 f"x{n}")
+        m.tc = unify(a.tc, b.tc, "timer.cycles")
+        m.valid = unify(a.valid, b.valid, "block.valid")
+        return m
+
+    def do_while(self, stmt: ast.While, st: CState):
+        if not (isinstance(stmt.test, ast.Constant)
+                and stmt.test.value is True) or stmt.orelse:
+            raise UnsupportedSource("loop is not a bare `while True`")
+        if self.looped:
+            raise UnsupportedSource("nested loop")
+        self.looped = True
+        assigned = _assigned_names(stmt.body)
+        for name in sorted(assigned & set(st.vars)):
+            if _GENERAL.match(name):
+                self.entry[f"L.{name}"] = st.vars[name]
+                st.vars[name] = S.sym(f"L.{name}")
+            else:
+                self.invariants[name] = st.vars[name]
+        if _assigns_attr(stmt.body, "cycles"):
+            self.entry["L.tc"] = st.tc
+            st.tc = S.sym("L.tc")
+        if _has_call(stmt.body, frozenset(("sync", "write_mem"))):
+            self.entry["L.valid"] = st.valid
+            st.valid = S.sym("L.valid")
+        if _has_call(stmt.body, frozenset(("execute",))):
+            for n in range(1, 32):
+                self.entry[f"L.regs{n}"] = self.rf_get(st, n)
+            self.gen_regfile = True
+            st.regfile = {}
+        out = self.exec_stmts(stmt.body, [st])
+        res = []
+        for tag, s in out:
+            if tag == "continue":
+                self.loop_exit(s)
+            elif tag == "break":
+                res.append(("fall", s))
+            else:
+                raise UnsupportedSource("loop body falls through")
+        return res
+
+    def loop_exit(self, st: CState) -> None:
+        for name, head in self.invariants.items():
+            if name in st.vars and st.vars[name] != head:
+                raise UnsupportedSource(
+                    f"loop-carried local {name!r} is not restored to its "
+                    "entry value on the back edge")
+        carried = []
+        for gname in self.entry:
+            name = gname[2:]
+            if name.startswith("regs") or name in ("tc", "retired",
+                                                   "loops"):
+                continue
+            if name == "valid":
+                carried.append(("valid", st.valid))
+            else:
+                carried.append((name, st.vars[name]))
+        self.exits.append(Exit(
+            kind="loop", path=tuple(st.path), events=tuple(st.events),
+            retired=st.vars["retired"], loops=st.vars["loops"], tc=st.tc,
+            regfile=self.norm_regfile(st), carried=tuple(sorted(carried))))
+
+    def do_try(self, stmt: ast.Try, st: CState):
+        if (len(stmt.handlers) != 1 or stmt.orelse or stmt.finalbody
+                or self.handler is not None):
+            raise UnsupportedSource("try shape")
+        handler = stmt.handlers[0]
+        if not (isinstance(handler.type, ast.Name)
+                and handler.type.id == "TrapException" and handler.name):
+            raise UnsupportedSource("handler is not `except TrapException"
+                                    " as ...`")
+        self.handler = (handler.body, handler.name)
+        out = self.exec_stmts(stmt.body, [st])
+        self.handler = None
+        return out
+
+
+def candidate_summary(source: str, mem: bool) -> Summary:
+    """Symbolically evaluate a ``__jit_source__`` into a Summary.
+
+    Raises :class:`UnsupportedSource` when the source leaves the MJIT
+    grammar (the driver turns that into a finding).
+    """
+    tree = ast.parse(source)
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        raise UnsupportedSource("source is not a single function")
+    fn = tree.body[0]
+    if fn.name != "_jit":
+        raise UnsupportedSource(f"function name {fn.name!r}")
+    a = fn.args
+    names = tuple(arg.arg for arg in a.args)
+    expected = MEM_PARAMS if mem else MRAM_PARAMS
+    if (names != expected or a.posonlyargs or a.kwonlyargs or a.vararg
+            or a.kwarg or a.defaults):
+        raise UnsupportedSource(
+            f"calling convention: params {names} != {expected}")
+    ev = _Ev(mem)
+    st = CState()
+    st.vars = {
+        "core": _CORE, "timer": _TIMER,
+        "budget": S.sym("budget"),
+        "instret_base": S.sym("instret_base"),
+        "limit": S.sym("limit"),
+        "execute": _EXEC, "TrapException": _TRAPCTOR,
+        "CAUSE_BUS_ERROR": int(Cause.BUS_ERROR),
+        "_upk": _UPK, "_pk": _PK,
+    }
+    if mem:
+        st.vars["block"] = _BLOCK
+        st.vars["sync"] = _SYNC
+    else:
+        st.vars["metal"] = _METAL
+    leftover = ev.exec_stmts(fn.body, [st])
+    if leftover:
+        raise UnsupportedSource("control falls off the end of the "
+                                "function")
+    return Summary(looped=ev.looped, exits=ev.exits, entry=ev.entry)

@@ -1,0 +1,681 @@
+"""Reference block summaries from the shared micro-op IR.
+
+This module is the *semantic reference* side of the translation
+validator: it walks a compiled block's decoded entries — the same
+``(instr, op_fn, pc, flags, hint)`` tuples and :func:`uop_ir` results
+both execution tiers consume — and builds a :class:`Summary` of what a
+correct tier-2 compilation must do, using an independent transcription
+of the ISA semantics (``docs/ISA.md``), the :class:`SimpleTimer` cost
+model and the MJIT calling convention.  It never looks at the generated
+Python source; :mod:`repro.verify.pysym` summarises that independently
+and :mod:`repro.verify.translate` requires the two to be identical.
+
+The semantic tables (:data:`IMM_SEM`, :data:`REG_SEM`,
+:data:`BRANCH_SEM`, :data:`IR_RULES`) are deliberately exhaustive and
+test-asserted against ``repro.cpu.alu`` and the ``IR_*`` kinds: a new
+ALU op or IR kind fails the suite until a validator rule exists.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.cpu.exceptions import Cause
+from repro.cpu.tcache import (
+    F_CSR, F_STORE, F_SYNC, F_TERM, IR_IMM, IR_NOP, IR_REG, IR_SET, uop_ir,
+)
+from repro.isa.instruction import InstrClass
+from repro.verify import sym as S
+from repro.verify.model import Exit, Summary
+
+M32 = S.M32
+SIGN = S.SIGN
+
+#: METAL mnemonics that stay straight-line inside an mroutine.
+PLAIN_METAL = frozenset(("rmr", "wmr", "mld", "mst"))
+
+#: Load/store access widths (independent transcription of the ISA).
+WIDTHS = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4,
+          "sb": 1, "sh": 2, "sw": 4}
+
+#: Sign-extension rule per load: (threshold, or-mask) or None.
+SIGN_EXTEND = {"lb": (128, 0xFFFFFF00), "lh": (32768, 0xFFFF0000),
+               "lbu": None, "lhu": None, "lw": None}
+
+
+class UnsupportedBlock(Exception):
+    """The reference cannot model this block (MJIT must decline it)."""
+
+
+def _signed(a):
+    """Unsigned expr reinterpreted for a signed comparison."""
+    return S.xor(a, SIGN)
+
+
+def _sra(a, sh):
+    """Arithmetic right shift via the sign-fold identity."""
+    return S.mask32(S.shr(S.sub(a, S.shl(S.and_(a, SIGN), 1)), sh))
+
+
+#: Reg-imm ALU semantics: mnemonic -> expr(rs1_value, imm).
+IMM_SEM = {
+    "addi": lambda a, i: S.mask32(S.add(a, i)),
+    "xori": lambda a, i: S.xor(a, i & M32),
+    "ori": lambda a, i: S.or_(a, i & M32),
+    "andi": lambda a, i: S.and_(a, i & M32),
+    "slli": lambda a, i: S.mask32(S.shl(a, i & 31)),
+    "srli": lambda a, i: S.shr(a, i & 31),
+    "srai": lambda a, i: _sra(a, i & 31),
+    "slti": lambda a, i: S.b2i(S.lt(_signed(a), (i & M32) ^ SIGN)),
+    "sltiu": lambda a, i: S.b2i(S.lt(a, i & M32)),
+}
+
+#: Reg-reg ALU semantics: mnemonic -> expr(rs1_value, rs2_value).
+REG_SEM = {
+    "add": lambda a, b: S.mask32(S.add(a, b)),
+    "sub": lambda a, b: S.mask32(S.sub(a, b)),
+    "xor": S.xor,
+    "or": S.or_,
+    "and": S.and_,
+    "sll": lambda a, b: S.mask32(S.shl(a, S.and_(b, 31))),
+    "srl": lambda a, b: S.shr(a, S.and_(b, 31)),
+    "sra": lambda a, b: _sra(a, S.and_(b, 31)),
+    "slt": lambda a, b: S.b2i(S.lt(_signed(a), _signed(b))),
+    "sltu": lambda a, b: S.b2i(S.lt(a, b)),
+}
+
+#: Branch-taken conditions: mnemonic -> cond(rs1_value, rs2_value).
+BRANCH_SEM = {
+    "beq": S.eq,
+    "bne": S.ne,
+    "bltu": S.lt,
+    "bgeu": lambda a, b: S.le(b, a),
+    "blt": lambda a, b: S.lt(_signed(a), _signed(b)),
+    "bge": lambda a, b: S.le(_signed(b), _signed(a)),
+}
+
+#: Validator rule per IR kind; every kind :func:`uop_ir` can emit MUST
+#: appear here (test-asserted).  Handlers take (builder, ir).
+IR_RULES = {
+    IR_NOP: lambda rb, ir: rb._ir_nop(ir),
+    IR_IMM: lambda rb, ir: rb._ir_imm(ir),
+    IR_REG: lambda rb, ir: rb._ir_reg(ir),
+    IR_SET: lambda rb, ir: rb._ir_set(ir),
+}
+
+#: Control-kind penalty wiring for generic dispatches (StepInfo.control
+#: value -> timing-model attribute), transcribed from SimpleTimer.note.
+CONTROL_PENALTIES = (
+    ("branch", "branch_taken_penalty"),
+    ("jal", "jump_penalty"),
+    ("jalr", "branch_taken_penalty"),
+    ("mret", "mret_penalty"),
+    ("menter", "menter_cost"),
+    ("mexit", "mexit_cost"),
+    ("mraise", "jump_penalty"),
+)
+
+
+# ---------------------------------------------------------------------------
+# block classification (independent transcription of the codegen contract)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockInfo:
+    """What the reference derived about the block's compilation shape."""
+
+    tracked: frozenset = frozenset()   # regs living in host locals
+    written: frozenset = frozenset()   # subset actually (re)assigned
+    trapping: bool = False
+    has_generic: bool = False          # any execute() dispatch
+    has_sync: bool = False             # any mem load/store (sync prologue)
+    looped: bool = False
+    nlen: int = 0
+
+
+def scan_block(block, mem: bool, proven_pcs) -> BlockInfo:
+    """Classify every entry exactly as a correct compilation must."""
+    tracked = set()
+    written = set()
+    trapping = False
+    has_generic = False
+    has_sync = False
+    for instr, _fn, pc, flags, _hint in block.entries:
+        cls = instr.spec.cls
+        if flags & F_TERM:
+            if cls is InstrClass.BRANCH:
+                tracked.update((instr.rs1, instr.rs2))
+            elif cls is InstrClass.JAL:
+                tracked.add(instr.rd)
+                written.add(instr.rd)
+            elif cls is InstrClass.JALR:
+                tracked.update((instr.rs1, instr.rd))
+                written.add(instr.rd)
+            else:
+                trapping = True
+                has_generic = True
+            continue
+        if flags == 0:
+            ir = uop_ir(instr, pc)
+            if ir is not None:
+                kind, rd, a, b, _m = ir
+                if kind == IR_IMM:
+                    tracked.update((rd, a))
+                    written.add(rd)
+                elif kind == IR_REG:
+                    tracked.update((rd, a, b))
+                    written.add(rd)
+                elif kind == IR_SET:
+                    tracked.add(rd)
+                    written.add(rd)
+                continue
+            if cls is InstrClass.MULDIV:
+                tracked.update((instr.rd, instr.rs1, instr.rs2))
+                written.add(instr.rd)
+                continue
+            if cls is InstrClass.METAL and instr.mnemonic in PLAIN_METAL:
+                m = instr.mnemonic
+                if m == "rmr":
+                    tracked.add(instr.rd)
+                    written.add(instr.rd)
+                elif m == "wmr":
+                    tracked.add(instr.rs1)
+                elif pc in proven_pcs:
+                    trapping = True
+                    if m == "mld":
+                        tracked.update((instr.rs1, instr.rd))
+                        written.add(instr.rd)
+                    else:
+                        tracked.update((instr.rs1, instr.rs2))
+                else:
+                    trapping = True
+                    has_generic = True
+                continue
+            trapping = True
+            has_generic = True
+            continue
+        if mem and cls is InstrClass.LOAD:
+            tracked.update((instr.rs1, instr.rd))
+            written.add(instr.rd)
+            trapping = True
+            has_sync = True
+            continue
+        if mem and cls is InstrClass.STORE:
+            tracked.update((instr.rs1, instr.rs2))
+            trapping = True
+            has_sync = True
+            continue
+        raise UnsupportedBlock(
+            f"flagged non-terminator at {pc:#x} (flags={flags})")
+    tracked.discard(0)
+    written.discard(0)
+    if has_generic:
+        written |= tracked  # reload after execute() reassigns every local
+
+    last = block.entries[-1]
+    term_cls = last[0].spec.cls if last[3] & F_TERM else None
+    looped = bool(block.chainable) and (
+        (term_cls is InstrClass.BRANCH
+         and ((last[2] + last[0].imm) & M32) == block.start)
+        or (term_cls is InstrClass.JAL
+            and ((last[2] + last[0].imm) & M32) == block.start)
+        or term_cls is InstrClass.JALR
+    )
+    return BlockInfo(
+        tracked=frozenset(tracked), written=frozenset(written),
+        trapping=trapping, has_generic=has_generic, has_sync=has_sync,
+        looped=looped, nlen=len(block.entries),
+    )
+
+
+# ---------------------------------------------------------------------------
+# symbolic machine state
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RState:
+    """One symbolic path through the block."""
+
+    regs: dict = field(default_factory=dict)      # local n -> expr
+    regfile: dict = field(default_factory=dict)   # spilled n -> expr
+    retired: object = 0
+    loops: object = 0
+    cyc: object = 0
+    epc: object = None
+    tc: object = None
+    valid: object = None
+    next_pc: object = None
+    events: list = field(default_factory=list)
+    path: list = field(default_factory=list)
+    counter: int = 0
+
+    def fork(self, extra=None) -> "RState":
+        st = copy.copy(self)
+        st.regs = dict(self.regs)
+        st.regfile = dict(self.regfile)
+        st.events = list(self.events)
+        st.path = list(self.path)
+        if extra is not None:
+            st.path.append(extra)
+        return st
+
+    def alloc(self, event: tuple) -> int:
+        k = self.counter
+        self.counter += 1
+        self.events.append(event)
+        return k
+
+
+def _esym(k: int, what: str):
+    return S.sym(f"e{k}.{what}")
+
+
+# ---------------------------------------------------------------------------
+# the reference builder
+# ---------------------------------------------------------------------------
+
+class _Ref:
+    def __init__(self, block, mem: bool, proven_pcs):
+        self.block = block
+        self.mem = mem
+        self.proven = proven_pcs
+        self.info = scan_block(block, mem, proven_pcs)
+        self.ml = S.sym("T.mem_latency" if mem else "T.mram_fetch")
+        self.bc = S.ite(S.lt(1, self.ml), self.ml, 1)
+        self.me = S.ite(S.lt(1, self.ml), S.add(self.ml, -1), 0)
+        self.exits = []
+        self.entry = {}
+        self.units = 0
+        self.gen_regfile = False
+
+    def timing(self, attr: str):
+        return S.sym(f"T.{attr}")
+
+    def reg(self, n: int, st: RState):
+        if n == 0:
+            return 0
+        if n not in st.regs:
+            raise UnsupportedBlock(f"read of untracked register x{n}")
+        return st.regs[n]
+
+    def regfile_default(self, n: int):
+        return S.sym(f"L.regs{n}" if self.gen_regfile else f"R{n}")
+
+    def norm_regfile(self, st: RState) -> tuple:
+        return tuple(sorted(
+            (n, e) for n, e in st.regfile.items()
+            if e != self.regfile_default(n)))
+
+    def spill(self, st: RState) -> None:
+        for n in sorted(self.info.tracked):
+            st.regfile[n] = st.regs[n]
+
+    # -- exits ----------------------------------------------------------
+    def ret0(self, st: RState) -> None:
+        self.spill(st)
+        st.tc = S.add(st.tc, st.cyc)
+        self.exits.append(Exit(
+            kind="ret0", path=tuple(st.path), events=tuple(st.events),
+            retired=st.retired, loops=st.loops, tc=st.tc,
+            regfile=self.norm_regfile(st), next_pc=st.next_pc))
+
+    def abort(self, st: RState, resume_pc: int, flush: bool) -> None:
+        self.spill(st)
+        if flush:
+            st.tc = S.add(st.tc, st.cyc)
+        self.exits.append(Exit(
+            kind="abort", path=tuple(st.path), events=tuple(st.events),
+            retired=st.retired, loops=st.loops, tc=st.tc,
+            regfile=self.norm_regfile(st), next_pc=resume_pc))
+
+    def trap(self, st: RState, site: int, lv: int) -> None:
+        if not self.info.has_generic or lv:
+            self.spill(st)
+        st.tc = S.add(st.tc, st.cyc)
+        self.exits.append(Exit(
+            kind="trap", path=tuple(st.path), events=tuple(st.events),
+            retired=st.retired, loops=st.loops, tc=st.tc,
+            regfile=self.norm_regfile(st), next_pc=st.epc, trap=site))
+
+    def loopback(self, st: RState) -> None:
+        carried = [(f"r{n}", st.regs[n]) for n in sorted(self.info.written)]
+        carried.append(("cyc", st.cyc))
+        if self.info.trapping:
+            carried.append(("epc", st.epc))
+        if self.info.has_sync:
+            carried.append(("valid", st.valid))
+        self.exits.append(Exit(
+            kind="loop", path=tuple(st.path), events=tuple(st.events),
+            retired=st.retired, loops=st.loops, tc=st.tc,
+            regfile=self.norm_regfile(st), carried=tuple(sorted(carried))))
+
+    # -- unit batching --------------------------------------------------
+    def flush_units(self, st: RState) -> None:
+        n = self.units
+        if not n:
+            return
+        self.units = 0
+        st.retired = S.add(st.retired, n)
+        st.cyc = S.add(st.cyc, S.mul_const(self.bc, n))
+
+    # -- IR kinds -------------------------------------------------------
+    def _ir_nop(self, ir) -> None:
+        self.units += 1
+
+    def _ir_imm(self, ir) -> None:
+        _k, rd, a, imm, m = ir
+        if m not in IMM_SEM:
+            raise UnsupportedBlock(f"no IMM_SEM rule for {m!r}")
+        self.st.regs[rd] = IMM_SEM[m](self.reg(a, self.st), imm)
+        self.units += 1
+
+    def _ir_reg(self, ir) -> None:
+        _k, rd, a, b, m = ir
+        if m not in REG_SEM:
+            raise UnsupportedBlock(f"no REG_SEM rule for {m!r}")
+        self.st.regs[rd] = REG_SEM[m](self.reg(a, self.st),
+                                      self.reg(b, self.st))
+        self.units += 1
+
+    def _ir_set(self, ir) -> None:
+        _k, rd, value, _b, _m = ir
+        self.st.regs[rd] = value
+        self.units += 1
+
+    # -- entry kinds ----------------------------------------------------
+    def do_muldiv(self, instr) -> None:
+        st = self.st
+        m = instr.mnemonic
+        if instr.rd:
+            st.regs[instr.rd] = S.alu(m, self.reg(instr.rs1, st),
+                                      self.reg(instr.rs2, st))
+        extra = self.timing(
+            "div_extra" if m.startswith(("div", "rem")) else "mul_extra")
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc, extra)
+
+    def do_rmr(self, instr) -> None:
+        if instr.rd:
+            k = self.st.alloc(("mrr", instr.rs1))
+            self.st.regs[instr.rd] = _esym(k, "val")
+        self.units += 1
+
+    def do_wmr(self, instr) -> None:
+        self.st.alloc(("mrw", instr.rd, self.reg(instr.rs1, self.st)))
+        self.units += 1
+
+    def do_proven(self, instr, pc: int) -> None:
+        st = self.st
+        st.epc = pc
+        o = S.mask32(S.add(self.reg(instr.rs1, st), instr.imm))
+        misaligned = S.truth(S.and_(o, 3))
+        if misaligned is True:
+            site = st.alloc(("raise", int(Cause.BUS_ERROR), o))
+            self.trap(st, site, lv=1)
+            self.st = None  # statically always-trapping: path ends here
+            return
+        if misaligned is not False:
+            tr = st.fork(misaligned)
+            site = tr.alloc(("raise", int(Cause.BUS_ERROR), o))
+            self.trap(tr, site, lv=1)
+            st.path.append(S.not_(misaligned))
+        if instr.mnemonic == "mld":
+            if instr.rd:
+                k = st.alloc(("upk", o))
+                st.regs[instr.rd] = _esym(k, "val")
+        else:
+            st.alloc(("pk", o, self.reg(instr.rs2, st)))
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc, self.me)
+
+    def sync_prologue(self, pc: int) -> None:
+        st = self.st
+        st.tc = S.add(st.tc, st.cyc)
+        st.cyc = 0
+        k = st.alloc(("sync", st.tc))
+        st.valid = _esym(k, "valid")
+        invalid = S.not_(S.truth(st.valid))
+        ab = st.fork(invalid)
+        self.abort(ab, pc, flush=False)
+        st.path.append(S.truth(st.valid))
+
+    def _mem_cost(self, lat):
+        return S.ite(S.lt(1, lat), S.add(lat, -1), 0)
+
+    def do_load(self, instr, pc: int) -> None:
+        self.sync_prologue(pc)
+        st = self.st
+        st.epc = pc
+        m = instr.mnemonic
+        addr = S.mask32(S.add(self.reg(instr.rs1, st), instr.imm))
+        k = st.alloc(("read", addr, WIDTHS[m]))
+        self.trap(st.fork(), k, lv=1)  # read_mem may raise mid-call
+        val, lat = _esym(k, "val"), _esym(k, "lat")
+        ext = SIGN_EXTEND[m]
+        if ext is not None:
+            threshold, mask = ext
+            val = S.ite(S.le(threshold, val), S.or_(val, mask), val)
+        if instr.rd:
+            st.regs[instr.rd] = val
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc, self._mem_cost(lat))
+
+    def do_store(self, instr, pc: int) -> None:
+        self.sync_prologue(pc)
+        st = self.st
+        st.epc = pc
+        addr = S.mask32(S.add(self.reg(instr.rs1, st), instr.imm))
+        k = st.alloc(("write", addr, WIDTHS[instr.mnemonic],
+                      self.reg(instr.rs2, st)))
+        self.trap(st.fork(), k, lv=1)  # write_mem may raise mid-call
+        st.valid = _esym(k, "valid")
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc, self._mem_cost(_esym(k, "lat")))
+        invalid = S.not_(S.truth(st.valid))
+        ab = st.fork(invalid)
+        self.abort(ab, pc + 4, flush=True)
+        st.path.append(S.truth(st.valid))
+
+    def do_generic(self, index: int, instr, pc: int, flags: int) -> None:
+        st = self.st
+        if flags & F_CSR:
+            st.tc = S.add(st.tc, st.cyc)
+            st.cyc = 0
+            st.alloc(("latch_tc", st.tc))
+            st.alloc(("latch_instret",
+                      S.add(S.sym("instret_base"), st.retired)))
+        st.epc = pc
+        self.spill(st)
+        k = st.alloc(("exec", index, pc, self.ml))
+        for n in range(1, 32):
+            st.regfile[n] = _esym(k, f"r{n}")
+        tr = st.fork()
+        self.trap(tr, k, lv=0)
+        for n in sorted(self.info.tracked):
+            st.regs[n] = st.regfile[n]
+        st.retired = S.add(st.retired, 1)
+        lat, ctl = _esym(k, "lat"), _esym(k, "ctl")
+        chain = 0
+        for name, attr in reversed(CONTROL_PENALTIES):
+            chain = S.ite(S.eq(ctl, name), self.timing(attr), chain)
+        chain = S.ite(S.notnone(ctl), chain, 0)
+        st.cyc = S.add(st.cyc, self.bc, self._mem_cost(lat), chain)
+        st.next_pc = _esym(k, "next_pc")
+
+    # -- terminators ----------------------------------------------------
+    def _loop_guard(self, st: RState, *head):
+        return S.band(*head, S.lt(st.loops, S.sym("limit")),
+                      S.le(self.info.nlen,
+                           S.sub(S.sym("budget"), st.retired)))
+
+    def _try_loopback(self, st: RState, guard):
+        """Fork the internalised back edge; returns the break state
+        (or ``None`` when the guard is statically always-looping)."""
+        if guard is False:
+            return st  # statically never loops back
+        if guard is True:
+            raise UnsupportedBlock("self-loop guard is statically true")
+        back = st.fork(guard)
+        back.loops = S.add(back.loops, 1)
+        self.loopback(back)
+        st.path.append(S.not_(guard))
+        return st
+
+    def do_branch(self, instr, pc: int, pending: list) -> None:
+        st = self.st
+        m = instr.mnemonic
+        if m not in BRANCH_SEM:
+            raise UnsupportedBlock(f"no BRANCH_SEM rule for {m!r}")
+        cond = BRANCH_SEM[m](self.reg(instr.rs1, st),
+                             self.reg(instr.rs2, st))
+        taken_pc = (pc + instr.imm) & M32
+        st.retired = S.add(st.retired, 1)
+        if cond is not False:
+            taken = st.fork(None if cond is True else cond)
+            taken.cyc = S.add(taken.cyc, self.bc,
+                              self.timing("branch_taken_penalty"))
+            if self.info.looped and taken_pc == self.block.start:
+                taken = self._try_loopback(taken, self._loop_guard(taken))
+            taken.next_pc = taken_pc
+            pending.append(taken)
+        if cond is not True:
+            fall = st.fork(None if cond is False else S.not_(cond))
+            fall.cyc = S.add(fall.cyc, self.bc)
+            fall.next_pc = (pc + 4) & M32
+            pending.append(fall)
+
+    def do_jal(self, instr, pc: int, pending: list) -> None:
+        st = self.st
+        target = (pc + instr.imm) & M32
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc, self.timing("jump_penalty"))
+        if instr.rd:
+            st.regs[instr.rd] = (pc + 4) & M32
+        if self.info.looped and target == self.block.start:
+            st = self.st = self._try_loopback(st, self._loop_guard(st))
+        st.next_pc = target
+        pending.append(st)
+
+    def do_jalr(self, instr, pc: int, pending: list) -> None:
+        st = self.st
+        st.retired = S.add(st.retired, 1)
+        st.cyc = S.add(st.cyc, self.bc,
+                       self.timing("branch_taken_penalty"))
+        # Target reads rs1 before the link write (rd == rs1 is legal).
+        t0 = S.and_(S.add(self.reg(instr.rs1, st), instr.imm), 0xFFFFFFFE)
+        if instr.rd:
+            st.regs[instr.rd] = (pc + 4) & M32
+        if self.info.looped:
+            guard = self._loop_guard(st, S.eq(t0, self.block.start))
+            st = self.st = self._try_loopback(st, guard)
+        st.next_pc = t0
+        pending.append(st)
+
+    # -- whole-block ----------------------------------------------------
+    def generalize(self, st: RState) -> None:
+        info = self.info
+        for n in sorted(info.written):
+            self.entry[f"L.r{n}"] = st.regs[n]
+            st.regs[n] = S.sym(f"L.r{n}")
+        for name in ("retired", "loops", "cyc"):
+            self.entry[f"L.{name}"] = getattr(st, name)
+            setattr(st, name, S.sym(f"L.{name}"))
+        if info.trapping:
+            self.entry["L.epc"] = st.epc
+            st.epc = S.sym("L.epc")
+        if info.has_sync:
+            self.entry["L.tc"] = st.tc
+            st.tc = S.sym("L.tc")
+            self.entry["L.valid"] = st.valid
+            st.valid = S.sym("L.valid")
+        if info.has_generic:
+            for n in range(1, 32):
+                self.entry[f"L.regs{n}"] = st.regfile.get(
+                    n, self.regfile_default(n))
+            self.gen_regfile = True
+            st.regfile = {}
+
+    def build(self) -> Summary:
+        info = self.info
+        st = RState(
+            regs={n: S.sym(f"R{n}") for n in info.tracked},
+            tc=S.sym("T.cycles0"), valid=S.sym("V0"),
+            epc=self.block.start if info.trapping else None,
+        )
+        if info.looped:
+            self.generalize(st)
+        self.st = st
+        pending = []
+        for index, entry in enumerate(self.block.entries):
+            if self.st is None:
+                break  # a statically-certain trap ended every path
+            instr, _fn, pc, flags, _hint = entry
+            cls = instr.spec.cls
+            if flags & F_TERM:
+                self.flush_units(self.st)
+                if cls is InstrClass.BRANCH:
+                    self.do_branch(instr, pc, pending)
+                elif cls is InstrClass.JAL:
+                    self.do_jal(instr, pc, pending)
+                elif cls is InstrClass.JALR:
+                    self.do_jalr(instr, pc, pending)
+                else:
+                    self.do_generic(index, instr, pc, flags)
+                    pending.append(self.st)
+                self.st = None
+                break
+            if flags == 0:
+                ir = uop_ir(instr, pc)
+                if ir is not None:
+                    IR_RULES[ir[0]](self, ir)
+                    continue
+                if cls is InstrClass.MULDIV:
+                    self.flush_units(self.st)
+                    self.do_muldiv(instr)
+                    continue
+                if cls is InstrClass.METAL and instr.mnemonic in PLAIN_METAL:
+                    m = instr.mnemonic
+                    if m == "rmr":
+                        self.do_rmr(instr)
+                    elif m == "wmr":
+                        self.do_wmr(instr)
+                    elif pc in self.proven:
+                        self.flush_units(self.st)
+                        self.do_proven(instr, pc)
+                    else:
+                        self.flush_units(self.st)
+                        self.do_generic(index, instr, pc, flags)
+                    continue
+                self.flush_units(self.st)
+                self.do_generic(index, instr, pc, flags)
+                continue
+            if self.mem and cls is InstrClass.LOAD:
+                self.flush_units(self.st)
+                self.do_load(instr, pc)
+                continue
+            if self.mem and cls is InstrClass.STORE:
+                self.flush_units(self.st)
+                self.do_store(instr, pc)
+                continue
+            raise UnsupportedBlock(
+                f"flagged non-terminator at {pc:#x} (flags={flags})")
+        if self.st is not None:
+            # Length-limited block: falls through to its end address.
+            self.flush_units(self.st)
+            self.st.next_pc = self.block.end
+            pending.append(self.st)
+        for p in pending:
+            self.ret0(p)
+        return Summary(looped=info.looped, exits=self.exits,
+                       entry=self.entry)
+
+
+def reference_summary(block, ns: str, proven_pcs=frozenset()) -> Summary:
+    """The summary a correct tier-2 compilation of *block* must have.
+
+    *ns* is ``"mem"`` or ``"mram"``; *proven_pcs* are the MAS-proven
+    in-bounds ``mld``/``mst`` site pcs the codegen was licensed to
+    elide (the elision audit validates the license itself).
+    """
+    return _Ref(block, ns == "mem", frozenset(proven_pcs)).build()

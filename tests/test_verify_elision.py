@@ -1,0 +1,109 @@
+"""MVTV elision-soundness-audit tests (:mod:`repro.verify.elision`).
+
+The audit re-derives MAS's proven-in-bounds ``mld``/``mst`` facts from
+symbolic address expressions evaluated over an independently written
+interval domain.  Covered here:
+
+* the bundled applications audit clean — every fact MAS proves, the
+  audit confirms (the parity property the pass relies on);
+* a forged fact (a word MAS did *not* prove, injected into
+  ``proven_access_words``) is flagged with the routine/word citation
+  and the audited interval in the detail;
+* a disagreement between ``proven_data_pcs()`` and the per-routine
+  facts — the aggregation the JIT actually consumes — is flagged;
+* unit checks of the :func:`repro.verify.elision.interval` evaluator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lint import APPS, _builtin_symbols
+from repro.metal.loader import load_mroutines
+from repro.verify import elision
+from repro.verify import sym as S
+from repro.verify.elision import IV, audit_apps, audit_image, interval
+
+
+def _image(name):
+    return load_mroutines(APPS[name](), extra_symbols=_builtin_symbols(),
+                          verify=True)
+
+
+# ---------------------------------------------------------------------------
+# clean tree
+# ---------------------------------------------------------------------------
+
+def test_bundled_apps_audit_clean():
+    stats = {}
+    assert audit_apps(stats=stats) == []
+    assert stats["routines"] > 0
+    assert stats["claimed_sites"] > 0
+
+
+# ---------------------------------------------------------------------------
+# mutation: a forged proven-access fact must be caught
+# ---------------------------------------------------------------------------
+
+def _find_unproven_site():
+    """Some bundled routine with an mld/mst the bounds pass (rightly)
+    did not prove — the forgery target."""
+    for app in sorted(APPS):
+        image = _image(app)
+        for name, result in image.analysis.items():
+            routine = image.routines.get(name)
+            if routine is None or routine.code_words is None:
+                continue
+            ranges = elision._allowed_ranges(routine, image)
+            proven, intervals = elision.audit_routine(routine, ranges)
+            unproven = sorted(set(intervals) - proven)
+            claimed = set(result.facts.proven_access_words)
+            for word in unproven:
+                if word not in claimed:
+                    return app, image, name, result, word
+    pytest.fail("no unproven mld/mst site in any bundled app")
+
+
+def test_forged_fact_is_detected():
+    app, image, name, result, word = _find_unproven_site()
+    result.facts.proven_access_words = (
+        tuple(result.facts.proven_access_words) + (word,))
+    findings = audit_image(app, image)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.pass_name == "elision"
+    assert finding.where == f"{app}/{name}:word {word}"
+    assert "audited address interval" in finding.detail
+
+
+def test_aggregation_mismatch_is_detected():
+    image = _image("stm")
+    assert audit_image("stm", image) == []
+    image.proven_data_pcs = lambda: []  # shadow the method on the instance
+    findings = audit_image("stm", image)
+    assert len(findings) == 1
+    assert findings[0].where == "stm/<image>"
+    assert "proven_data_pcs" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# the interval evaluator
+# ---------------------------------------------------------------------------
+
+def test_interval_linear_sum():
+    env = {"a": IV(0, 8)}
+    assert interval(S.add(S.sym("a"), 4), env) == IV(4, 12)
+    assert interval(S.sub(16, S.sym("a")), env) == IV(8, 16)
+
+
+def test_interval_mask_low_bit_rule():
+    # A value provably below the mask's lowest set bit masks to zero —
+    # the precision step the sra canonicalisation depends on.
+    env = {"a": IV(0, 0x7FFFFFFF)}
+    assert interval(S.and_(S.sym("a"), 0x80000000), env) == IV(0, 0)
+
+
+def test_interval_shift_and_unknown_leaf():
+    env = {"a": IV(0, 3)}
+    assert interval(S.shl(S.sym("a"), 2), env) == IV(0, 12)
+    assert interval(S.sym("nope"), env) == elision.FULL
