@@ -1,15 +1,16 @@
-"""Command-line runner: assemble and execute a guest program.
+"""Command-line runner: subcommands, or assemble + execute a program.
 
 Usage::
 
     python -m repro program.s                 # Metal machine, no mroutines
     python -m repro program.s --machine trap  # trap baseline
     python -m repro program.s --engine pipeline --trace --regs
-    python -m repro lint --apps               # MAS static analysis (mcode)
-    python -m repro profile tight_loop        # MPROF hot-trace profiling
-    python -m repro faultinject --smoke       # MFI fault-injection sweep
-    python -m repro conformance --smoke       # MCONF conformance campaign
-    python -m repro verify --smoke            # MVTV translation validation
+    python -m repro <subcommand> ...          # see SUBCOMMANDS / --help
+
+Subcommand dispatch goes through one registry (:data:`SUBCOMMANDS`), so
+``python -m repro --help`` always lists every installed subsystem CLI.
+Each entry imports lazily: the subsystem CLIs build machines, which
+would close an import cycle (and cost startup time) if pulled in here.
 
 The program must define ``_start`` (or start at the load base).  The full
 machine symbol environment (device registers, cause codes, PTE bits) is
@@ -26,11 +27,38 @@ from repro.errors import ReproError
 from repro.isa.registers import ABI_NAMES
 from repro.machine.trace import Tracer
 
+#: name -> (module, entry-point attr, one-line help).  The single
+#: source of truth for subcommand dispatch *and* the --help listing.
+SUBCOMMANDS = {
+    "serve": ("repro.serve.cli", "serve_main",
+              "MSERVE sharded serving front end (HTTP + warm-start pools)"),
+    "conformance": ("repro.conformance.cli", "conformance_main",
+                    "MCONF coverage-guided conformance campaign"),
+    "verify": ("repro.verify.cli", "verify_main",
+               "MVTV translation validation + host lints"),
+    "faultinject": ("repro.fault.cli", "faultinject_main",
+                    "MFI deterministic fault-injection sweep"),
+    "profile": ("repro.profile.cli", "profile_main",
+                "MPROF hot-trace profiling of a workload or .s file"),
+    "lint": ("repro.analysis.lint", "lint_main",
+             "MAS static analysis of mcode routines"),
+}
+
+
+def _subcommand_epilog() -> str:
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = ["subcommands (python -m repro <name> --help for each):"]
+    for name, (_mod, _attr, help_text) in SUBCOMMANDS.items():
+        lines.append(f"  {name:<{width}}  {help_text}")
+    return "\n".join(lines)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run an MRV32 assembly program on a simulated machine.",
+        epilog=_subcommand_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("program", help="assembly source file")
     parser.add_argument("--machine", choices=("metal", "trap"),
@@ -60,26 +88,12 @@ def dump_regs(machine) -> str:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "lint":
-        from repro.analysis.lint import lint_main
-        return lint_main(argv[1:])
-    if argv and argv[0] == "profile":
-        # Imported lazily: the CLI builds machines, which would close an
-        # import cycle if pulled in at repro.profile import time.
-        from repro.profile.cli import profile_main
-        return profile_main(argv[1:])
-    if argv and argv[0] == "faultinject":
-        # Lazy for the same reason: the campaign builds machines.
-        from repro.fault.cli import faultinject_main
-        return faultinject_main(argv[1:])
-    if argv and argv[0] == "conformance":
-        # Lazy for the same reason: the campaign builds machines.
-        from repro.conformance.cli import conformance_main
-        return conformance_main(argv[1:])
-    if argv and argv[0] == "verify":
-        # Lazy for the same reason: the corpus driver builds machines.
-        from repro.verify.cli import verify_main
-        return verify_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        import importlib
+
+        module_name, attr, _help = SUBCOMMANDS[argv[0]]
+        entry = getattr(importlib.import_module(module_name), attr)
+        return entry(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.program) as fh:

@@ -41,7 +41,7 @@ import json
 from dataclasses import dataclass
 
 from repro import build_metal_machine
-from repro.fault.campaign import deterministic_pool_map
+from repro.parallel import deterministic_pool_map
 from repro.conformance.coverage import CoverageMap, program_coverage
 from repro.conformance.crosscheck import check_words, crosscheck_sweep
 from repro.conformance.generator import (

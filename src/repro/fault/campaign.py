@@ -36,13 +36,16 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
-import multiprocessing
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 from repro.fault.injector import (
     STATE_TARGETS, FaultSpec, random_spec, run_with_fault,
 )
+# Promoted to repro.parallel (the MSERVE fleet shares it); re-exported
+# here because MFI reports and external callers import it from this
+# module by its historical name.
+from repro.parallel import deterministic_pool_map  # noqa: F401
 
 OUTCOMES = ("masked", "detected_guest", "detected_mas",
             "silent_corruption", "hang", "host_crash")
@@ -305,21 +308,6 @@ def _pool_cell(item):
     workload_key, seed, golden, config_dict = item
     config = CampaignConfig(**config_dict)
     return run_one(workload_key, seed, golden, config)
-
-
-def deterministic_pool_map(fn, cells, workers: int, chunksize: int = 4):
-    """Map *fn* over *cells*, inline or via a ``multiprocessing`` pool.
-
-    The contract both MFI and the MCONF conformance campaign rely on:
-    *fn* must be a top-level (picklable) pure function of its cell, so
-    the result list is identical — element for element — at any pool
-    size, and the caller's report stays bit-reproducible whether it ran
-    inline, with 2 workers or with 32.
-    """
-    if workers and workers > 1 and len(cells) > 1:
-        with multiprocessing.Pool(workers) as pool:
-            return pool.map(fn, cells, chunksize=chunksize)
-    return [fn(cell) for cell in cells]
 
 
 def run_campaign(config: CampaignConfig) -> dict:

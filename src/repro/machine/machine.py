@@ -102,6 +102,36 @@ class Machine:
     def read_bytes(self, addr: int, length: int) -> bytes:
         return self.bus.read_bytes(addr, length)
 
+    # -- snapshot / preemptive execution (MSERVE building blocks) ---------
+    def take_snapshot(self):
+        """Capture this machine's architectural state (see
+        :mod:`repro.machine.snapshot`).  The capsule is picklable, so it
+        can cross a process boundary — the serving fleet migrates
+        preempted jobs between shards by shipping it through a queue."""
+        from repro.machine.snapshot import take_snapshot
+
+        return take_snapshot(self)
+
+    def restore(self, snap) -> None:
+        """Restore a :meth:`take_snapshot` capsule taken from a machine
+        of the same configuration (same routines, RAM size, engine)."""
+        from repro.machine.snapshot import restore_snapshot
+
+        restore_snapshot(self, snap)
+
+    def run_quantum(self, quantum: int, stop_pc: int = None):
+        """Run **at most** *quantum* instructions; never raises on the
+        budget.  The engines' stepping is exact-budget: unless the guest
+        halts first, exactly *quantum* instructions retire, and the
+        interrupted state is an ordinary architectural state — so
+        ``run_quantum`` + :meth:`take_snapshot` + :meth:`restore` (on
+        this or any same-configured machine) + ``run_quantum`` retires
+        the identical instruction stream as one uninterrupted run.
+        This is the preemption primitive the serving shards use to keep
+        long jobs from starving short ones."""
+        return self.sim.run(max_instructions=quantum, stop_pc=stop_pc,
+                            raise_on_limit=False)
+
     # -- lifecycle ---------------------------------------------------------
     def reset(self, pc: int = 0) -> None:
         """Architectural reset: registers, PC, modes, TLB and Metal state.

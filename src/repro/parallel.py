@@ -1,0 +1,97 @@
+"""Shared host-parallelism primitives.
+
+Two building blocks the campaign runners and the MSERVE fleet share:
+
+* :func:`deterministic_pool_map` — the batch mapper MFI and MCONF use
+  for seeded sweeps.  *fn* must be a top-level (picklable) pure function
+  of its cell, so the result list is identical — element for element —
+  at any pool size, and the caller's report stays bit-reproducible
+  whether it ran inline, with 2 workers or with 32.  Promoted out of
+  ``repro.fault.campaign`` (which still re-exports it) once the
+  conformance campaign and the serving fleet both needed it.
+* :class:`WorkerHost` — a *persistent* worker with a request/response
+  queue pair, runnable as a subprocess (real parallelism) or as a
+  daemon thread (tests, debugging).  Where ``deterministic_pool_map``
+  ships a closed batch and tears the pool down, a ``WorkerHost`` stays
+  resident and keeps state between requests — exactly what a serving
+  shard needs for its machine cache and warm-start snapshot pool (see
+  :mod:`repro.serve.shard`).
+
+Both are stdlib-only (``multiprocessing``, ``threading``, ``queue``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+
+
+def deterministic_pool_map(fn, cells, workers: int, chunksize: int = 4):
+    """Map *fn* over *cells*, inline or via a ``multiprocessing`` pool.
+
+    The contract MFI, MCONF and any future sweep rely on: *fn* must be
+    a top-level (picklable) pure function of its cell, so the result
+    list is identical — element for element — at any pool size, and the
+    caller's report stays bit-reproducible whether it ran inline, with
+    2 workers or with 32.
+    """
+    if workers and workers > 1 and len(cells) > 1:
+        with multiprocessing.Pool(workers) as pool:
+            return pool.map(fn, cells, chunksize=chunksize)
+    return [fn(cell) for cell in cells]
+
+
+class WorkerHost:
+    """One resident worker: a loop function behind a queue pair.
+
+    *loop_fn* is called as ``loop_fn(worker_id, request_q, response_q)``
+    and owns the receive-dispatch-respond loop; it returns when it
+    dequeues the :data:`STOP` sentinel.  In ``process`` mode *loop_fn*
+    must be a top-level (picklable) function and every message must
+    pickle; in ``thread`` mode the queues are plain ``queue.Queue`` and
+    messages pass by reference (useful for in-process tests — but note
+    that CPU-bound workers then share the GIL).
+    """
+
+    #: Sentinel request that makes the loop function return.
+    STOP = ("__stop__",)
+
+    def __init__(self, worker_id, loop_fn, mode: str = "process"):
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.worker_id = worker_id
+        self.mode = mode
+        self._loop_fn = loop_fn
+        if mode == "process":
+            self.requests = multiprocessing.Queue()
+            self.responses = multiprocessing.Queue()
+            self._host = multiprocessing.Process(
+                target=loop_fn, args=(worker_id, self.requests, self.responses),
+                daemon=True, name=f"worker-{worker_id}")
+        else:
+            self.requests = queue_mod.Queue()
+            self.responses = queue_mod.Queue()
+            self._host = threading.Thread(
+                target=loop_fn, args=(worker_id, self.requests, self.responses),
+                daemon=True, name=f"worker-{worker_id}")
+
+    def start(self) -> "WorkerHost":
+        self._host.start()
+        return self
+
+    def send(self, message) -> None:
+        """Enqueue one request for the worker loop."""
+        self.requests.put(message)
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Ask the loop to exit and reap the host."""
+        self.requests.put(self.STOP)
+        self._host.join(join_timeout)
+        if self.mode == "process" and self._host.is_alive():
+            self._host.terminate()
+            self._host.join(1.0)
+
+    @property
+    def alive(self) -> bool:
+        return self._host.is_alive()

@@ -10,7 +10,11 @@ One snapshot/delta API over every host-side metric the simulator keeps:
 * **per-mroutine attribution**: mram-namespace trace heads joined
   against the :class:`~repro.metal.loader.MetalImage` routine ranges and
   the MAS CFGs, so a hot MRAM pc becomes "routine ``pagefault``, loop at
-  ``+0x18``" instead of a bare offset.
+  ``+0x18``" instead of a bare offset;
+* **multi-machine aggregation**: snapshots from distinct machines merge
+  without key collisions via shard-id namespacing
+  (:meth:`Snapshot.namespaced` / :meth:`Snapshot.merge`) — the MSERVE
+  fleet aggregator's ``/metrics`` path.
 
 ``snapshot()`` is cheap (dict copies, no simulation state touched) and
 ``Snapshot.delta(older)`` subtracts two snapshots field-by-field, so
@@ -116,6 +120,117 @@ class Snapshot:
         rows = sorted(self.traces.values(),
                       key=lambda a: getattr(a, key), reverse=True)
         return rows[:top] if top is not None else rows
+
+    # -- multi-machine aggregation (MSERVE fleet) ------------------------
+    def add(self, other: "Snapshot") -> "Snapshot":
+        """This snapshot plus *other*, key-unioned.
+
+        For accumulating successive *deltas of the same machine* (one
+        shard's per-request deltas into its running total).  Snapshots
+        of *different* machines must be :meth:`namespaced` first —
+        their counter names collide otherwise.
+        """
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        stalls = dict(self.stalls)
+        for k, v in other.stalls.items():
+            stalls[k] = stalls.get(k, 0) + v
+        traces = dict(self.traces)
+        for key, agg in other.traces.items():
+            mine = traces.get(key)
+            if mine is None:
+                traces[key] = agg
+            else:
+                traces[key] = TraceAggregate(
+                    agg.ns, agg.head_pc, mine.hits + agg.hits,
+                    mine.instructions + agg.instructions,
+                    mine.chain_total + agg.chain_total,
+                    mine.cycles + agg.cycles,
+                )
+        return Snapshot(
+            instret=self.instret + other.instret,
+            cycles=self.cycles + other.cycles,
+            host_seconds=self.host_seconds + other.host_seconds,
+            guest_instructions=(self.guest_instructions
+                                + other.guest_instructions),
+            counters=counters, stalls=stalls, traces=traces,
+        )
+
+    def namespaced(self, shard_id) -> "Snapshot":
+        """A copy with every key prefixed by *shard_id*.
+
+        Counter and stall names become ``"<shard>/<name>"`` and trace
+        namespaces ``"<shard>:<ns>"``, so snapshots taken from distinct
+        Machine instances can be merged without key collisions — the
+        historical bug was that two shards' ``hits`` counters silently
+        shadowed each other in a plain dict update.
+        """
+        prefix = f"{shard_id}/"
+        return Snapshot(
+            instret=self.instret,
+            cycles=self.cycles,
+            host_seconds=self.host_seconds,
+            guest_instructions=self.guest_instructions,
+            counters={prefix + k: v for k, v in self.counters.items()},
+            stalls={prefix + k: v for k, v in self.stalls.items()},
+            traces={
+                (f"{shard_id}:{ns}", pc): TraceAggregate(
+                    f"{shard_id}:{agg.ns}", agg.head_pc, agg.hits,
+                    agg.instructions, agg.chain_total, agg.cycles)
+                for (ns, pc), agg in self.traces.items()
+            },
+        )
+
+    @staticmethod
+    def merge(parts: dict) -> "Snapshot":
+        """Merge ``{shard_id: Snapshot}`` into one fleet snapshot.
+
+        Scalar totals (instret, cycles, host seconds, guest
+        instructions) sum across shards; counters, stalls and traces
+        are namespaced by shard id first (:meth:`namespaced`), so no
+        per-shard key can collide with another shard's.  This is the
+        API the MSERVE fleet aggregator feeds ``/metrics`` from.
+        """
+        merged = Snapshot()
+        for shard_id in sorted(parts, key=str):
+            merged = merged.add(parts[shard_id].namespaced(shard_id))
+        return merged
+
+    # -- transport (across the shard process boundary) -------------------
+    def to_dict(self) -> dict:
+        """A pickle/JSON-safe dict (see :meth:`from_dict`)."""
+        return {
+            "instret": self.instret,
+            "cycles": self.cycles,
+            "host_seconds": self.host_seconds,
+            "guest_instructions": self.guest_instructions,
+            "counters": dict(self.counters),
+            "stalls": dict(self.stalls),
+            "traces": [
+                [agg.ns, agg.head_pc, agg.hits, agg.instructions,
+                 agg.chain_total, agg.cycles]
+                for agg in self.traces.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Snapshot":
+        """Rebuild a snapshot serialized with :meth:`to_dict`."""
+        traces = {}
+        for ns, pc, hits, instructions, chain_total, cycles in (
+                payload.get("traces") or []):
+            traces[(ns, pc)] = TraceAggregate(
+                ns, pc, hits, instructions, chain_total, cycles)
+        return cls(
+            instret=payload.get("instret", 0),
+            cycles=payload.get("cycles", 0),
+            host_seconds=payload.get("host_seconds", 0.0),
+            guest_instructions=payload.get("guest_instructions", 0),
+            counters=dict(payload.get("counters") or {}),
+            stalls=dict(payload.get("stalls") or {}),
+            traces=traces,
+        )
 
 
 class MetricsRegistry:

@@ -1,0 +1,44 @@
+"""MSERVE: Metal-as-a-service — the sharded async serving front-end.
+
+The paper pitches Metal as an *open platform*: many parties developing
+and running processor features, not one lab running one machine.  MSERVE
+is the chassis that serves that fleet.  Five layers:
+
+1. :mod:`repro.serve.api` — the request/response schema: job specs,
+   structured errors, and the architectural-state digest every response
+   carries so clients (and the traffic generator) can verify results
+   bit-for-bit.
+2. :mod:`repro.serve.gate` — admission control: user-submitted ``.s``
+   programs are assembled against the machine symbol environment and
+   MAS-linted (CFG reachability, decode, escaping branches, fall-off,
+   halt-reachability) *before* they reach a shard; findings come back
+   as structured JSON in the MAS diagnostic shape.
+3. :mod:`repro.serve.shard` — one resident worker
+   (:class:`~repro.parallel.WorkerHost`) holding a machine cache and a
+   **warm-start snapshot pool**: each (workload, config) boots once,
+   ``take_snapshot`` is cached, and every later request restores
+   instead of re-booting.  Long jobs run in exact-budget quanta and
+   report back preempted with a snapshot capsule.
+4. :mod:`repro.serve.fleet` — the shard manager: a FIFO run queue with
+   preemptive requeue (short jobs never starve behind long ones),
+   snapshot-transport **migration** of preempted jobs to whichever
+   shard frees up first, and fleet-wide observability — per-shard
+   :class:`~repro.profile.registry.MetricsRegistry` deltas merged into
+   one namespaced fleet snapshot.
+5. :mod:`repro.serve.http` — the stdlib-asyncio HTTP front end
+   (``POST /run``, ``GET /metrics``, ``GET /workloads``,
+   ``GET /healthz``) the CLI (``python -m repro serve``) boots.
+
+Machine-building modules are imported lazily by the layers that need
+them; importing ``repro.serve`` itself stays cheap.
+"""
+
+from repro.serve.api import (  # noqa: F401
+    DEFAULT_BUDGET,
+    JobSpec,
+    ServeRejected,
+    architectural_digest,
+    digest_hex,
+    error_dict,
+    parse_request,
+)

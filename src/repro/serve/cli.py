@@ -1,0 +1,86 @@
+"""``python -m repro serve`` — boot the MSERVE fleet front end.
+
+Examples::
+
+    python -m repro serve                          # 2 process shards :8765
+    python -m repro serve --shards 4 --port 9000
+    python -m repro serve --mode thread --quantum 20000
+    python -m repro serve --port 0                 # ephemeral port (printed)
+
+Then::
+
+    curl -s localhost:8765/healthz
+    curl -s localhost:8765/workloads
+    curl -s -X POST localhost:8765/run -d '{"workload": "tight_loop"}'
+    curl -s -X POST localhost:8765/run -d '{"source": "_start:\\n halt\\n"}'
+    curl -s localhost:8765/metrics
+
+The server runs until interrupted; ^C shuts the fleet down cleanly.
+See docs/SERVING.md for the full API and scheduling semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.api import DEFAULT_BUDGET
+from repro.serve.fleet import Fleet, FleetConfig
+from repro.serve.http import start_server
+from repro.serve.shard import DEFAULT_QUANTUM
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Metal-as-a-service: sharded async serving front end "
+                    "(MSERVE).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (0 = pick an ephemeral port)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="resident shard workers (default 2)")
+    parser.add_argument("--mode", choices=("process", "thread"),
+                        default="process",
+                        help="shard isolation (process = real parallelism)")
+    parser.add_argument("--quantum", type=int, default=DEFAULT_QUANTUM,
+                        help="preemption quantum in guest instructions")
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        help="default per-request instruction budget")
+    return parser
+
+
+async def _serve(args) -> int:
+    fleet = Fleet(FleetConfig(
+        shards=args.shards, mode=args.mode, quantum=args.quantum,
+        default_budget=args.budget,
+    )).start()
+    server = await start_server(fleet, host=args.host, port=args.port)
+    addr = server.sockets[0].getsockname()
+    print(f"MSERVE: {args.shards} {args.mode} shard(s), "
+          f"quantum {args.quantum}, on http://{addr[0]}:{addr[1]}",
+          flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        server.close()
+        fleet.stop()
+    return 0
+
+
+def serve_main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("\nMSERVE: shut down", file=sys.stderr)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())
