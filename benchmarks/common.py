@@ -15,6 +15,7 @@ quantified claim from the prose) and:
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -36,8 +37,8 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
-def perf_summary(machine, label: str = None, top_traces: int = 5,
-                 fault_report: dict = None) -> str:
+def perf_summary(machine, label: Optional[str] = None, top_traces: int = 5,
+                 fault_report: Optional[dict] = None) -> str:
     """Format (and print) a machine's host-side perf counters.
 
     See :mod:`repro.cpu.stats` — these measure the simulator (translation

@@ -42,6 +42,8 @@ SUBCOMMANDS = {
                 "MPROF hot-trace profiling of a workload or .s file"),
     "lint": ("repro.analysis.lint", "lint_main",
              "MAS static analysis of mcode routines"),
+    "synth": ("repro.synth.cli", "synth_main",
+              "MSYNTH profile-guided mroutine synthesis"),
 }
 
 

@@ -119,6 +119,15 @@ def _app_runtime():
                      mregs=(20, 21), shared_mregs=(0,))]
 
 
+def _app_synth():
+    """MSYNTH's generated routines (small-scale profile of the fusion
+    workloads) — linting them alongside the hand-written applications
+    keeps ``python -m repro lint --apps`` an acceptance gate for the
+    synthesizer's code generator."""
+    from repro.synth.pipeline import generated_routines
+    return generated_routines()
+
+
 APPS = {
     "privilege": _app_privilege,
     "pagetable": _app_pagetable,
@@ -129,6 +138,7 @@ APPS = {
     "capability": _app_capability,
     "shadowstack": _app_shadowstack,
     "runtime": _app_runtime,
+    "synth": _app_synth,
 }
 
 

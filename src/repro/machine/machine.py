@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.asm import assemble
 from repro.cpu.core import CpuCore
 from repro.isa.registers import reg_num
@@ -178,7 +180,7 @@ class Machine:
         self.sim.tcache.flush_all()
 
     # -- profiling (MPROF) -------------------------------------------------
-    def set_profiling(self, enabled: bool, capacity: int = None):
+    def set_profiling(self, enabled: bool, capacity: Optional[int] = None):
         """Attach (or detach) the MPROF trace event sink (guest-invisible).
 
         Returns the attached :class:`~repro.profile.sink.TraceEventSink`
@@ -247,6 +249,29 @@ class Machine:
         unit.image = image
         self.metal_image = image
         self.symbols.update(image.symbols)
+
+    def append_mroutines(self, routines) -> list:
+        """Append *routines* to the loaded image in place (Metal machines).
+
+        Models MSYNTH installing a synthesized processor feature after
+        boot: existing routines keep their entries, code offsets and
+        MRAM data, and only the new routines are assembled, MAS-verified
+        and packed past the image's high-water marks.  The MRAM write
+        bumps ``code_version``, so the translation cache lazily drops
+        its mram-namespace translations and re-reads the (now updated)
+        purity facts on the next mram dispatch — no explicit flush is
+        needed, and guest-visible state is untouched.
+
+        Returns the appended routines (with facts attached).
+        """
+        from repro.metal.loader import append_mroutines
+
+        unit = self.core.metal
+        if unit is None:
+            raise ValueError("append_mroutines on a machine without Metal")
+        appended = append_mroutines(self.metal_image, routines)
+        self.symbols.update(self.metal_image.symbols)
+        return appended
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.asm import assemble
 from repro.errors import AsmError, MroutineLoadError
@@ -112,7 +113,8 @@ class MetalImage:
         return None
 
 
-def load_mroutines(routines, mram: Mram = None, extra_symbols: dict = None,
+def load_mroutines(routines, mram: Optional[Mram] = None,
+                   extra_symbols: Optional[dict] = None,
                    verify: bool = True) -> MetalImage:
     """Assemble, verify and pack *routines* into *mram*.
 
@@ -206,6 +208,115 @@ def load_mroutines(routines, mram: Mram = None, extra_symbols: dict = None,
         data_used_bytes=data_ptr,
         analysis=analysis,
     )
+
+
+def append_mroutines(image: MetalImage, routines, verify: bool = True) -> list:
+    """Assemble, verify and pack *routines* into an already-loaded *image*.
+
+    The post-boot twin of :func:`load_mroutines` (MSYNTH installs its
+    generated routines through here).  Constraints are checked over the
+    union of existing and new routines, data/code are allocated past the
+    image's high-water marks, and the new code is assembled against the
+    image's existing symbol environment (so appended routines may call
+    ``menter MR_<EXISTING>`` or address another routine's ``_DATA``).
+
+    All checks, assembly and MAS verification happen before anything is
+    committed: on failure nothing is partially loaded and the image is
+    unchanged.  The commit goes through :meth:`Mram.write_code`, which
+    bumps ``code_version`` — the translation cache's lazy mram-namespace
+    check observes the bump, drops every mram translation and re-reads
+    ``nonstore_code_ranges()``/``proven_data_pcs()`` through the image,
+    which this function has already updated in place (routines, entry
+    table, symbols, ``analysis``, high-water marks).
+
+    Returns the appended routines (with ``code_offset``/``facts`` filled
+    in).
+    """
+    mram = image.mram
+    routines = list(routines)
+    existing = list(image.routines.values())
+    if len(existing) + len(routines) > MAX_MROUTINES:
+        raise MroutineLoadError(
+            f"{len(existing) + len(routines)} mroutines exceed the "
+            f"{MAX_MROUTINES}-entry table"
+        )
+    _check_global_constraints(existing + routines)
+
+    # Allocate past the image's high-water marks.
+    data_ptr = image.data_used_bytes
+    for routine in routines:
+        routine.data_offset = data_ptr
+        data_ptr += 4 * routine.data_words
+        if data_ptr > mram.data_bytes:
+            raise MroutineLoadError(
+                f"{routine.name}: MRAM data segment exhausted "
+                f"({data_ptr} > {mram.data_bytes} bytes)"
+            )
+
+    symbols = dict(image.symbols)
+    for routine in routines:
+        symbols[f"MR_{routine.name.upper()}"] = routine.entry
+        symbols[f"{routine.name.upper()}_DATA"] = routine.data_offset
+
+    code_ptr = image.code_used_bytes
+    by_name = dict(image.routines)
+    for routine in routines:
+        try:
+            program = assemble(
+                routine.source, base=code_ptr, symbols=symbols,
+                source_name=f"mroutine:{routine.name}",
+            )
+        except AsmError as exc:
+            raise MroutineLoadError(f"{routine.name}: {exc}") from exc
+        words = program.words()
+        routine.code_offset = code_ptr
+        routine.code_words = words
+        code_ptr += 4 * len(words)
+        if code_ptr > mram.code_bytes:
+            raise MroutineLoadError(
+                f"{routine.name}: MRAM code segment exhausted "
+                f"({code_ptr} > {mram.code_bytes} bytes)"
+            )
+        by_name[routine.name] = routine
+
+    analysis = {}
+    if verify:
+        for routine in routines:
+            ranges = [_data_range(routine)]
+            for other_name in routine.shared_data:
+                other = by_name.get(other_name)
+                if other is None:
+                    raise MroutineLoadError(
+                        f"{routine.name}: shared_data names unknown routine "
+                        f"{other_name!r}"
+                    )
+                ranges.append(_data_range(other))
+            ranges = [r for r in ranges if r[0] < r[1]]
+            report = verify_or_raise(routine,
+                                     allowed_data_ranges=ranges or [(0, 0)])
+            analysis[routine.name] = report.result
+            routine.facts = report.facts
+
+    # Commit: mutate the image in place, then write MRAM.  write_code
+    # bumps mram.code_version, which is what downstream caches key on —
+    # it must happen *after* the image reflects the new routines so the
+    # lazy re-read sees consistent facts.
+    for routine in routines:
+        image.routines[routine.name] = routine
+        image.by_entry[routine.entry] = routine
+    image.symbols.update(symbols)
+    image.analysis.update(analysis)
+    image.code_used_bytes = code_ptr
+    image.data_used_bytes = data_ptr
+    for routine in routines:
+        mram.write_code(routine.code_offset, routine.code_words)
+        if routine.data_init:
+            payload = struct.pack(
+                f"<{len(routine.data_init)}I",
+                *[v & 0xFFFFFFFF for v in routine.data_init],
+            )
+            mram.write_data_bytes(routine.data_offset, payload)
+    return routines
 
 
 def _data_range(routine):

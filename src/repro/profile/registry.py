@@ -30,9 +30,10 @@ benchmarks and tests can meter exactly one region of interest::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields as dc_fields
+from typing import Optional
 
 from repro.cpu.stats import TcacheStats
-from repro.profile.sink import TraceAggregate
+from repro.profile.sink import TraceAggregate, hot_sorted
 
 #: TcacheStats counter names, in declaration order.
 _TCACHE_FIELDS = tuple(f.name for f in dc_fields(TcacheStats))
@@ -49,9 +50,9 @@ class TraceAttribution:
     cycles: int
     avg_chain: float
     #: Owning mroutine name (mram namespace only), or None.
-    routine: str = None
+    routine: Optional[str] = None
     #: Byte offset of the head inside the routine's code, or None.
-    offset: int = None
+    offset: Optional[int] = None
     #: True when the head sits in a CFG block that is the target of a
     #: back edge — i.e. the trace is (the body of) a static loop.
     loop: bool = False
@@ -59,7 +60,7 @@ class TraceAttribution:
     #: ``"jit"`` (MJIT tier 2), ``"closure"`` (predecoded uop closures),
     #: or None when nothing is cached there any more (evicted, or the
     #: machine runs without a tcache).
-    tier: str = None
+    tier: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -116,10 +117,13 @@ class Snapshot:
             traces=traces,
         )
 
-    def hot_traces(self, top: int = None, key: str = "instructions") -> list:
-        rows = sorted(self.traces.values(),
-                      key=lambda a: getattr(a, key), reverse=True)
-        return rows[:top] if top is not None else rows
+    def hot_traces(self, top: Optional[int] = None,
+                   key: str = "instructions") -> list:
+        """Hottest traces with the shared stable ``(-count, ns, head_pc)``
+        ordering (:func:`repro.profile.sink.hot_sorted`) — byte-identical
+        whether this snapshot was recorded inline or rebuilt by
+        :meth:`merge`/:meth:`add` from shard deltas in any order."""
+        return hot_sorted(self.traces.values(), top=top, key=key)
 
     # -- multi-machine aggregation (MSERVE fleet) ------------------------
     def add(self, other: "Snapshot") -> "Snapshot":
@@ -266,7 +270,8 @@ class MetricsRegistry:
         )
 
     # -- attribution --------------------------------------------------------
-    def attribute(self, snapshot: Snapshot = None, top: int = None,
+    def attribute(self, snapshot: Optional[Snapshot] = None,
+                  top: Optional[int] = None,
                   key: str = "instructions") -> list:
         """Hot traces of *snapshot* (default: a fresh one) joined against
         the Metal image: a list of :class:`TraceAttribution`, hottest
@@ -278,7 +283,7 @@ class MetricsRegistry:
             for agg in snapshot.hot_traces(top=top, key=key)
         ]
 
-    def mroutine_report(self, snapshot: Snapshot = None) -> list:
+    def mroutine_report(self, snapshot: Optional[Snapshot] = None) -> list:
         """Per-mroutine rollup: ``(routine, hits, instructions, cycles,
         loop_rows)`` where *loop_rows* are the routine's loop-headed
         traces — "time per mroutine, per loop".  Traces outside any

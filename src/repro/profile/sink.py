@@ -30,6 +30,7 @@ profilers) so they stop fighting over the raw slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 #: Default ring capacity (records).  4096 retired-trace records cover
 #: several hundred thousand instructions of history at typical chain
@@ -61,6 +62,22 @@ class TraceAggregate:
     def avg_chain(self) -> float:
         """Mean chained block transitions per retirement."""
         return self.chain_total / self.hits if self.hits else 0.0
+
+
+def hot_sorted(aggregates, top: Optional[int] = None,
+               key: str = "instructions") -> list:
+    """Sort :class:`TraceAggregate` rows hottest-first by *key* with the
+    stable ``(-count, ns, head_pc)`` tie-break.
+
+    This is the single ordering every hot-trace consumer shares (the
+    sink, :class:`repro.profile.registry.Snapshot`, the MSYNTH candidate
+    miner): equal-count traces order by namespace then head pc instead
+    of dict insertion order, so a report built from merged shard deltas
+    is byte-identical to one recorded inline.
+    """
+    rows = sorted(aggregates,
+                  key=lambda a: (-getattr(a, key), a.ns, a.head_pc))
+    return rows[:top] if top is not None else rows
 
 
 class TraceEventSink:
@@ -152,12 +169,20 @@ class TraceEventSink:
             for key, vals in self._traces.items()
         }
 
-    def hot_traces(self, top: int = None, key: str = "instructions") -> list:
+    def hot_traces(self, top: Optional[int] = None,
+                   key: str = "instructions") -> list:
         """Aggregates sorted hottest-first by *key* (``instructions``,
-        ``hits`` or ``cycles``), optionally truncated to *top* rows."""
-        rows = sorted(self.trace_table().values(),
-                      key=lambda a: getattr(a, key), reverse=True)
-        return rows[:top] if top is not None else rows
+        ``hits`` or ``cycles``), optionally truncated to *top* rows.
+
+        Equal-count rows tie-break on ``(ns, head_pc)`` so the ordering
+        is a pure function of the aggregate *contents* — reports stay
+        byte-identical whether the aggregates were recorded inline or
+        reassembled from merged shard snapshots (whose dict insertion
+        order differs).  MCONF and MFI enforce the same pool-vs-inline
+        contract on their reports; synthesis candidate ranking relies
+        on it too.
+        """
+        return hot_sorted(self.trace_table().values(), top=top, key=key)
 
     def clear(self) -> None:
         """Drop all recorded data (capacity and attachment unchanged)."""

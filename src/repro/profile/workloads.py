@@ -19,6 +19,7 @@ builder imports the engines, which import the profile sink.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cpu.exceptions import Cause
 from repro.machine.builder import build_metal_machine
@@ -91,6 +92,29 @@ loop:
     or   s2, t5, t6
     and  s3, s2, t3
     sub  s4, s3, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
+def _hash_mix(iters: int) -> str:
+    """A pure-ALU hash/mix loop (xorshift-style avalanche) — the MSYNTH
+    fusion showcase alongside ``tight_loop``: every body instruction is
+    plain, the loop is counted, and nothing else branches into it, so
+    the whole loop fuses into one mroutine."""
+    return f"""
+_start:
+    li t0, {iters}
+    li t1, 0x9e37
+loop:
+    xor  t2, t2, t1
+    slli t3, t2, 5
+    srli t4, t2, 3
+    add  t2, t3, t4
+    and  t5, t2, t1
+    or   t6, t2, t5
+    add  s2, s2, t6
     addi t0, t0, -1
     bnez t0, loop
     halt
@@ -205,7 +229,7 @@ class Workload:
     description: str
     program: object           # iters -> assembly source
     routines: tuple = (NOOP,)
-    setup: object = None      # machine -> None, post-build boot config
+    setup: Optional[object] = None   # machine -> None, post-build boot config
     default_iters: int = 10_000
 
 
@@ -215,6 +239,10 @@ WORKLOADS = {
             "tight_loop",
             "straight-line ALU work in a hot loop (tcache best case)",
             _tight_loop, default_iters=20_000),
+        Workload(
+            "hash_mix",
+            "pure ALU hash/mix loop (MSYNTH fusion showcase)",
+            _hash_mix, default_iters=20_000),
         Workload(
             "chain_trampoline",
             "blocks glued by unconditional jumps (chainer best case)",
@@ -251,7 +279,7 @@ def build_workload(name: str, engine: str = "functional"):
     return machine
 
 
-def workload_source(name: str, iters: int = None) -> str:
+def workload_source(name: str, iters: Optional[int] = None) -> str:
     """The guest program for workload *name* at *iters* iterations."""
     w = WORKLOADS[name]
     return w.program(iters if iters is not None else w.default_iters)

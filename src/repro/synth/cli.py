@@ -1,0 +1,193 @@
+"""``python -m repro synth`` — the MSYNTH command-line front end.
+
+Synthesize application-specific mroutines from a profile::
+
+    python -m repro synth tight_loop
+    python -m repro synth hash_mix --iters 5000 --json report.json
+    python -m repro synth program.s
+    python -m repro synth --smoke --json synth_smoke.json
+    python -m repro synth --list
+
+The run profiles the target, mines fusable candidates, generates and
+appends the fused mroutines, rewrites the guest to call them, and
+prints the per-candidate report: score, patch style, MAS purity, the
+measured invocation count, and the Table-2-style cells/wires delta —
+followed by the baseline-vs-rewritten cycle comparison and the
+architectural-digest verdict.
+
+``--smoke`` is the CI gate: it runs two fusion-friendly workloads and
+fails unless each emits at least one candidate, every image lints
+clean, and both digests match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.synth.pipeline import synthesize_source, synthesize_workload
+
+SMOKE_WORKLOADS = ("tight_loop", "hash_mix")
+SMOKE_ITERS = 2_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro synth",
+        description="Profile-guided mroutine synthesis (MSYNTH).",
+    )
+    parser.add_argument("target", nargs="?",
+                        help="workload name (see --list) or a .s file")
+    parser.add_argument("--list", action="store_true",
+                        help="list the named workloads and exit")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI smoke: run {', '.join(SMOKE_WORKLOADS)} "
+                        "and assert candidates + lint + digest parity")
+    parser.add_argument("--iters", type=int, default=None,
+                        help="iteration count for named workloads")
+    parser.add_argument("--max-candidates", type=int, default=4)
+    parser.add_argument("--no-counter", action="store_true",
+                        help="skip the MRAM invocation counter preamble")
+    parser.add_argument("--trampoline", action="store_true",
+                        help="force the jal-trampoline patch style")
+    parser.add_argument("--base", type=lambda v: int(v, 0), default=0x1000,
+                        help="load address for .s files (default 0x1000)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the JSON report to PATH")
+    return parser
+
+
+def _list_workloads() -> str:
+    from repro.profile.workloads import WORKLOADS
+
+    width = max(len(name) for name in WORKLOADS)
+    return "\n".join(
+        f"{w.name:<{width}}  {w.description}" for w in WORKLOADS.values()
+    )
+
+
+def _synthesize(args) -> dict:
+    from repro.profile.workloads import WORKLOADS
+
+    kwargs = dict(
+        max_candidates=args.max_candidates,
+        counter=not args.no_counter,
+        force_trampoline=args.trampoline,
+    )
+    if args.target in WORKLOADS:
+        return synthesize_workload(args.target, iters=args.iters, **kwargs)
+    with open(args.target) as fh:
+        source = fh.read()
+    return synthesize_source(source, label=args.target, base=args.base,
+                             **kwargs)
+
+
+def format_report(report: dict) -> str:
+    lines = [f"synthesis report [{report['label'] or 'program'}]"]
+    lines.append("-" * len(lines[0]))
+    if not report["candidates"]:
+        lines.append("no fusable candidates found")
+        return "\n".join(lines)
+    lines.append(
+        f"{'routine':<18} {'kind':<5} {'head':>10} {'words':>5} "
+        f"{'score':>9} {'style':<10} {'purity':<10} {'invoked':>8} "
+        f"{'Δcells':>8} {'Δwires':>8}")
+    for cand in report["candidates"]:
+        hw = cand["hw_delta"]
+        invoked = cand["invocations"]
+        lines.append(
+            f"{cand['name']:<18} {cand['kind']:<5} "
+            f"{cand['head_pc']:#10x} {cand['length']:>5} "
+            f"{cand['score']:>9,} {cand['style']:<10} "
+            f"{cand['purity'] or '?':<10} "
+            f"{invoked if invoked is not None else '-':>8} "
+            f"{hw['cells']:>8,} {hw['wires']:>8,}")
+    base, rew = report["baseline"], report["rewritten"]
+    lines.append("")
+    lines.append(f"baseline : {base['cycles']:>12,} cycles "
+                 f"{base['instructions']:>10,} instrs")
+    lines.append(f"rewritten: {rew['cycles']:>12,} cycles "
+                 f"{rew['instructions']:>10,} instrs")
+    lines.append(f"speedup  : {report['speedup']:.2f}x (architectural cycles)")
+    digest = "MATCH" if report["digest"]["match"] else "MISMATCH"
+    lint = "clean" if report["lint_clean"] else "DIRTY"
+    lines.append(f"digest   : {digest}   mas lint: {lint}")
+    return "\n".join(lines)
+
+
+def _smoke(args) -> tuple:
+    """Run the CI smoke suite; returns (reports, failures)."""
+    reports = []
+    failures = []
+    for name in SMOKE_WORKLOADS:
+        report = synthesize_workload(
+            name, iters=args.iters or SMOKE_ITERS,
+            max_candidates=args.max_candidates)
+        reports.append(report)
+        if not report["candidates"]:
+            failures.append(f"{name}: no candidates emitted")
+        if not report["lint_clean"]:
+            failures.append(f"{name}: generated routines fail MAS lint")
+        if not report["digest"]["match"]:
+            failures.append(f"{name}: architectural digest mismatch")
+        bad_oracle = sum(c["oracle_disagreements"]
+                         for c in report["candidates"])
+        if bad_oracle:
+            failures.append(f"{name}: {bad_oracle} decode-oracle "
+                            "disagreements")
+    return reports, failures
+
+
+def synth_main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print(_list_workloads())
+        return 0
+
+    if args.smoke:
+        try:
+            reports, failures = _smoke(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for report in reports:
+            print(format_report(report))
+            print()
+        if args.json:
+            payload = {"tool": "msynth-smoke", "reports": reports,
+                       "ok": not failures, "failures": failures}
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written to {args.json}")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print("smoke: " + ("ok" if not failures else "FAILED"))
+        return 1 if failures else 0
+
+    if not args.target:
+        print("error: need a workload name, a .s file, --smoke or --list",
+              file=sys.stderr)
+        return 2
+    try:
+        report = _synthesize(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(synth_main())

@@ -1,0 +1,46 @@
+"""Table-2-style hardware pricing for synthesized routines.
+
+MSYNTH's report answers the paper's cost question per candidate: what
+would this feature cost *in silicon*?  The answer reuses
+:func:`repro.synthesis.build_metal_extension` — the netlist behind the
+reproduction's Table 2 — sized word-exactly to the image: the delta
+between the extension priced with and without a routine's code/data
+footprint (and its extra entry-table slot) is the marginal cells/wires
+bill for that routine.
+
+The caveat inherited from the cost model: MRAM is priced as SRAM
+macros at bit granularity, so the delta is linear in footprint and
+dominated by the code words — it prices *capacity*, not logic; a
+4-word routine and any other 4-word routine cost the same.  See
+``docs/SYNTHESIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis import build_metal_extension
+
+
+def extension_cost(code_bytes: int, data_bytes: int, mroutines: int):
+    """Cells/wires of a Metal extension sized to exactly this image."""
+    module = build_metal_extension(
+        mram_code_kib=code_bytes / 1024,
+        mram_data_kib=data_bytes / 1024,
+        mroutines=max(mroutines, 1),
+    )
+    return module.total
+
+
+def routine_hw_delta(routine, base_code_bytes: int, base_data_bytes: int,
+                     base_count: int) -> dict:
+    """Marginal cells/wires of appending *routine* to an image that
+    already holds *base_count* routines in the given footprint."""
+    before = extension_cost(base_code_bytes, base_data_bytes, base_count)
+    after = extension_cost(
+        base_code_bytes + 4 * len(routine.code_words),
+        base_data_bytes + 4 * routine.data_words,
+        base_count + 1,
+    )
+    return {
+        "cells": after.cells - before.cells,
+        "wires": after.wires - before.wires,
+    }

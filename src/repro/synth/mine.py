@@ -1,0 +1,184 @@
+"""Candidate mining: MPROF hot-trace aggregates -> fusable code regions.
+
+The miner never looks at dynamic state beyond the profile: it decodes
+the *static* program image at each hot trace head and accepts a region
+only when fusing it is provably safe under these conservative rules:
+
+* every instruction in the region is a **plain** computational
+  instruction (ALU, mul/div, ``lui``) — no memory access, no CSRs, no
+  traps, and no ``auipc`` (pc-relative results would change inside
+  MRAM);
+* a **loop** region is a plain body whose final instruction is a
+  conditional branch back to the region head (the classic counted
+  loop); a **run** region is a maximal plain straight-line prefix;
+* no branch or ``jal`` anywhere in the program targets the region's
+  *interior* (targeting the head is fine — the patch at the head
+  performs the whole region);
+* the program contains no ``jalr`` at all (indirect targets cannot be
+  enumerated statically — one indirect jump poisons every region).
+
+Scores approximate guest fetches saved per invocation times hotness:
+a fused loop replaces every recorded iteration with one ``menter``
+(score ``instructions - 2*hits``); a fused run replaces ``length``
+instructions with a 2-instruction patch (score ``(length-2) * hits``).
+Ties rank by head pc — combined with the :func:`~repro.profile.sink.
+hot_sorted` aggregate ordering this makes candidate selection a pure
+function of the profile contents (the same pool-vs-inline determinism
+contract MCONF and MFI enforce on their reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DecodeError
+from repro.isa.decoder import decode
+from repro.isa.instruction import InstrClass
+from repro.profile.sink import hot_sorted
+
+#: Instruction classes safe to relocate into MRAM verbatim.
+PLAIN_CLASSES = frozenset({
+    InstrClass.ALU_IMM, InstrClass.ALU_REG, InstrClass.MULDIV,
+    InstrClass.LUI,
+})
+
+#: Region size cap (words) — keeps generated routines comfortably inside
+#: the MRAM code segment even with several candidates appended.
+MAX_REGION_WORDS = 48
+
+#: Minimum straight-line run worth a 2-word call patch.
+MIN_RUN_WORDS = 4
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fusable region of the guest program."""
+
+    kind: str            # "loop" | "run"
+    head_pc: int         # first byte of the region
+    length: int          # region size in words (loop: body + back-branch)
+    hits: int            # profile: times the trace head retired
+    hot_instructions: int  # profile: instructions attributed to the head
+    score: int           # instructions_saved x hotness rank key
+
+    @property
+    def end_pc(self) -> int:
+        """First byte past the region."""
+        return self.head_pc + 4 * self.length
+
+    def overlaps(self, other: "Candidate") -> bool:
+        return self.head_pc < other.end_pc and other.head_pc < self.end_pc
+
+
+def mine_candidates(words, base: int, aggregates, top: Optional[int] = None,
+                    entry_pc: Optional[int] = None,
+                    min_run: int = MIN_RUN_WORDS,
+                    max_words: int = MAX_REGION_WORDS) -> list:
+    """Mine fusable :class:`Candidate` regions from a program image.
+
+    *words* is the assembled program as 32-bit words at *base*;
+    *aggregates* an iterable of :class:`~repro.profile.sink.
+    TraceAggregate` rows (only the ``mem`` namespace is considered —
+    mram traces are already mcode).  *entry_pc* (the ``_start``
+    address) disqualifies regions the program enters mid-body.
+
+    Returns non-overlapping candidates, best score first.
+    """
+    instrs = []
+    for word in words:
+        try:
+            instrs.append(decode(word))
+        except DecodeError:
+            instrs.append(None)
+
+    # One indirect jump poisons everything: its targets are unknowable.
+    if any(i is not None and i.cls is InstrClass.JALR for i in instrs):
+        return []
+
+    targets = _branch_targets(instrs, base)
+
+    found = []
+    seen = set()
+    for agg in hot_sorted(aggregates):
+        if agg.ns != "mem" or agg.head_pc in seen:
+            continue
+        seen.add(agg.head_pc)
+        cand = _candidate_at(instrs, base, agg, targets, entry_pc,
+                             min_run, max_words)
+        if cand is not None:
+            found.append(cand)
+
+    found.sort(key=lambda c: (-c.score, c.head_pc))
+    chosen = []
+    for cand in found:
+        if not any(cand.overlaps(other) for other in chosen):
+            chosen.append(cand)
+    return chosen[:top] if top is not None else chosen
+
+
+def _branch_targets(instrs, base: int) -> set:
+    """Every static branch/jal target in the program."""
+    targets = set()
+    for idx, instr in enumerate(instrs):
+        if instr is None:
+            continue
+        if instr.cls in (InstrClass.BRANCH, InstrClass.JAL):
+            targets.add(base + 4 * idx + instr.imm)
+    return targets
+
+
+def _candidate_at(instrs, base: int, agg, targets, entry_pc,
+                  min_run: int, max_words: int):
+    """The best fusable region starting at *agg.head_pc*, or ``None``."""
+    head = agg.head_pc
+    if head < base or (head - base) % 4:
+        return None
+    idx0 = (head - base) // 4
+    if idx0 >= len(instrs):
+        return None
+
+    # Scan the maximal plain prefix.
+    idx = idx0
+    limit = min(len(instrs), idx0 + max_words)
+    while idx < limit and (instrs[idx] is not None
+                           and instrs[idx].cls in PLAIN_CLASSES):
+        idx += 1
+
+    stop = instrs[idx] if idx < len(instrs) else None
+    run_len = idx - idx0
+
+    # Counted loop: plain body closed by a conditional branch back to
+    # the head.  (An unconditional ``jal`` back would never exit the
+    # fused routine, so only BRANCH closes a loop.)
+    if (stop is not None and stop.cls is InstrClass.BRANCH and run_len >= 1
+            and base + 4 * idx + stop.imm == head
+            and run_len + 1 <= max_words):
+        length = run_len + 1
+        if _region_safe(head, length, targets, entry_pc):
+            saved = max(agg.instructions - 2 * agg.hits, 1)
+            return Candidate("loop", head, length, agg.hits,
+                             agg.instructions, saved)
+
+    # Straight-line run.
+    if run_len >= min_run:
+        length = run_len
+        if _region_safe(head, length, targets, entry_pc):
+            score = (length - 2) * max(agg.hits, 1)
+            return Candidate("run", head, length, agg.hits,
+                             agg.instructions, score)
+    return None
+
+
+def _region_safe(head: int, length: int, targets, entry_pc) -> bool:
+    """No external entry into the region's interior.
+
+    The head may be targeted (the patch there performs the whole
+    region); any branch target or the program entry point strictly
+    inside disqualifies the region.
+    """
+    end = head + 4 * length
+    interior = range(head + 4, end, 4)
+    if entry_pc is not None and entry_pc in interior:
+        return False
+    return not any(t in interior for t in targets)

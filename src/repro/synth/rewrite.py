@@ -1,0 +1,65 @@
+"""Guest-binary rewriting: route a fused region through its mroutine.
+
+Patches are applied to the assembled :class:`~repro.asm.program.
+Program` image *before* load (no self-modifying code at run time, so
+tcache/MVTV invariants are untouched):
+
+* **inline** (regions of >= 2 words): the region is replaced in place by
+  ``menter <entry>`` followed by ``jal zero, <region end>`` and ``nop``
+  padding — length-preserving, so every label and branch offset in the
+  rest of the program survives.  ``mexit`` resumes at the ``jal``,
+  which skips the dead padding.
+* **trampoline** (fall-back): the head word alone becomes
+  ``jal zero, <trampoline>``; the trampoline — ``menter`` + ``jal``
+  back past the region — is appended after the program image.
+
+Both styles leave architectural state bit-identical at halt; the
+patched byte ranges (and the trampoline, which occupies bytes the
+baseline leaves zero) are the only RAM differences, reported as
+``masked_ranges`` so digest comparison can exclude exactly them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import assemble
+
+
+@dataclass(frozen=True)
+class Patch:
+    """How one candidate was spliced into the program."""
+
+    style: str           # "inline" | "trampoline"
+    entry: int           # mroutine entry the patch invokes
+    head_pc: int
+    masked_ranges: tuple  # ((start, end), ...) byte ranges rewritten
+
+
+def rewrite_program(program, candidate, entry: int,
+                    force_trampoline: bool = False) -> Patch:
+    """Patch *program* (in place) to invoke mroutine *entry* for
+    *candidate*'s region."""
+    head, end = candidate.head_pc, candidate.end_pc
+    if head < program.base or end > program.end:
+        raise ValueError(
+            f"candidate region {head:#x}..{end:#x} outside program image")
+
+    if candidate.length >= 2 and not force_trampoline:
+        source = f"menter {entry}\njal zero, {end}\n"
+        source += "nop\n" * (candidate.length - 2)
+        patch = assemble(source, base=head)
+        assert len(patch.data) == 4 * candidate.length
+        lo = head - program.base
+        program.data[lo:lo + len(patch.data)] = patch.data
+        return Patch("inline", entry, head, ((head, end),))
+
+    # Fall-back: single-word redirect through an appended trampoline.
+    tramp = program.end
+    tcode = assemble(f"menter {entry}\njal zero, {end}\n", base=tramp)
+    program.data.extend(tcode.data)
+    redirect = assemble(f"jal zero, {tramp}\n", base=head)
+    lo = head - program.base
+    program.data[lo:lo + 4] = redirect.data
+    return Patch("trampoline", entry, head,
+                 ((head, end), (tramp, tramp + len(tcode.data))))

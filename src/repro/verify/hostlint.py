@@ -28,7 +28,14 @@ without telling the translation cache:
   flush the tcache;
 * any function that marks a translation block ``valid = False`` must
   also sever ``jit_fn`` so a stale compiled function can never be
-  re-entered through a held reference.
+  re-entered through a held reference;
+* any loader path that writes MRAM code into an *existing* image (the
+  MSYNTH append path, as opposed to the boot path that constructs a
+  fresh ``MetalImage``) must re-attach analysis results and advance the
+  image's code high-water mark in the same function — otherwise
+  ``nonstore_code_ranges()``/``proven_data_pcs()`` go stale and the
+  tcache's lazy re-read after the ``code_version`` bump refreshes from
+  wrong facts.
 
 Both lints take ``override_sources`` mapping a repo-relative path
 (under ``src/repro``) to replacement text — the mutation tests use it
@@ -297,6 +304,8 @@ RAM_FILE = "mem/memory.py"
 RAM_CLASS = "PhysicalMemory"
 #: Files that invalidate translation blocks.
 BLOCK_FILES = ("cpu/tcache.py",)
+#: File holding the mroutine loader (boot build + post-boot append).
+LOADER_FILE = "metal/loader.py"
 
 
 def _attr_chain_ends(node, suffix) -> bool:
@@ -449,6 +458,54 @@ def check_eviction_completeness(override_sources=None) -> list:
                              "bus write hooks) without flushing the tcache"),
                     detail=f"line {ram_sites[0].lineno}",
                 ))
+
+    # Rule 4: loader paths that append code to an existing image must
+    # re-attach analysis facts and advance the code high-water mark in
+    # the same function.  The boot path is structurally exempt: it
+    # constructs a fresh MetalImage, whose constructor takes the
+    # analysis dict wholesale.
+    tree = ast.parse(_source(LOADER_FILE, override_sources))
+    for qualname, fn in _functions(tree):
+        write_sites = [
+            node for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write_code"
+        ]
+        if not write_sites:
+            continue
+        builds_fresh = any(
+            isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "MetalImage"
+            for node in ast.walk(fn)
+        )
+        if builds_fresh:
+            continue
+        touches_analysis = any(
+            isinstance(node, ast.Attribute) and node.attr == "analysis"
+            for node in ast.walk(fn)
+        )
+        advances_mark = any(
+            isinstance(node, ast.Assign)
+            and any(isinstance(t, ast.Attribute)
+                    and t.attr == "code_used_bytes" for t in node.targets)
+            for node in ast.walk(fn)
+        )
+        if not (touches_analysis and advances_mark):
+            missing = []
+            if not touches_analysis:
+                missing.append("analysis re-attachment")
+            if not advances_mark:
+                missing.append("code_used_bytes advance")
+            findings.append(Finding(
+                pass_name=PASS_EVICTION,
+                where=f"{LOADER_FILE}:{qualname}",
+                message=("appends MRAM code to an existing image without "
+                         + " or ".join(missing)
+                         + " — the tcache's post-bump lazy re-read would "
+                         "refresh purity facts from a stale image"),
+                detail=f"line {write_sites[0].lineno}",
+            ))
 
     # Rule 3: invalidating a block severs its compiled function too.
     for relpath in BLOCK_FILES:

@@ -26,8 +26,8 @@ from repro import MRoutine, build_metal_machine
 from repro.machine.builder import MachineConfig
 from repro.profile.exporters import chrome_trace, validate_chrome_trace
 from repro.profile.preform import plan_preform
-from repro.profile.registry import MetricsRegistry
-from repro.profile.sink import TraceEventSink
+from repro.profile.registry import MetricsRegistry, Snapshot
+from repro.profile.sink import TraceAggregate, TraceEventSink
 
 LOOP = """
 _start:
@@ -210,6 +210,56 @@ class TestRegistry:
         entry = attribute_trace(
             m, TraceAggregate("mram", routine.code_offset, 1, 1, 0, 1))
         assert not entry.loop
+
+
+class TestShardMergeDeterminism:
+    """Regression: hot-trace ranking must be a pure function of the
+    aggregate contents.  Equal-count traces used to rank in dict
+    insertion order, so a snapshot rebuilt from shard deltas (whose
+    union order depends on merge order) disagreed with the inline
+    snapshot of the same run — the stable ``(-count, ns, head_pc)``
+    tie-break makes every path byte-identical."""
+
+    @staticmethod
+    def _snap(*rows):
+        traces = {}
+        for ns, pc, instrs in rows:
+            traces[(ns, pc)] = TraceAggregate(ns, pc, 1, instrs, 0, instrs)
+        return Snapshot(traces=traces)
+
+    def test_equal_count_tie_break_stable_under_add_order(self):
+        a = self._snap(("mem", 0x2000, 100))
+        b = self._snap(("mem", 0x1000, 100), ("mram", 0x40, 100))
+        ab = [(r.ns, r.head_pc) for r in a.add(b).hot_traces()]
+        ba = [(r.ns, r.head_pc) for r in b.add(a).hot_traces()]
+        # Both orders agree, and on the documented key: count desc,
+        # then (ns, head_pc) ascending.
+        assert ab == ba == [("mem", 0x1000), ("mem", 0x2000),
+                            ("mram", 0x40)]
+
+    def test_pool_accumulation_matches_inline_ordering(self):
+        # One logical profile split over two per-request deltas of the
+        # same machine (MSERVE's pool path), recorded in opposite
+        # orders.  An inline sink that saw every event and the pooled
+        # (delta-accumulated) snapshot must rank identically.
+        inline = TraceEventSink()
+        for pc in (0x3000, 0x1000, 0x2000):
+            inline.note_trace("mem", pc, 1, 64, 0, 64)
+        delta_a = self._snap(("mem", 0x3000, 64), ("mem", 0x2000, 64))
+        delta_b = self._snap(("mem", 0x1000, 64))
+        pooled = Snapshot().add(delta_a).add(delta_b)
+        assert [(r.ns, r.head_pc) for r in pooled.hot_traces()] == \
+            [(r.ns, r.head_pc) for r in inline.hot_traces()]
+
+    def test_merge_is_insertion_order_independent(self):
+        a = self._snap(("mem", 0x2000, 7), ("mem", 0x1000, 7))
+        b = self._snap(("mem", 0x1000, 7), ("mem", 0x3000, 7))
+        fwd = Snapshot.merge({"s0": a, "s1": b})
+        rev = Snapshot.merge({"s1": b, "s0": a})
+        assert json.dumps(fwd.to_dict(), sort_keys=True) == \
+            json.dumps(rev.to_dict(), sort_keys=True)
+        assert [(r.ns, r.head_pc) for r in fwd.hot_traces()] == \
+            [(r.ns, r.head_pc) for r in rev.hot_traces()]
 
 
 class TestExporters:

@@ -465,7 +465,7 @@ def test_main_help_lists_every_subcommand(capsys):
     from repro.__main__ import SUBCOMMANDS, build_parser
 
     assert set(SUBCOMMANDS) == {"serve", "conformance", "verify",
-                                "faultinject", "profile", "lint"}
+                                "faultinject", "profile", "lint", "synth"}
     help_text = build_parser().format_help()
     for name in SUBCOMMANDS:
         assert name in help_text

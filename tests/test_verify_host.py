@@ -73,6 +73,35 @@ def test_missing_code_version_bump_is_detected():
     assert "write_code" in finding.where
 
 
+def test_missing_append_fact_refresh_is_detected():
+    # The MSYNTH append path writes MRAM code into an existing image; if
+    # it stops re-attaching the analysis results, the tcache's post-bump
+    # lazy re-read would refresh purity facts from a stale image.
+    override = _mutated(
+        "metal/loader.py",
+        "    image.analysis.update(analysis)\n",
+        "")
+    findings = check_eviction_completeness(override_sources=override)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.pass_name == "eviction"
+    assert "append_mroutines" in finding.where
+    assert "analysis re-attachment" in finding.message
+
+
+def test_missing_highwater_advance_is_detected():
+    # Same append path, other half of the invariant: the code high-water
+    # mark must advance or the next append overwrites live mcode.
+    override = _mutated(
+        "metal/loader.py",
+        "    image.code_used_bytes = code_ptr\n",
+        "")
+    findings = check_eviction_completeness(override_sources=override)
+    assert len(findings) == 1
+    assert "append_mroutines" in findings[0].where
+    assert "code_used_bytes advance" in findings[0].message
+
+
 def test_missing_jit_eviction_is_detected():
     # Invalidating a block without dropping its compiled function leaves
     # the dispatcher a stale jit_fn to call.
@@ -102,10 +131,13 @@ def test_lint_registry_covers_all_bundled_apps():
     assert factories  # the bundle is not empty
     # Every module exporting routine factories is registered, and every
     # registry entry names a real module (runtime rides along through
-    # the lint's demo routine, without factories of its own).
+    # the lint's demo routine, without factories of its own; "synth" is
+    # the MSYNTH-generated set, produced by the synthesizer rather than
+    # an mcode module, so generated code cannot dodge the lint either).
     assert factories <= set(APPS)
-    assert set(APPS) <= modules
+    assert set(APPS) - {"synth"} <= modules
     assert "runtime" in APPS
+    assert "synth" in APPS
 
 
 def test_lint_json_report(tmp_path):
